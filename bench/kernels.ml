@@ -1,0 +1,119 @@
+(* Bechamel micro-benchmarks of the computational kernels. *)
+
+open Because_bgp
+module Sc = Because_scenario
+module Ctx = Bench_context
+module Rng = Because_stats.Rng
+
+let make_dataset () =
+  (* A representative tomography instance: ~120 nodes, ~600 paths. *)
+  let rng = Rng.create 2024 in
+  let observations =
+    List.init 600 (fun _ ->
+        let len = 3 + Rng.int rng 4 in
+        let nodes =
+          List.sort_uniq Int.compare
+            (List.init len (fun _ -> 1 + Rng.int rng 120))
+        in
+        (List.map Asn.of_int nodes, Rng.float rng < 0.18))
+  in
+  Because.Tomography.of_observations observations
+
+let tests () =
+  let data = make_dataset () in
+  let model = Because.Model.create data in
+  let target = Because.Model.target model in
+  let n = Because.Tomography.n_nodes data in
+  let p = Array.init n (fun i -> 0.1 +. (0.8 *. float_of_int (i mod 7) /. 7.0)) in
+  let rng = Rng.create 99 in
+  let likelihood =
+    Bechamel.Test.make ~name:"log-likelihood"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Because.Model.log_likelihood model p)))
+  in
+  let gradient =
+    Bechamel.Test.make ~name:"gradient"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Because.Model.grad_log_posterior model p)))
+  in
+  let delta =
+    Bechamel.Test.make ~name:"single-site delta"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Because.Model.delta_log_posterior model p 17 0.42)))
+  in
+  let mh_sweep =
+    Bechamel.Test.make ~name:"MH run (50 draws)"
+      (Bechamel.Staged.stage (fun () ->
+           ignore
+             (Because_mcmc.Metropolis.run_single_site ~rng:(Rng.copy rng)
+                ~n_samples:50 ~burn_in:10 target)))
+  in
+  let hmc_traj =
+    Bechamel.Test.make ~name:"HMC run (10 draws)"
+      (Bechamel.Staged.stage (fun () ->
+           ignore
+             (Because_mcmc.Hmc.run ~rng:(Rng.copy rng) ~n_samples:10
+                ~burn_in:5 ~leapfrog_steps:10 target)))
+  in
+  let rfd_engine =
+    Bechamel.Test.make ~name:"RFD record+query"
+      (Bechamel.Staged.stage (fun () ->
+           let s = Rfd.create Rfd_params.cisco in
+           for i = 0 to 19 do
+             Rfd.record s ~now:(float_of_int i *. 60.0) Rfd.Withdrawal
+           done;
+           ignore (Rfd.suppressed s ~now:1300.0)))
+  in
+  let heap =
+    Bechamel.Test.make ~name:"event heap 1k push/pop"
+      (Bechamel.Staged.stage (fun () ->
+           let h = Because_sim.Heap.create () in
+           let local = Rng.create 7 in
+           for _ = 1 to 1000 do
+             Because_sim.Heap.push h ~time:(Rng.float local) ()
+           done;
+           while not (Because_sim.Heap.is_empty h) do
+             ignore (Because_sim.Heap.pop h)
+           done))
+  in
+  let topology =
+    Bechamel.Test.make ~name:"topology generation (100 AS)"
+      (Bechamel.Staged.stage (fun () ->
+           ignore
+             (Because_topology.Generate.generate (Rng.create 3)
+                {
+                  Because_topology.Generate.default_params with
+                  n_transit = 20;
+                  n_stub = 72;
+                })))
+  in
+  [ likelihood; gradient; delta; mh_sweep; hmc_traj; rfd_engine; heap;
+    topology ]
+
+let run () =
+  Ctx.section "Kernel micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false
+          ~predictors:[| Measure.run |]
+      in
+      let analysed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some (time :: _) ->
+              if time > 1_000_000.0 then
+                Printf.printf "%-32s %12.3f ms/run\n" name (time /. 1e6)
+              else if time > 1_000.0 then
+                Printf.printf "%-32s %12.3f µs/run\n" name (time /. 1e3)
+              else Printf.printf "%-32s %12.1f ns/run\n" name time
+          | Some [] | None -> Printf.printf "%-32s (no estimate)\n" name)
+        analysed)
+    (tests ())

@@ -1,0 +1,146 @@
+(* Reproductions of the paper's tables and appendices. *)
+
+open Because_bgp
+module Sc = Because_scenario
+module Ctx = Bench_context
+
+let tab1 () =
+  Ctx.section "Table 1 — categories from distribution summaries";
+  Ctx.paper "categories 1/2: (highly) likely not damping; 3: uncertain; 4/5: (highly) likely damping";
+  Printf.printf "%-12s %-22s %-28s\n" "category" "average p̄" "95%% HDPI [A, B]";
+  Printf.printf "%-12s %-22s %-28s\n" "Category 1" "[0.00, 0.15)" "B < 0.15";
+  Printf.printf "%-12s %-22s %-28s\n" "Category 2" "[0.15, 0.30)" "B < 0.30";
+  Printf.printf "%-12s %-22s %-28s\n" "Category 3" "[0.30, 0.70)" "else";
+  Printf.printf "%-12s %-22s %-28s\n" "Category 4" "[0.70, 0.85)" "A >= 0.70";
+  Printf.printf "%-12s %-22s %-28s\n" "Category 5" "[0.85, 1.00]" "A >= 0.85";
+  print_endline
+    "(the highest flag across {MH, HMC} x {mean, HDPI} wins; see DESIGN.md \
+     for the interpretive note on the paper's HDPI column)"
+
+let tab2 () =
+  Ctx.section "Table 2 — assigned categories for the 1-minute interval";
+  Ctx.paper "574 ASs: 28.9% / 49.3% / 12.5% / 4.3% / 4.9% across categories 1-5";
+  let outcome = Ctx.one_minute () in
+  let categories = List.map snd outcome.Sc.Campaign.categories in
+  let shares = Because.Categorize.shares categories in
+  Printf.printf "%-12s %8s %8s\n" "category" "count" "share";
+  List.iter
+    (fun (c, count, share) ->
+      Printf.printf "Category %d   %8d %7.1f%%\n"
+        (Because.Categorize.to_int c)
+        count (100.0 *. share))
+    shares;
+  Printf.printf "Total        %8d\n" (List.length categories);
+  let damping =
+    List.fold_left
+      (fun acc (c, count, _) ->
+        if Because.Categorize.damping c then acc + count else acc)
+      0 shares
+  in
+  Printf.printf
+    "lower bound of RFD deployment (categories 4+5): %.1f%% (paper: 9.1%%)\n"
+    (100.0 *. float_of_int damping /. float_of_int (List.length categories))
+
+let tab3 () =
+  Ctx.section "Table 3 — divergences against operator ground truth";
+  Ctx.paper
+    "56 agreed non-RFD, 10 agreed RFD; BeCAUSe wins heterogeneous configs, \
+     heuristics misfire when the upstream uses RFD";
+  let outcome = Ctx.one_minute () in
+  let rng = Sc.World.fresh_rng (Lazy.force Ctx.world) ~salt:991 in
+  let report =
+    Sc.Report.against_ground_truth ~rng (Lazy.force Ctx.world) outcome
+  in
+  (* Group the cases by (truth, because, heuristics, reason). *)
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Sc.Report.verdict_pair) ->
+      let key = (c.Sc.Report.truth, c.Sc.Report.because_says,
+                 c.Sc.Report.heuristics_say, c.Sc.Report.reason) in
+      let count, example =
+        Option.value (Hashtbl.find_opt table key)
+          ~default:(0, c.Sc.Report.subject)
+      in
+      Hashtbl.replace table key (count + 1, example))
+    report.Sc.Report.cases;
+  let rows =
+    Hashtbl.fold (fun key (count, example) acc -> (key, count, example) :: acc)
+      table []
+    |> List.sort (fun (_, a, _) (_, b, _) -> Int.compare b a)
+  in
+  let mark b = if b then "yes" else "no " in
+  Printf.printf "%-7s %-12s %-8s %-8s %-10s %s\n" "#cases" "example"
+    "truth" "BeCAUSe" "heuristics" "reason for divergence";
+  List.iter
+    (fun ((truth, because_says, heuristics_say, reason), count, example) ->
+      Printf.printf "%-7d %-12s %-8s %-8s %-10s %s\n" count
+        (Asn.to_string example) (mark truth) (mark because_says)
+        (mark heuristics_say) reason)
+    rows
+
+let tab4 () =
+  Ctx.section "Table 4 — precision and recall on ground truth";
+  Ctx.paper
+    "RFD: BeCAUSe 100%/87%, heuristics 97%/80%; ROV: BeCAUSe 100%/64%";
+  let world = Lazy.force Ctx.world in
+  let outcome = Ctx.one_minute () in
+  let rng = Sc.World.fresh_rng world ~salt:991 in
+  let report = Sc.Report.against_ground_truth ~rng world outcome in
+  let print name (m : Because.Evaluate.metrics) =
+    Printf.printf "%-22s precision %5.1f%%  recall %5.1f%%\n" name
+      (100.0 *. m.Because.Evaluate.precision)
+      (100.0 *. m.Because.Evaluate.recall)
+  in
+  print "RFD / BeCAUSe" report.Sc.Report.because_metrics;
+  print "RFD / heuristics" report.Sc.Report.heuristic_metrics;
+  let rov_rng = Sc.World.fresh_rng world ~salt:1993 in
+  let config =
+    { Because.Infer.default_config with n_samples = 800; burn_in = 400 }
+  in
+  let b = Sc.Report.rov_benchmark ~rng:rov_rng ~config outcome in
+  print "ROV / BeCAUSe" b.Because_rov.Rov.metrics;
+  Printf.printf
+    "ROV dataset: %.0f%% positive paths (paper: 90%%); %d ROV ASs hidden \
+     behind another ROV AS (the recall gap)\n"
+    (100.0 *. b.Because_rov.Rov.positive_share)
+    (Asn.Set.cardinal b.Because_rov.Rov.hidden)
+
+let app_a () =
+  Ctx.section "Appendix A — Beacon share of control-plane traffic (ethics)";
+  Ctx.paper "Beacons caused 0.48-0.54% of all IPv4 BGP updates";
+  (* A dedicated campaign with synthetic background churn.  The slowest
+     Beacon (15-minute interval) keeps the Beacon volume low, as in the
+     ethics argument. *)
+  let params = Ctx.campaign_params 15.0 in
+  let params =
+    { params with
+      Sc.Campaign.run_inference = false;
+      cycles = 1;
+      background_prefixes = (if Ctx.quick then 60 else 120);
+      background_mean_gap = 450.0 }
+  in
+  let outcome = Sc.Campaign.run (Lazy.force Ctx.world) params in
+  Printf.printf
+    "update records in collector dumps: %d, of which Beacon-caused: %.2f%%\n"
+    (List.length outcome.Sc.Campaign.records)
+    (100.0 *. Sc.Report.beacon_update_share outcome);
+  print_endline
+    "(higher than the paper's 0.5% because a ~500-AS world carries \
+     proportionally less background churn than the 70k-AS Internet; the \
+     qualitative claim -- Beacons are a small fraction -- holds)"
+
+let app_b () =
+  Ctx.section "Appendix B — RFD default parameters";
+  let row name (p : Rfd_params.t) =
+    Printf.printf "%-26s %8.0f %8.0f %8.0f %10.0f %10.0f %8.0f %8.0f\n" name
+      p.Rfd_params.withdrawal_penalty p.Rfd_params.readvertisement_penalty
+      p.Rfd_params.attribute_change_penalty p.Rfd_params.suppress_threshold
+      (p.Rfd_params.half_life /. 60.0)
+      p.Rfd_params.reuse_threshold
+      (p.Rfd_params.max_suppress_time /. 60.0)
+  in
+  Printf.printf "%-26s %8s %8s %8s %10s %10s %8s %8s\n" "parameter set"
+    "withdr" "readv" "attr" "suppress" "half(min)" "reuse" "max(min)";
+  row "Cisco" Rfd_params.cisco;
+  row "Juniper" Rfd_params.juniper;
+  row "RFC 7454" Rfd_params.rfc7454

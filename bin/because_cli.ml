@@ -1,0 +1,461 @@
+(* because — command-line interface to the BeCAUSe framework.
+
+   Subcommands:
+     topology    generate an Internet-like AS topology and print statistics
+     rfd-trace   trace the RFD penalty state machine for a flapping prefix
+     campaign    run a full measurement campaign on a simulated world
+     sweep       run campaigns across all six update intervals (Fig. 12)
+     infer       run BeCAUSe on labeled paths from a file
+     rov         benchmark BeCAUSe on a simulated ROV dataset *)
+
+open Because_bgp
+open Cmdliner
+module Sc = Because_scenario
+module Rng = Because_stats.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let world_size_args =
+  let transit =
+    Arg.(value & opt int 80 & info [ "transit" ] ~doc:"Transit AS count.")
+  in
+  let stub =
+    Arg.(value & opt int 360 & info [ "stub" ] ~doc:"Stub AS count.")
+  in
+  let vantage =
+    Arg.(value & opt int 60 & info [ "vantage-hosts" ] ~doc:"Vantage hosts.")
+  in
+  Term.(
+    const (fun transit stub vantage -> (transit, stub, vantage))
+    $ transit $ stub $ vantage)
+
+let world_of ~seed (transit, stub, vantage) =
+  Sc.World.build
+    {
+      Sc.World.default_params with
+      seed;
+      n_vantage_hosts = vantage;
+      topology =
+        {
+          Because_topology.Generate.default_params with
+          n_transit = transit;
+          n_stub = stub;
+        };
+    }
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                             *)
+
+let topology_cmd =
+  let run seed (transit, stub, _) =
+    let rng = Rng.create seed in
+    let graph =
+      Because_topology.Generate.generate rng
+        {
+          Because_topology.Generate.default_params with
+          n_transit = transit;
+          n_stub = stub;
+        }
+    in
+    Printf.printf "ASes: %d, links: %d\n"
+      (Because_topology.Graph.size graph)
+      (Because_topology.Graph.link_count graph);
+    let cones =
+      List.map
+        (fun a -> (a, Because_topology.Graph.customer_cone_size graph a))
+        (Because_topology.Generate.transit_asns graph)
+    in
+    let top = List.sort (fun (_, a) (_, b) -> Int.compare b a) cones in
+    print_endline "largest customer cones:";
+    List.iteri
+      (fun i (asn, cone) ->
+        if i < 10 then
+          Printf.printf "  %-8s %d customers\n" (Asn.to_string asn) cone)
+      top
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Generate an AS topology and print statistics.")
+    Term.(const run $ seed_arg $ world_size_args)
+
+(* ------------------------------------------------------------------ *)
+(* rfd-trace                                                            *)
+
+let rfd_trace_cmd =
+  let vendor_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("cisco", `Cisco); ("juniper", `Juniper); ("rfc7454", `Rfc) ])
+          `Cisco
+      & info [ "vendor" ] ~doc:"Parameter preset: cisco, juniper or rfc7454.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"MIN" ~doc:"Flap interval in minutes.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 40.0
+      & info [ "flap-duration" ] ~docv:"MIN"
+          ~doc:"How long the prefix flaps.")
+  in
+  let run vendor interval duration =
+    let params =
+      match vendor with
+      | `Cisco -> Rfd_params.cisco
+      | `Juniper -> Rfd_params.juniper
+      | `Rfc -> Rfd_params.rfc7454
+    in
+    Format.printf "parameters: %a@." Rfd_params.pp params;
+    let state = Rfd.create params in
+    let step = interval *. 60.0 in
+    let next_event = ref 0.0 and withdraw = ref true in
+    for minute = 0 to int_of_float (duration +. 90.0) do
+      let now = float_of_int minute *. 60.0 in
+      while !next_event <= now && !next_event < duration *. 60.0 do
+        Rfd.record state ~now:!next_event
+          (if !withdraw then Rfd.Withdrawal else Rfd.Readvertisement);
+        withdraw := not !withdraw;
+        next_event := !next_event +. step
+      done;
+      if minute mod 2 = 0 then
+        Printf.printf "t=%3d min penalty=%7.0f %s\n" minute
+          (Rfd.penalty state ~now)
+          (if Rfd.suppressed state ~now then "SUPPRESSED" else "")
+    done
+  in
+  Cmd.v
+    (Cmd.info "rfd-trace" ~doc:"Trace the RFD penalty for a flapping prefix.")
+    Term.(const run $ vendor_arg $ interval_arg $ duration_arg)
+
+(* ------------------------------------------------------------------ *)
+(* campaign                                                             *)
+
+let interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "interval" ] ~docv:"MIN"
+        ~doc:"Beacon update interval (minutes).")
+
+let cycles_arg =
+  Arg.(value & opt int 4 & info [ "cycles" ] ~doc:"Burst-Break pairs.")
+
+let print_campaign_summary world outcome =
+  let rfd_paths =
+    List.filter
+      (fun (lp : Because_labeling.Label.labeled_path) ->
+        lp.Because_labeling.Label.rfd)
+      outcome.Sc.Campaign.labeled
+  in
+  Printf.printf
+    "labeled paths: %d (%d RFD), measured ASs: %d, deliveries: %d\n"
+    (List.length outcome.Sc.Campaign.labeled)
+    (List.length rfd_paths)
+    (Asn.Set.cardinal (Sc.Campaign.universe outcome))
+    outcome.Sc.Campaign.deliveries;
+  let flagged = Sc.Campaign.because_damping outcome in
+  Printf.printf "BeCAUSe flags %d damping ASs:" (Asn.Set.cardinal flagged);
+  Asn.Set.iter (fun a -> Printf.printf " %s" (Asn.to_string a)) flagged;
+  print_newline ();
+  let truth = Sc.Deployment.detectable_dampers (Sc.World.deployment world) in
+  let m =
+    Because.Evaluate.of_sets ~predicted:flagged ~truth
+      ~universe:(Sc.Campaign.universe outcome)
+  in
+  Format.printf "against planted deployment: %a@." Because.Evaluate.pp m
+
+let campaign_cmd =
+  let run seed sizes interval cycles =
+    let world = world_of ~seed sizes in
+    let params =
+      { (Sc.Campaign.default_params ~update_interval:(interval *. 60.0)) with
+        Sc.Campaign.cycles }
+    in
+    let outcome = Sc.Campaign.run world params in
+    print_campaign_summary world outcome
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run one measurement campaign end to end on a simulated world.")
+    Term.(const run $ seed_arg $ world_size_args $ interval_arg $ cycles_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                                *)
+
+let sweep_cmd =
+  let run seed sizes cycles =
+    let world = world_of ~seed sizes in
+    let outcomes =
+      List.map
+        (fun minutes ->
+          Printf.printf "[interval %.0f min]\n%!" minutes;
+          Sc.Campaign.run world
+            { (Sc.Campaign.default_params ~update_interval:(minutes *. 60.0))
+              with Sc.Campaign.cycles })
+        [ 1.0; 2.0; 3.0; 5.0; 10.0; 15.0 ]
+    in
+    let shares = Sc.Report.interval_shares outcomes in
+    Printf.printf "%-10s %12s %14s %8s\n" "interval" "consistent"
+      "+inconsistent" "share";
+    List.iter
+      (fun (s : Sc.Report.interval_share) ->
+        Printf.printf "%7.0fmin %12d %14d %7.1f%%\n"
+          (s.Sc.Report.interval /. 60.0)
+          s.Sc.Report.consistent s.Sc.Report.with_promotions
+          (100.0
+          *. float_of_int s.Sc.Report.with_promotions
+          /. float_of_int (max 1 s.Sc.Report.measured)))
+      shares
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run campaigns at all six update intervals (Fig. 12).")
+    Term.(const run $ seed_arg $ world_size_args $ cycles_arg)
+
+(* ------------------------------------------------------------------ *)
+(* infer                                                                *)
+
+let parse_observation line_number line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [] | [ "" ] -> None
+  | label :: (_ :: _ as path) ->
+      let rfd =
+        match String.lowercase_ascii label with
+        | "rfd" | "1" | "true" -> true
+        | "clean" | "0" | "false" -> false
+        | other ->
+            failwith
+              (Printf.sprintf "line %d: unknown label %S (use rfd|clean)"
+                 line_number other)
+      in
+      let asns =
+        List.map
+          (fun token ->
+            match int_of_string_opt token with
+            | Some v -> Asn.of_int v
+            | None ->
+                failwith
+                  (Printf.sprintf "line %d: bad ASN %S" line_number token))
+          path
+      in
+      Some (asns, rfd)
+  | _ ->
+      failwith
+        (Printf.sprintf "line %d: expected 'label asn asn ...'" line_number)
+
+let read_observations file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go n acc =
+        match input_line ic with
+        | line -> (
+            match parse_observation n line with
+            | Some obs -> go (n + 1) (obs :: acc)
+            | None -> go (n + 1) acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go 1 [])
+
+let infer_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Labeled paths, one per line: 'rfd|clean ASN ASN ...' with the \
+             vantage-point side first.")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "samples" ] ~doc:"Posterior draws per sampler.")
+  in
+  let run seed file samples =
+    let observations = read_observations file in
+    if observations = [] then failwith "no observations in file";
+    let data = Because.Tomography.of_observations observations in
+    Printf.printf "%d paths (%d RFD) over %d ASs\n"
+      (Because.Tomography.n_paths data)
+      (Because.Tomography.rfd_path_count data)
+      (Because.Tomography.n_nodes data);
+    let config = { Because.Infer.default_config with n_samples = samples } in
+    let result = Because.Infer.run ~rng:(Rng.create seed) ~config data in
+    let marginals = Because.Posterior.combined result in
+    let categories = Because.Pinpoint.assign_with_pinpointing result in
+    Printf.printf "%-10s %8s %8s %8s  %s\n" "AS" "mean" "hdpi-lo" "hdpi-hi"
+      "category";
+    Array.iter
+      (fun (m : Because.Posterior.marginal) ->
+        let c =
+          Option.value
+            (List.assoc_opt m.Because.Posterior.asn categories)
+            ~default:Because.Categorize.C3
+        in
+        Printf.printf "%-10s %8.3f %8.3f %8.3f  %d%s\n"
+          (Asn.to_string m.Because.Posterior.asn)
+          m.Because.Posterior.mean m.Because.Posterior.hdpi.lo
+          m.Because.Posterior.hdpi.hi
+          (Because.Categorize.to_int c)
+          (if Because.Categorize.damping c then "  << RFD" else ""))
+      marginals
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:
+         "Run BeCAUSe (MH + HMC) on externally labeled paths and print the \
+          per-AS marginals and categories.")
+    Term.(const run $ seed_arg $ file_arg $ samples_arg)
+
+(* ------------------------------------------------------------------ *)
+(* export-dump / label-dump: the file-based pipeline                    *)
+
+(* The windows sidecar: "prefix burst_start burst_end break_end" lines. *)
+let write_windows path outcome =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Prefix.Set.iter
+        (fun prefix ->
+          List.iter
+            (fun (bs, be, bend) ->
+              Printf.fprintf oc "%s %f %f %f\n" (Prefix.to_string prefix) bs
+                be bend)
+            (Sc.Campaign.windows_of outcome prefix))
+        outcome.Sc.Campaign.oscillating)
+
+let read_windows path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let table = Hashtbl.create 8 in
+      let rec go () =
+        match input_line ic with
+        | line ->
+            (match String.split_on_char ' ' (String.trim line) with
+            | [ p; bs; be; bend ] ->
+                let prefix = Prefix.of_string p in
+                let window =
+                  (float_of_string bs, float_of_string be, float_of_string bend)
+                in
+                Hashtbl.replace table prefix
+                  (window
+                  :: Option.value (Hashtbl.find_opt table prefix) ~default:[])
+            | _ -> failwith ("bad windows line: " ^ line));
+            go ()
+        | exception End_of_file -> ()
+      in
+      go ();
+      fun prefix ->
+        List.rev (Option.value (Hashtbl.find_opt table prefix) ~default:[]))
+
+let export_dump_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "campaign"
+      & info [ "out" ] ~docv:"BASE"
+          ~doc:"Output base name: writes BASE.mrt and BASE.windows.")
+  in
+  let run seed sizes interval cycles out =
+    let world = world_of ~seed sizes in
+    let params =
+      { (Sc.Campaign.default_params ~update_interval:(interval *. 60.0)) with
+        Sc.Campaign.cycles; run_inference = false }
+    in
+    let outcome = Sc.Campaign.run world params in
+    Because_collector.Mrt.write_file (out ^ ".mrt")
+      outcome.Sc.Campaign.records;
+    write_windows (out ^ ".windows") outcome;
+    Printf.printf "wrote %s.mrt (%d records) and %s.windows\n" out
+      (List.length outcome.Sc.Campaign.records)
+      out
+  in
+  Cmd.v
+    (Cmd.info "export-dump"
+       ~doc:
+         "Run a campaign and export the collector dumps as MRT (BGP4MP_ET) \
+          plus a Burst-Break windows sidecar.")
+    Term.(
+      const run $ seed_arg $ world_size_args $ interval_arg $ cycles_arg
+      $ out_arg)
+
+let label_dump_cmd =
+  let base_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASE" ~doc:"Base name written by export-dump.")
+  in
+  let run base =
+    match Because_collector.Mrt.read_file (base ^ ".mrt") with
+    | Error e -> failwith e
+    | Ok records ->
+        let windows_of = read_windows (base ^ ".windows") in
+        let labeled =
+          Because_labeling.Label.label_all ~min_r_delta:480.0 ~records
+            ~windows_of ()
+        in
+        List.iter
+          (fun (lp : Because_labeling.Label.labeled_path) ->
+            Printf.printf "%s %s\n"
+              (if lp.Because_labeling.Label.rfd then "rfd" else "clean")
+              (String.concat " "
+                 (List.map
+                    (fun a -> string_of_int (Asn.to_int a))
+                    lp.Because_labeling.Label.path)))
+          labeled
+  in
+  Cmd.v
+    (Cmd.info "label-dump"
+       ~doc:
+         "Label the paths of an exported MRT dump and print them in the \
+          format `because infer` consumes.")
+    Term.(const run $ base_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rov                                                                  *)
+
+let rov_cmd =
+  let run seed sizes =
+    let world = world_of ~seed sizes in
+    let params = Sc.Campaign.default_params ~update_interval:60.0 in
+    let params =
+      { params with Sc.Campaign.cycles = 2; run_inference = false }
+    in
+    let outcome = Sc.Campaign.run world params in
+    let b =
+      Sc.Report.rov_benchmark ~rng:(Sc.World.fresh_rng world ~salt:17) outcome
+    in
+    Printf.printf "positive share: %.0f%%, hidden ROV ASs: %d\n"
+      (100.0 *. b.Because_rov.Rov.positive_share)
+      (Asn.Set.cardinal b.Because_rov.Rov.hidden);
+    Format.printf "BeCAUSe on ROV: %a@." Because.Evaluate.pp
+      b.Because_rov.Rov.metrics
+  in
+  Cmd.v
+    (Cmd.info "rov" ~doc:"Benchmark BeCAUSe on a simulated ROV dataset (§7).")
+    Term.(const run $ seed_arg $ world_size_args)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "BeCAUSe: Bayesian computation for autonomous systems — locating Route \
+     Flap Damping (IMC 2020 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "because" ~doc)
+          [
+            topology_cmd; rfd_trace_cmd; campaign_cmd; sweep_cmd; infer_cmd;
+            export_dump_cmd; label_dump_cmd; rov_cmd;
+          ]))

@@ -1,0 +1,69 @@
+(* The §7.2 extension: error-aware likelihood.
+
+   The paper closes by noting that the likelihood can model measurement
+   error explicitly — "it is possible that paths containing an RFD AS do not
+   get recorded as RFD paths.  We can model this error in the likelihood."
+
+   This example builds a dataset where a known damper sits on 20 positive
+   paths, then flips 30% of those labels to clean (simulating lost
+   re-advertisements), and compares the base model with the error-aware one:
+   the base model is dragged towards "not damping" by the corrupted labels,
+   while the ε-model keeps the damper clearly identified.
+
+   Run with: dune exec examples/error_model.exe *)
+
+open Because_bgp
+
+let asn = Asn.of_int
+let path ints = List.map asn ints
+
+let () =
+  let rng = Because_stats.Rng.create 17 in
+  let damper = 42 in
+  let clean_observations =
+    List.concat
+      (List.init 20 (fun k ->
+           let leaf = 100 + k in
+           [
+             (path [ leaf; damper; 9 ], true);
+             (path [ leaf; 7; 9 ], false);
+             (path [ leaf; 8; 9 ], false);
+           ]))
+  in
+  (* Flip 30% of the positive labels: false negatives of the labeler. *)
+  let corrupted =
+    List.map
+      (fun (p, label) ->
+        if label && Because_stats.Rng.float rng < 0.3 then (p, false)
+        else (p, label))
+      clean_observations
+  in
+  let flipped =
+    List.length (List.filter (fun ((_, a), (_, b)) -> a <> b)
+                   (List.combine clean_observations corrupted))
+  in
+  Printf.printf "corrupted %d of 20 positive labels to clean\n" flipped;
+  let data = Because.Tomography.of_observations corrupted in
+  List.iter
+    (fun (name, epsilon) ->
+      let config =
+        { Because.Infer.default_config with
+          n_samples = 800;
+          false_negative_rate = epsilon;
+          node_priors = [ (asn 9, Because.Prior.Near_zero) ] }
+      in
+      let result =
+        Because.Infer.run ~rng:(Because_stats.Rng.create 5) ~config data
+      in
+      let marginals = Because.Posterior.combined result in
+      let m =
+        marginals.(Option.get (Because.Tomography.index_of data (asn damper)))
+      in
+      let categories = Because.Pinpoint.assign_with_pinpointing result in
+      Printf.printf
+        "%-12s (ε=%.2f): AS%d mean=%.2f HDPI=[%.2f, %.2f] → %s\n" name
+        epsilon damper m.Because.Posterior.mean m.Because.Posterior.hdpi.lo
+        m.Because.Posterior.hdpi.hi
+        (Format.asprintf "%a" Because.Categorize.pp
+           (List.assoc (asn damper) categories)))
+    [ ("base model", 0.0); ("error-aware", 0.3) ]

@@ -1,0 +1,49 @@
+(* §7 of the paper: the identical BeCAUSe algorithm, applied to a different
+   AS property — RPKI Route Origin Validation.
+
+   The paper benchmarks BeCAUSe by simulating the measurement output: real
+   AS paths are labeled ROV iff a known-ROV AS sits on them (90% positive,
+   no noise).  This example performs the same construction over synthetic
+   topology paths and shows the characteristic outcome: perfect precision,
+   recall limited by ASs "hiding" behind another ROV AS.
+
+   Run with: dune exec examples/rov_inference.exe *)
+
+open Because_bgp
+module Rov = Because_rov.Rov
+
+let asn = Asn.of_int
+let path ints = List.map asn ints
+
+let () =
+  (* Paths towards two RPKI Beacon prefixes.  AS 50 is a large validator
+     most paths cross; AS 51 and AS 52 also validate, but AS 52 only ever
+     appears behind AS 50 — tomographically invisible. *)
+  let rov_ases = Asn.Set.of_list [ asn 50; asn 51; asn 52 ] in
+  let paths =
+    List.concat
+      (List.init 15 (fun k ->
+           let leaf = 100 + k in
+           [
+             path [ leaf; 50; 9 ];
+             path [ leaf; 52; 50; 9 ];
+             path [ leaf; 51; 8; 9 ];
+             (if k mod 5 < 2 then path [ leaf; 60; 8; 9 ] else path [ leaf; 50; 8; 9 ]);
+           ]))
+  in
+  let labeled = Rov.label_paths ~paths ~rov_ases in
+  let positive = List.length (List.filter snd labeled) in
+  Printf.printf "dataset: %d paths, %.0f%% labeled ROV (paper: 90%%)\n"
+    (List.length labeled)
+    (100.0 *. float_of_int positive /. float_of_int (List.length labeled));
+
+  let rng = Because_stats.Rng.create 11 in
+  let b = Rov.benchmark ~rng ~paths ~rov_ases () in
+  Format.printf "BeCAUSe on ROV: %a@." Because.Evaluate.pp b.Rov.metrics;
+  print_string "hidden ROV ASs (expected misses):";
+  Asn.Set.iter (fun a -> Printf.printf " %s" (Asn.to_string a)) b.Rov.hidden;
+  print_newline ();
+  print_endline
+    "(an AS that only ever appears on positive paths together with another \
+     ROV AS cannot be separated by any tomographic method — the paper's \
+     recall gap)"

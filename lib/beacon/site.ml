@@ -1,0 +1,66 @@
+open Because_bgp
+
+type beacon_prefix = {
+  prefix : Prefix.t;
+  schedule : Schedule.t;
+  role : [ `Anchor | `Oscillating ];
+}
+
+type t = { site_id : int; origin : Asn.t; prefixes : beacon_prefix list }
+
+let make ~site_id ~origin ~anchor_period ?(anchor_cycles = 12) ~oscillating ()
+    =
+  let anchor =
+    {
+      prefix = Prefix.beacon ~site:site_id ~slot:0;
+      schedule =
+        Schedule.ripe_style ~period:anchor_period ~cycles:anchor_cycles ();
+      role = `Anchor;
+    }
+  in
+  let oscillating =
+    List.mapi
+      (fun i schedule ->
+        {
+          prefix = Prefix.beacon ~site:site_id ~slot:(i + 1);
+          schedule;
+          role = `Oscillating;
+        })
+      oscillating
+  in
+  { site_id; origin; prefixes = anchor :: oscillating }
+
+let install t net =
+  List.iter
+    (fun bp ->
+      List.iter
+        (fun (time, action) ->
+          match action with
+          | Schedule.Announce ->
+              Because_sim.Network.schedule_announce net ~time ~origin:t.origin
+                bp.prefix
+          | Schedule.Withdraw ->
+              Because_sim.Network.schedule_withdraw net ~time ~origin:t.origin
+                bp.prefix)
+        (Schedule.events bp.schedule))
+    t.prefixes
+
+let oscillating_prefix t ~interval =
+  List.find_map
+    (fun bp ->
+      match bp.role with
+      | `Oscillating when Float.equal (Schedule.update_interval bp.schedule) interval
+        ->
+          Some bp.prefix
+      | `Oscillating | `Anchor -> None)
+    t.prefixes
+
+let anchor_prefix t =
+  List.find_map
+    (fun bp -> match bp.role with `Anchor -> Some bp.prefix | _ -> None)
+    t.prefixes
+
+let end_time t =
+  List.fold_left
+    (fun acc bp -> Float.max acc (Schedule.end_time bp.schedule))
+    0.0 t.prefixes

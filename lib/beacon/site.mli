@@ -1,0 +1,35 @@
+(** A Beacon site: an origin AS announcing a set of Beacon prefixes on
+    controlled schedules (the paper ran seven sites, each with one anchor and
+    three oscillating /24 prefixes). *)
+
+open Because_bgp
+
+type beacon_prefix = {
+  prefix : Prefix.t;
+  schedule : Schedule.t;
+  role : [ `Anchor | `Oscillating ];
+}
+
+type t = { site_id : int; origin : Asn.t; prefixes : beacon_prefix list }
+
+val make :
+  site_id:int ->
+  origin:Asn.t ->
+  anchor_period:float ->
+  ?anchor_cycles:int ->
+  oscillating:Schedule.t list ->
+  unit ->
+  t
+(** [make ~site_id ~origin ~anchor_period ~oscillating ()] builds the site
+    with slot 0 as the anchor (RIPE-style with [anchor_period],
+    [anchor_cycles] rounds — default 12) and one slot per oscillating
+    schedule. *)
+
+val install : t -> Because_sim.Network.t -> unit
+(** Schedule every Beacon event of the site into the network. *)
+
+val oscillating_prefix : t -> interval:float -> Prefix.t option
+(** The site's oscillating prefix whose schedule uses [interval]. *)
+
+val anchor_prefix : t -> Prefix.t option
+val end_time : t -> float

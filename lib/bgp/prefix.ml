@@ -1,0 +1,77 @@
+type t = { network : int32; length : int }
+
+let mask_of_length length =
+  if length = 0 then 0l
+  else Int32.shift_left (-1l) (32 - length)
+
+let make network length =
+  if length < 0 || length > 32 then invalid_arg "Prefix.make: bad length";
+  { network = Int32.logand network (mask_of_length length); length }
+
+let of_string s =
+  match String.split_on_char '/' s with
+  | [ addr; len ] -> (
+      let octets = String.split_on_char '.' addr in
+      match (octets, int_of_string_opt len) with
+      | [ a; b; c; d ], Some length ->
+          let byte s =
+            match int_of_string_opt s with
+            | Some v when v >= 0 && v <= 255 -> v
+            | _ -> invalid_arg "Prefix.of_string: bad octet"
+          in
+          let v =
+            Int32.logor
+              (Int32.shift_left (Int32.of_int (byte a)) 24)
+              (Int32.logor
+                 (Int32.shift_left (Int32.of_int (byte b)) 16)
+                 (Int32.logor
+                    (Int32.shift_left (Int32.of_int (byte c)) 8)
+                    (Int32.of_int (byte d))))
+          in
+          make v length
+      | _ -> invalid_arg "Prefix.of_string: malformed prefix")
+  | _ -> invalid_arg "Prefix.of_string: expected addr/len"
+
+let to_string t =
+  let octet shift =
+    Int32.to_int (Int32.logand (Int32.shift_right_logical t.network shift) 255l)
+  in
+  Printf.sprintf "%d.%d.%d.%d/%d" (octet 24) (octet 16) (octet 8) (octet 0)
+    t.length
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let compare a b =
+  match Int32.unsigned_compare a.network b.network with
+  | 0 -> Int.compare a.length b.length
+  | c -> c
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+let length t = t.length
+let network t = t.network
+
+let contains outer inner =
+  outer.length <= inner.length
+  && Int32.equal
+       (Int32.logand inner.network (mask_of_length outer.length))
+       outer.network
+
+let beacon ~site ~slot =
+  if site < 0 || site > 255 || slot < 0 || slot > 255 then
+    invalid_arg "Prefix.beacon: site and slot must fit a byte";
+  make
+    (Int32.logor 0x0A000000l
+       (Int32.logor
+          (Int32.shift_left (Int32.of_int site) 16)
+          (Int32.shift_left (Int32.of_int slot) 8)))
+    24
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,32 @@
+(** IPv4 prefixes. *)
+
+type t = private { network : int32; length : int }
+
+val make : int32 -> int -> t
+(** [make network length] masks [network] to [length] bits.  [length] must
+    be within 0–32. *)
+
+val of_string : string -> t
+(** Parse dotted-quad/length notation, e.g. ["192.0.2.0/24"].  Raises
+    [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val length : t -> int
+val network : t -> int32
+
+val contains : t -> t -> bool
+(** [contains outer inner] is true when [inner] is fully covered by
+    [outer]. *)
+
+val beacon : site:int -> slot:int -> t
+(** Deterministic /24 Beacon prefix allocator: site [s], slot [k] maps to
+    [10.s.k.0/24] — mirroring the paper's layout of four prefixes (one
+    anchor + three oscillating) per Beacon site. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,92 @@
+(** An AS-level BGP speaker.
+
+    Each AS is modelled as one router holding an adj-RIB-in per neighbor
+    session, a loc-RIB, and an adj-RIB-out per neighbor, with:
+
+    - Gao–Rexford route selection (customer > peer > provider local-pref,
+      then shortest AS path, then lowest neighbor ASN);
+    - valley-free export filtering;
+    - per-session Route Flap Damping ({!Rfd}) scoped by
+      {!Policy.rfd_scope} — a suppressed session's route is invisible to the
+      decision process, which is what produces downstream withdrawals, path
+      hunting, and the delayed re-advertisement of the RFD signature;
+    - per-(neighbor, prefix) Minimum Route Advertisement Interval gating of
+      announcements (withdrawals are sent immediately, per RFC 4271).
+
+    The router is a pure event reactor: every entry point returns the
+    {!action} list the caller (normally {!Because_sim.Network}) must
+    perform — message deliveries, timer requests, and full-feed observations
+    for an attached vantage point. *)
+
+type neighbor = {
+  neighbor_asn : Asn.t;
+  relationship : Policy.relationship;
+      (** The neighbor's role relative to this AS. *)
+  mrai : float;  (** MRAI seconds for announcements to this neighbor; 0 disables. *)
+}
+
+type config = {
+  asn : Asn.t;
+  neighbors : neighbor list;
+  rfd_scope : Policy.rfd_scope;
+  rfd_params : Rfd_params.t;
+}
+
+(** The loc-RIB entry for a prefix. *)
+type best =
+  | Origin of Update.aggregator option  (** Self-originated. *)
+  | Via of {
+      from_asn : Asn.t;
+      relationship : Policy.relationship;
+      as_path : Asn.t list;  (** As received (neighbor first). *)
+      aggregator : Update.aggregator option;
+    }
+
+type action =
+  | Send of { to_asn : Asn.t; update : Update.t }
+      (** Deliver [update] over the session to [to_asn]. *)
+  | Set_reuse_timer of { neighbor : Asn.t; prefix : Prefix.t; at : float }
+      (** Ask to be called back via {!handle_reuse_check} at time [at]. *)
+  | Set_mrai_timer of { neighbor : Asn.t; prefix : Prefix.t; at : float }
+      (** Ask to be called back via {!handle_mrai_expiry} at time [at]. *)
+  | Feed of Update.t
+      (** What a full-feed customer session (a route-collector vantage point)
+          observes at this instant: the loc-RIB change with this AS
+          prepended. *)
+
+type t
+
+val create : config -> t
+val asn : t -> Asn.t
+val config : t -> config
+
+val handle_update : t -> now:float -> from:Asn.t -> Update.t -> action list
+(** Process one update received from a configured neighbor.  Raises
+    [Invalid_argument] if [from] is not a neighbor. *)
+
+val originate :
+  t -> now:float -> ?aggregator:Update.aggregator -> Prefix.t -> action list
+(** (Re-)announce a locally originated prefix.  Repeated calls with fresh
+    aggregator timestamps model Beacon announcements. *)
+
+val withdraw_origin : t -> now:float -> Prefix.t -> action list
+
+val handle_reuse_check :
+  t -> now:float -> neighbor:Asn.t -> prefix:Prefix.t -> action list
+(** Fired by a [Set_reuse_timer] request: releases the session's route if the
+    penalty has decayed below the reuse threshold (re-advertising downstream),
+    otherwise re-arms the timer. *)
+
+val handle_mrai_expiry :
+  t -> now:float -> neighbor:Asn.t -> prefix:Prefix.t -> action list
+(** Fired by a [Set_mrai_timer] request: flushes a pending announcement. *)
+
+val best_route : t -> Prefix.t -> best option
+(** Current loc-RIB entry. *)
+
+val rfd_state : t -> neighbor:Asn.t -> prefix:Prefix.t -> Rfd.t option
+(** The damping state of a session, if RFD applies and the session has seen
+    updates.  Exposed for tests and the Fig. 2 reproduction. *)
+
+val is_suppressing : t -> now:float -> bool
+(** True if any session of this router currently suppresses a prefix. *)

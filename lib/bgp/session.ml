@@ -1,0 +1,153 @@
+type state =
+  | Idle
+  | Connect
+  | Active
+  | Open_sent
+  | Open_confirm
+  | Established
+
+type event =
+  | Manual_start
+  | Manual_stop
+  | Transport_connected
+  | Transport_failed
+  | Open_received of { peer_asn : Asn.t; hold_time : float }
+  | Keepalive_received
+  | Update_received
+  | Notification_received
+  | Hold_timer_expired
+  | Keepalive_timer_expired
+  | Connect_retry_expired
+
+type action =
+  | Initiate_transport
+  | Close_transport
+  | Send_open
+  | Send_keepalive
+  | Send_notification of string
+  | Start_hold_timer of float
+  | Start_keepalive_timer of float
+  | Start_connect_retry_timer of float
+  | Session_up
+  | Session_down of string
+
+type config = { my_asn : Asn.t; hold_time : float; connect_retry : float }
+
+let default_config my_asn =
+  { my_asn; hold_time = 90.0; connect_retry = 120.0 }
+
+type t = {
+  cfg : config;
+  state : state;
+  peer : Asn.t option;
+  hold : float option;  (* negotiated hold time *)
+}
+
+let create cfg = { cfg; state = Idle; peer = None; hold = None }
+let state t = t.state
+let peer t = t.peer
+let negotiated_hold_time t = t.hold
+
+(* Keepalives run at a third of the hold time, per RFC 4271's suggestion. *)
+let keepalive_interval hold = hold /. 3.0
+
+let reset ?(reason = "FSM error") ?(was_established = false) t =
+  let actions =
+    Close_transport :: (if was_established then [ Session_down reason ] else [])
+  in
+  ({ t with state = Idle; peer = None; hold = None }, actions)
+
+let handle t event =
+  match (t.state, event) with
+  (* --- Idle --- *)
+  | Idle, Manual_start ->
+      ( { t with state = Connect },
+        [ Initiate_transport; Start_connect_retry_timer t.cfg.connect_retry ] )
+  | Idle, (Manual_stop | Transport_failed | Notification_received) -> (t, [])
+  (* --- Connect --- *)
+  | Connect, Transport_connected ->
+      ({ t with state = Open_sent }, [ Send_open; Start_hold_timer 240.0 ])
+  | Connect, Transport_failed ->
+      ( { t with state = Active },
+        [ Start_connect_retry_timer t.cfg.connect_retry ] )
+  | Connect, Connect_retry_expired ->
+      ( t,
+        [ Close_transport; Initiate_transport;
+          Start_connect_retry_timer t.cfg.connect_retry ] )
+  | Connect, Manual_stop -> reset ~reason:"manual stop" t
+  (* --- Active --- *)
+  | Active, Connect_retry_expired ->
+      ( { t with state = Connect },
+        [ Initiate_transport; Start_connect_retry_timer t.cfg.connect_retry ] )
+  | Active, Transport_connected ->
+      ({ t with state = Open_sent }, [ Send_open; Start_hold_timer 240.0 ])
+  | Active, Manual_stop -> reset ~reason:"manual stop" t
+  | Active, Transport_failed ->
+      (t, [ Start_connect_retry_timer t.cfg.connect_retry ])
+  (* --- OpenSent --- *)
+  | Open_sent, Open_received { peer_asn; hold_time } ->
+      let negotiated = Float.min t.cfg.hold_time hold_time in
+      let timer_actions =
+        if negotiated > 0.0 then
+          [ Start_hold_timer negotiated;
+            Start_keepalive_timer (keepalive_interval negotiated) ]
+        else []
+      in
+      ( { t with state = Open_confirm; peer = Some peer_asn;
+          hold = Some negotiated },
+        Send_keepalive :: timer_actions )
+  | Open_sent, Transport_failed ->
+      ( { t with state = Active },
+        [ Start_connect_retry_timer t.cfg.connect_retry ] )
+  | Open_sent, Hold_timer_expired ->
+      let t', actions = reset ~reason:"hold timer" t in
+      (t', Send_notification "hold timer expired" :: actions)
+  | Open_sent, Manual_stop ->
+      let t', actions = reset ~reason:"manual stop" t in
+      (t', Send_notification "cease" :: actions)
+  (* --- OpenConfirm --- *)
+  | Open_confirm, Keepalive_received ->
+      (match t.hold with
+      | Some hold when hold > 0.0 ->
+          ({ t with state = Established }, [ Session_up; Start_hold_timer hold ])
+      | _ -> ({ t with state = Established }, [ Session_up ]))
+  | Open_confirm, Keepalive_timer_expired -> (
+      ( t,
+        Send_keepalive
+        ::
+        (match t.hold with
+        | Some hold when hold > 0.0 ->
+            [ Start_keepalive_timer (keepalive_interval hold) ]
+        | _ -> []) ))
+  | Open_confirm, Hold_timer_expired ->
+      let t', actions = reset ~reason:"hold timer" t in
+      (t', Send_notification "hold timer expired" :: actions)
+  | Open_confirm, (Transport_failed | Notification_received) ->
+      reset ~reason:"transport lost" t
+  | Open_confirm, Manual_stop ->
+      let t', actions = reset ~reason:"manual stop" t in
+      (t', Send_notification "cease" :: actions)
+  (* --- Established --- *)
+  | Established, (Update_received | Keepalive_received) -> (
+      ( t,
+        match t.hold with
+        | Some hold when hold > 0.0 -> [ Start_hold_timer hold ]
+        | _ -> [] ))
+  | Established, Keepalive_timer_expired -> (
+      ( t,
+        Send_keepalive
+        ::
+        (match t.hold with
+        | Some hold when hold > 0.0 ->
+            [ Start_keepalive_timer (keepalive_interval hold) ]
+        | _ -> []) ))
+  | Established, Hold_timer_expired ->
+      let t', actions = reset ~was_established:true ~reason:"hold timer" t in
+      (t', Send_notification "hold timer expired" :: actions)
+  | Established, (Transport_failed | Notification_received) ->
+      reset ~was_established:true ~reason:"session lost" t
+  | Established, Manual_stop ->
+      let t', actions = reset ~was_established:true ~reason:"manual stop" t in
+      (t', Send_notification "cease" :: actions)
+  (* --- FSM errors: anything else drops to Idle. --- *)
+  | state, _ -> reset ~was_established:(state = Established) t

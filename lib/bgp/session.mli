@@ -1,0 +1,68 @@
+(** The BGP finite-state machine (RFC 4271 §8).
+
+    The AS-level simulator treats sessions as always-established; this module
+    supplies the session layer a full BGP implementation needs — the
+    Idle → Connect → Active → OpenSent → OpenConfirm → Established machine
+    with its timers — and is what a future packet-level mode (and the
+    session-reset noise model) hangs off.
+
+    The machine is pure: {!handle} consumes an event and returns the new
+    state plus the actions the caller must perform (send a message, arm a
+    timer, tear down the transport).  Timers are the caller's job; expiry is
+    delivered back as an event. *)
+
+type state =
+  | Idle
+  | Connect
+  | Active
+  | Open_sent
+  | Open_confirm
+  | Established
+
+type event =
+  | Manual_start
+  | Manual_stop
+  | Transport_connected       (** TCP session came up. *)
+  | Transport_failed          (** TCP failed or was torn down. *)
+  | Open_received of { peer_asn : Asn.t; hold_time : float }
+  | Keepalive_received
+  | Update_received
+  | Notification_received
+  | Hold_timer_expired
+  | Keepalive_timer_expired
+  | Connect_retry_expired
+
+type action =
+  | Initiate_transport
+  | Close_transport
+  | Send_open
+  | Send_keepalive
+  | Send_notification of string
+  | Start_hold_timer of float
+  | Start_keepalive_timer of float
+  | Start_connect_retry_timer of float
+  | Session_up                (** Routes may now be exchanged. *)
+  | Session_down of string    (** Drop all routes learned on this session. *)
+
+type config = {
+  my_asn : Asn.t;
+  hold_time : float;        (** Proposed hold time (default 90 s). *)
+  connect_retry : float;    (** ConnectRetry timer (default 120 s). *)
+}
+
+val default_config : Asn.t -> config
+
+type t
+
+val create : config -> t
+val state : t -> state
+val peer : t -> Asn.t option
+(** The peer's ASN once an OPEN has been accepted. *)
+
+val negotiated_hold_time : t -> float option
+(** Minimum of ours and the peer's, once negotiated (0 disables). *)
+
+val handle : t -> event -> t * action list
+(** Pure transition.  Unexpected events in a state fall back to Idle with
+    [Close_transport]/[Session_down] as RFC 4271 prescribes for FSM errors
+    (collapsing its NOTIFICATION sub-cases). *)

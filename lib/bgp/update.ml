@@ -1,0 +1,58 @@
+type aggregator = { aggregator_asn : Asn.t; sent_at : float; valid : bool }
+
+type t =
+  | Announce of {
+      prefix : Prefix.t;
+      as_path : Asn.t list;
+      aggregator : aggregator option;
+    }
+  | Withdraw of { prefix : Prefix.t }
+
+let prefix = function
+  | Announce { prefix; _ } -> prefix
+  | Withdraw { prefix } -> prefix
+
+let is_announce = function Announce _ -> true | Withdraw _ -> false
+
+let as_path = function
+  | Announce { as_path; _ } -> Some as_path
+  | Withdraw _ -> None
+
+let aggregator = function
+  | Announce { aggregator; _ } -> aggregator
+  | Withdraw _ -> None
+
+let prepend asn = function
+  | Announce a -> Announce { a with as_path = asn :: a.as_path }
+  | Withdraw _ as w -> w
+
+let path_contains asn = function
+  | Announce { as_path; _ } -> List.exists (Asn.equal asn) as_path
+  | Withdraw _ -> false
+
+let aggregator_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y ->
+      Asn.equal x.aggregator_asn y.aggregator_asn
+      && Float.equal x.sent_at y.sent_at && Bool.equal x.valid y.valid
+  | None, Some _ | Some _, None -> false
+
+let equal a b =
+  match (a, b) with
+  | Announce x, Announce y ->
+      Prefix.equal x.prefix y.prefix
+      && List.length x.as_path = List.length y.as_path
+      && List.for_all2 Asn.equal x.as_path y.as_path
+      && aggregator_equal x.aggregator y.aggregator
+  | Withdraw x, Withdraw y -> Prefix.equal x.prefix y.prefix
+  | Announce _, Withdraw _ | Withdraw _, Announce _ -> false
+
+let pp fmt = function
+  | Announce { prefix; as_path; _ } ->
+      Format.fprintf fmt "A %a [%a]" Prefix.pp prefix
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+           Asn.pp)
+        as_path
+  | Withdraw { prefix } -> Format.fprintf fmt "W %a" Prefix.pp prefix

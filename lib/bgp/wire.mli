@@ -1,0 +1,36 @@
+(** RFC 4271 BGP UPDATE wire format.
+
+    Encodes {!Update.t} to the bytes a BGP speaker would put on the wire and
+    decodes them back.  Faithful to the paper's measurement trick: the Beacon
+    send time is carried in the AGGREGATOR attribute's IPv4 field as a 32-bit
+    second counter (exactly how the RIPE Beacons encode timestamps), and a
+    corrupted aggregator is encoded as 0.0.0.0 — the "empty, invalid
+    aggregator IP" the paper had to discard.
+
+    Supported path attributes: ORIGIN (1), AS_PATH (2, one AS_SEQUENCE
+    segment with four-octet ASNs per RFC 6793), NEXT_HOP (3) and
+    AGGREGATOR (7, four-octet ASN form).  Unknown optional attributes are
+    skipped on decode; unknown well-known attributes are an error. *)
+
+type error =
+  | Truncated of string        (** Input ended inside the named field. *)
+  | Bad_marker                 (** Header marker is not all-ones. *)
+  | Bad_message_type of int    (** Not an UPDATE (type 2). *)
+  | Bad_attribute of string    (** Malformed path attribute. *)
+  | Trailing_bytes of int      (** Message shorter than its payload. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : Update.t -> bytes
+(** The complete BGP message: 16-byte marker, length, type 2, UPDATE body.
+    Announcements carry ORIGIN IGP, the AS path, NEXT_HOP 0.0.0.0 and, when
+    present, the AGGREGATOR with the encoded timestamp; withdrawals carry
+    the prefix in the withdrawn-routes field. *)
+
+val decode : bytes -> (Update.t, error) result
+(** Inverse of {!encode}.  [decode (encode u)] returns an update equal to
+    [u] up to timestamp quantisation (whole seconds). *)
+
+val encode_many : Update.t list -> bytes
+val decode_many : bytes -> (Update.t list, error) result
+(** Concatenated messages, as they appear in a BGP session stream. *)

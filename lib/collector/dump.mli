@@ -1,0 +1,34 @@
+(** Update dumps: the MRT-like records the analysis pipeline consumes.
+
+    {!of_network} turns the monitored full feeds of a finished simulation
+    into per-vantage-point dump records, adding project-specific export
+    latency and applying {!Noise}. *)
+
+open Because_bgp
+
+type record = {
+  received_at : float;  (** When the host AS's loc-RIB changed. *)
+  export_at : float;    (** When the record appears in the project dump. *)
+  vp : Vantage.t;
+  update : Update.t;
+}
+
+val of_network :
+  Because_stats.Rng.t ->
+  Because_sim.Network.t ->
+  vantages:Vantage.t list ->
+  noise:Noise.params ->
+  campaign_end:float ->
+  record list
+(** All records across all vantage points, sorted by [export_at]. *)
+
+val for_prefix_vp : record list -> Prefix.t -> int -> record list
+(** Records of one (prefix, vantage point) pair, chronological. *)
+
+val prefixes : record list -> Prefix.Set.t
+val vp_ids : record list -> int list
+
+val announcements_with_valid_aggregator : record list -> record list
+(** The paper's cleaning step: discard announcements whose aggregator IP is
+    missing or invalid (their encoded send timestamp is unusable).
+    Withdrawals are kept. *)

@@ -1,0 +1,34 @@
+module Rng = Because_stats.Rng
+module Dist = Because_stats.Dist
+
+type t = Ris | Routeviews | Isolario
+
+let all = [ Ris; Routeviews; Isolario ]
+
+let name = function
+  | Ris -> "RIPE RIS"
+  | Routeviews -> "RouteViews"
+  | Isolario -> "Isolario"
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+let equal a b =
+  match (a, b) with
+  | Ris, Ris | Routeviews, Routeviews | Isolario, Isolario -> true
+  | (Ris | Routeviews | Isolario), _ -> false
+
+let export_delay rng t ~sent_to_received =
+  match t with
+  | Routeviews ->
+      (* Export lands almost exactly 50 s after the Beacon send time. *)
+      Float.max 0.0 (50.0 -. sent_to_received)
+      +. Dist.uniform rng ~lo:0.0 ~hi:2.0
+  | Isolario ->
+      (* Within 30 s of the send for (almost) all vantage points. *)
+      Float.max 0.0
+        (Float.min
+           (Dist.uniform rng ~lo:2.0 ~hi:25.0)
+           (30.0 -. sent_to_received))
+  | Ris ->
+      (* Diverse: a wide exponential spread. *)
+      Float.min 120.0 (Dist.exponential rng ~rate:(1.0 /. 25.0))

@@ -1,0 +1,20 @@
+(** Route-collector projects.
+
+    The paper consumes dumps from three projects — RIPE RIS, RouteViews and
+    Isolario — whose vantage points exhibit distinct export-latency behaviour
+    (Fig. 8): RouteViews peers export almost exactly 50 s after the Beacon
+    send time, Isolario peers within 30 s, and RIS peers are diverse. *)
+
+type t = Ris | Routeviews | Isolario
+
+val all : t list
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val export_delay :
+  Because_stats.Rng.t -> t -> sent_to_received:float -> float
+(** Additional delay between a vantage point receiving an update and the
+    update appearing in the project's dump.  [sent_to_received] is the
+    propagation time so far (Beacon send → vantage point), used by the
+    RouteViews model to hit its characteristic 50-second total. *)

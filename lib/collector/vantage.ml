@@ -1,0 +1,43 @@
+open Because_bgp
+module Rng = Because_stats.Rng
+
+type t = { vp_id : int; host_asn : Asn.t; project : Project.t }
+
+let make ~vp_id ~host_asn ~project = { vp_id; host_asn; project }
+
+let pp fmt t =
+  Format.fprintf fmt "vp%d(%a@%s)" t.vp_id Asn.pp t.host_asn
+    (Project.name t.project)
+
+let hosts vps =
+  List.fold_left (fun acc vp -> Asn.Set.add vp.host_asn acc) Asn.Set.empty vps
+
+let assign rng ~hosts ~per_project_share =
+  if List.length per_project_share <> List.length Project.all then
+    invalid_arg "Vantage.assign: one share per project required";
+  let next_id = ref 0 in
+  List.concat_map
+    (fun host ->
+      let sessions =
+        List.concat
+          (List.map2
+             (fun project share ->
+               if Rng.float rng < share then begin
+                 let vp =
+                   make ~vp_id:!next_id ~host_asn:host ~project
+                 in
+                 incr next_id;
+                 [ vp ]
+               end
+               else [])
+             Project.all per_project_share)
+      in
+      match sessions with
+      | [] ->
+          (* Guarantee at least one session per host. *)
+          let project = Rng.choice rng (Array.of_list Project.all) in
+          let vp = make ~vp_id:!next_id ~host_asn:host ~project in
+          incr next_id;
+          [ vp ]
+      | _ -> sessions)
+    hosts

@@ -1,0 +1,24 @@
+(** Vantage points: full-feed peering sessions between an AS and a
+    route-collector project. *)
+
+open Because_bgp
+
+type t = {
+  vp_id : int;             (** Unique within a measurement setup. *)
+  host_asn : Asn.t;        (** The AS exporting its full feed. *)
+  project : Project.t;
+}
+
+val make : vp_id:int -> host_asn:Asn.t -> project:Project.t -> t
+val pp : Format.formatter -> t -> unit
+
+val hosts : t list -> Asn.Set.t
+(** Set of ASs hosting at least one vantage point — the set the simulator
+    must monitor. *)
+
+val assign :
+  Because_stats.Rng.t -> hosts:Asn.t list -> per_project_share:float list -> t list
+(** [assign rng ~hosts ~per_project_share] attaches each host AS to one or
+    more projects: shares (summing to ≤ 3.0, one per project in
+    {!Project.all} order) give the probability that a host peers with each
+    project.  Every host receives at least one session. *)

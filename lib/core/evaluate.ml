@@ -1,0 +1,47 @@
+open Because_bgp
+
+type metrics = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;
+  true_negatives : int;
+  precision : float;
+  recall : float;
+  f1 : float;
+}
+
+let of_sets ~predicted ~truth ~universe =
+  let predicted = Asn.Set.inter predicted universe in
+  let truth = Asn.Set.inter truth universe in
+  let tp = Asn.Set.cardinal (Asn.Set.inter predicted truth) in
+  let fp = Asn.Set.cardinal (Asn.Set.diff predicted truth) in
+  let fn = Asn.Set.cardinal (Asn.Set.diff truth predicted) in
+  let tn = Asn.Set.cardinal universe - tp - fp - fn in
+  let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den in
+  let precision = ratio tp (tp + fp) in
+  let recall = ratio tp (tp + fn) in
+  let f1 =
+    if precision +. recall = 0.0 then 0.0
+    else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  {
+    true_positives = tp;
+    false_positives = fp;
+    false_negatives = fn;
+    true_negatives = tn;
+    precision;
+    recall;
+    f1;
+  }
+
+let damping_set categories =
+  List.fold_left
+    (fun acc (asn, c) ->
+      if Categorize.damping c then Asn.Set.add asn acc else acc)
+    Asn.Set.empty categories
+
+let pp fmt m =
+  Format.fprintf fmt
+    "precision=%.1f%% recall=%.1f%% (tp=%d fp=%d fn=%d tn=%d)"
+    (100.0 *. m.precision) (100.0 *. m.recall) m.true_positives
+    m.false_positives m.false_negatives m.true_negatives

@@ -1,0 +1,24 @@
+(** Precision/recall evaluation against ground truth (§6.3, Table 4). *)
+
+open Because_bgp
+
+type metrics = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;
+  true_negatives : int;
+  precision : float;  (** 1.0 when no positives were predicted. *)
+  recall : float;     (** 1.0 when there is nothing to recall. *)
+  f1 : float;
+}
+
+val of_sets :
+  predicted:Asn.Set.t -> truth:Asn.Set.t -> universe:Asn.Set.t -> metrics
+(** Evaluate a predicted positive set against the true positive set over a
+    universe of evaluated ASs.  Members of [predicted]/[truth] outside
+    [universe] are ignored. *)
+
+val damping_set : (Asn.t * Categorize.t) list -> Asn.Set.t
+(** The ASs flagged Category 4 or 5. *)
+
+val pp : Format.formatter -> metrics -> unit

@@ -1,0 +1,73 @@
+module Chain = Because_mcmc.Chain
+module Metropolis = Because_mcmc.Metropolis
+module Hmc = Because_mcmc.Hmc
+
+type config = {
+  n_samples : int;
+  burn_in : int;
+  thin : int;
+  prior : Prior.t;
+  node_priors : (Because_bgp.Asn.t * Prior.t) list;
+  false_negative_rate : float;
+  leapfrog_steps : int;
+  run_mh : bool;
+  run_hmc : bool;
+}
+
+let default_config =
+  {
+    n_samples = 1000;
+    burn_in = 500;
+    thin = 1;
+    prior = Prior.default;
+    node_priors = [];
+    false_negative_rate = 0.0;
+    leapfrog_steps = 12;
+    run_mh = true;
+    run_hmc = true;
+  }
+
+type sampler_run = { name : string; chain : Chain.t; acceptance : float }
+type result = { model : Model.t; runs : sampler_run list }
+
+let run ~rng ?(config = default_config) data =
+  if not (config.run_mh || config.run_hmc) then
+    invalid_arg "Infer.run: at least one sampler must be enabled";
+  let model =
+    Model.create ~prior:config.prior ~node_priors:config.node_priors
+      ~false_negative_rate:config.false_negative_rate data
+  in
+  let target = Model.target model in
+  let runs = ref [] in
+  if config.run_mh then begin
+    let r =
+      Metropolis.run_single_site ~rng:(Because_stats.Rng.split rng)
+        ~thin:config.thin ~n_samples:config.n_samples ~burn_in:config.burn_in
+        target
+    in
+    runs :=
+      { name = "MH"; chain = r.Metropolis.chain;
+        acceptance = r.Metropolis.acceptance }
+      :: !runs
+  end;
+  if config.run_hmc then begin
+    let r =
+      Hmc.run ~rng:(Because_stats.Rng.split rng)
+        ~leapfrog_steps:config.leapfrog_steps ~thin:config.thin
+        ~n_samples:config.n_samples ~burn_in:config.burn_in target
+    in
+    runs :=
+      { name = "HMC"; chain = r.Hmc.chain; acceptance = r.Hmc.acceptance }
+      :: !runs
+  end;
+  { model; runs = List.rev !runs }
+
+let combined_chain result =
+  match result.runs with
+  | [] -> invalid_arg "Infer.combined_chain: no sampler runs"
+  | first :: rest ->
+      List.fold_left
+        (fun acc run -> Chain.append acc run.chain)
+        first.chain rest
+
+let dataset result = Model.dataset result.model

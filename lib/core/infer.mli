@@ -1,0 +1,42 @@
+(** Posterior sampling orchestration: run Metropolis–Hastings and Hamiltonian
+    Monte Carlo on a tomography dataset and collect their chains.
+
+    The paper runs both samplers and, when categorising, keeps the highest
+    flag either assigns — so both are enabled by default. *)
+
+type config = {
+  n_samples : int;       (** Retained draws per sampler. *)
+  burn_in : int;         (** Adaptation iterations discarded per sampler. *)
+  thin : int;
+  prior : Prior.t;
+  node_priors : (Because_bgp.Asn.t * Prior.t) list;
+  false_negative_rate : float;
+      (** §7.2 error-aware likelihood; 0 recovers the base model. *)
+  leapfrog_steps : int;  (** HMC trajectory length. *)
+  run_mh : bool;
+  run_hmc : bool;
+}
+
+val default_config : config
+(** 1000 samples after 500 burn-in, no thinning, {!Prior.default}, 12
+    leapfrog steps, both samplers. *)
+
+type sampler_run = {
+  name : string;
+  chain : Because_mcmc.Chain.t;
+  acceptance : float;
+}
+
+type result = {
+  model : Model.t;
+  runs : sampler_run list;  (** One entry per enabled sampler. *)
+}
+
+val run :
+  rng:Because_stats.Rng.t -> ?config:config -> Tomography.t -> result
+
+val combined_chain : result -> Because_mcmc.Chain.t
+(** All retained draws across samplers appended (used for point estimates
+    where sampler identity does not matter, e.g. pinpointing). *)
+
+val dataset : result -> Tomography.t

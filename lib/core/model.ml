@@ -1,0 +1,120 @@
+module Special = Because_stats.Special
+module Target = Because_mcmc.Target
+
+type t = {
+  data : Tomography.t;
+  priors : Prior.t array;  (* one per node index *)
+  epsilon : float;         (* false-negative rate of the labeling *)
+}
+
+let eps = 1e-9
+
+let clamp p = Float.max eps (Float.min (1.0 -. eps) p)
+
+let create ?(prior = Prior.default) ?(node_priors = [])
+    ?(false_negative_rate = 0.0) data =
+  if false_negative_rate < 0.0 || false_negative_rate >= 1.0 then
+    invalid_arg "Model.create: false_negative_rate outside [0, 1)";
+  let priors = Array.make (Tomography.n_nodes data) prior in
+  List.iter
+    (fun (asn, node_prior) ->
+      match Tomography.index_of data asn with
+      | Some i -> priors.(i) <- node_prior
+      | None -> ())
+    node_priors;
+  { data; priors; epsilon = false_negative_rate }
+
+let dataset t = t.data
+
+(* Σ ln qᵢ over the nodes of path j, with p read through [value]. *)
+let path_log_q t value j =
+  let nodes = Tomography.path t.data j in
+  let s = ref 0.0 in
+  Array.iter (fun i -> s := !s +. Float.log1p (-.clamp (value i))) nodes;
+  !s
+
+(* Per-path log probability from S = Σ ln qᵢ.
+   Positive label: ln(1−ε) + ln(1 − e^S).
+   Clean label:    ln(ε + (1−ε)·e^S). *)
+let path_term t label s =
+  if label then
+    (if t.epsilon = 0.0 then 0.0 else Float.log1p (-.t.epsilon))
+    +. Special.log1mexp s
+  else if t.epsilon = 0.0 then s
+  else Float.log (t.epsilon +. ((1.0 -. t.epsilon) *. Float.exp s))
+
+let path_log_prob t p j =
+  let s = path_log_q t (fun i -> p.(i)) j in
+  path_term t (Tomography.label t.data j) s
+
+let log_likelihood t p =
+  let acc = ref 0.0 in
+  for j = 0 to Tomography.n_paths t.data - 1 do
+    acc := !acc +. path_log_prob t p j
+  done;
+  !acc
+
+let log_prior t p =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i prior -> acc := !acc +. Prior.log_pdf prior (clamp p.(i)))
+    t.priors;
+  !acc
+
+let log_posterior t p = log_likelihood t p +. log_prior t p
+
+let grad_log_posterior t p =
+  let n = Tomography.n_nodes t.data in
+  let g = Array.make n 0.0 in
+  Array.iteri (fun i prior -> g.(i) <- Prior.grad_log_pdf prior (clamp p.(i)))
+    t.priors;
+  for j = 0 to Tomography.n_paths t.data - 1 do
+    let nodes = Tomography.path t.data j in
+    let s = path_log_q t (fun i -> p.(i)) j in
+    if Tomography.label t.data j then begin
+      (* ∂/∂pᵢ ln(1 − e^S) = (e^S / (1 − e^S)) / qᵢ = 1 / (expm1(−S) · qᵢ);
+         the ln(1−ε) offset is constant in p. *)
+      let ratio = 1.0 /. Float.expm1 (-.s) in
+      Array.iter
+        (fun i -> g.(i) <- g.(i) +. (ratio /. (1.0 -. clamp p.(i))))
+        nodes
+    end
+    else begin
+      (* ∂/∂pᵢ ln(ε + (1−ε)e^S) = −(1−ε)e^S / ((ε + (1−ε)e^S) · qᵢ). *)
+      let weight =
+        if t.epsilon = 0.0 then 1.0
+        else begin
+          let q_path = Float.exp s in
+          (1.0 -. t.epsilon) *. q_path
+          /. (t.epsilon +. ((1.0 -. t.epsilon) *. q_path))
+        end
+      in
+      Array.iter
+        (fun i -> g.(i) <- g.(i) -. (weight /. (1.0 -. clamp p.(i))))
+        nodes
+    end
+  done;
+  g
+
+let delta_log_posterior t p i v =
+  let v = clamp v in
+  let prior_delta =
+    Prior.log_pdf t.priors.(i) v -. Prior.log_pdf t.priors.(i) (clamp p.(i))
+  in
+  let read_new k = if k = i then v else p.(k) in
+  let acc = ref prior_delta in
+  Array.iter
+    (fun j ->
+      let label = Tomography.label t.data j in
+      let s_old = path_log_q t (fun k -> p.(k)) j in
+      let s_new = path_log_q t read_new j in
+      acc := !acc +. path_term t label s_new -. path_term t label s_old)
+    (Tomography.paths_through t.data i);
+  !acc
+
+let target t =
+  Target.create
+    ~grad:(grad_log_posterior t)
+    ~delta:(delta_log_posterior t)
+    ~dim:(Tomography.n_nodes t.data)
+    ~support:Target.Unit_interval (log_posterior t)

@@ -1,0 +1,54 @@
+(** The BeCAUSe likelihood model (§3.1, equations 4–6).
+
+    Each AS [i] applies the property to a proportion [pᵢ] of routes
+    ([qᵢ = 1 − pᵢ]).  A path shows the property unless every AS on it stays
+    silent, so
+
+    - P(path ∣ p) = ∏ᵢ qᵢ            if the path does {e not} show it,
+    - P(path ∣ p) = 1 − ∏ᵢ qᵢ        if it does,
+
+    and the data likelihood is the product over paths.  Everything is
+    computed in log space: with Sⱼ = Σᵢ ln qᵢ the positive-path term is
+    ln(1 − e^{Sⱼ}), evaluated by [log1mexp].
+
+    The model exposes the joint log posterior, its analytic gradient (for
+    HMC), and a single-site delta that touches only the paths through the
+    changed AS (for single-site MH). *)
+
+type t
+
+val create :
+  ?prior:Prior.t ->
+  ?node_priors:(Because_bgp.Asn.t * Prior.t) list ->
+  ?false_negative_rate:float ->
+  Tomography.t ->
+  t
+(** [node_priors] overrides the shared [prior] (default {!Prior.default})
+    for specific ASs — e.g. {!Prior.Near_zero} for Beacon origins.
+
+    [false_negative_rate] implements the §7.2 extension: with probability ε
+    a path that does show the property is recorded as clean (e.g. the
+    re-advertisement was lost to a session reset), so
+
+    - P(labeled positive ∣ p) = (1 − ε)·(1 − ∏ qᵢ),
+    - P(labeled clean ∣ p)   = ∏ qᵢ + ε·(1 − ∏ qᵢ).
+
+    The default ε = 0 recovers the paper's base model exactly. *)
+
+val dataset : t -> Tomography.t
+
+val log_likelihood : t -> float array -> float
+val log_prior : t -> float array -> float
+val log_posterior : t -> float array -> float
+
+val grad_log_posterior : t -> float array -> float array
+
+val delta_log_posterior : t -> float array -> int -> float -> float
+(** [delta_log_posterior m p i v] = log posterior with [p.(i) = v] minus the
+    log posterior at [p], computed from only the paths through node [i]. *)
+
+val target : t -> Because_mcmc.Target.t
+(** Package as an MCMC target on the unit box with gradient and delta. *)
+
+val path_log_prob : t -> float array -> int -> float
+(** Log probability of a single observation under [p] (exposed for tests). *)

@@ -1,0 +1,93 @@
+open Because_bgp
+module Chain = Because_mcmc.Chain
+
+type promotion = {
+  asn : Asn.t;
+  node : int;
+  path_index : int;
+  posterior_prob : float;
+}
+
+let default_threshold = 0.8
+let default_min_support = 2
+
+let promotions ?(threshold = default_threshold)
+    ?(min_support = default_min_support) result ~categories =
+  let data = Infer.dataset result in
+  let chain = Infer.combined_chain result in
+  let n_draws = Chain.length chain in
+  let category_of = Hashtbl.create 64 in
+  List.iter
+    (fun (asn, c) -> Hashtbl.replace category_of asn c)
+    categories;
+  let flagged i =
+    match Hashtbl.find_opt category_of (Tomography.node data i) with
+    | Some c -> Categorize.damping c
+    | None -> false
+  in
+  (* Per candidate node: the unexplained RFD paths on which it is the most
+     likely damper.  Promotion needs [min_support] independent paths — one
+     noisy label must not be able to promote an AS on its own. *)
+  let support : (int, (int * float) list) Hashtbl.t = Hashtbl.create 8 in
+  for j = 0 to Tomography.n_paths data - 1 do
+    if Tomography.label data j then begin
+      let nodes = Tomography.path data j in
+      if not (Array.exists flagged nodes) then begin
+        (* Count, per node on the path, how often it is the draw's argmax. *)
+        let wins = Array.make (Array.length nodes) 0 in
+        for k = 0 to n_draws - 1 do
+          let draw = Chain.get chain k in
+          let best = ref 0 in
+          Array.iteri
+            (fun idx node ->
+              if draw.(node) > draw.(nodes.(!best)) then best := idx)
+            nodes;
+          wins.(!best) <- wins.(!best) + 1
+        done;
+        Array.iteri
+          (fun idx node ->
+            let prob = float_of_int wins.(idx) /. float_of_int n_draws in
+            if prob > threshold then begin
+              let existing =
+                Option.value (Hashtbl.find_opt support node) ~default:[]
+              in
+              Hashtbl.replace support node ((j, prob) :: existing)
+            end)
+          nodes
+      end
+    end
+  done;
+  let results =
+    Hashtbl.fold
+      (fun node paths acc ->
+        if List.length paths >= min_support then begin
+          let path_index, posterior_prob =
+            List.fold_left
+              (fun (bj, bp) (j, p) -> if p > bp then (j, p) else (bj, bp))
+              (List.hd paths) (List.tl paths)
+          in
+          { asn = Tomography.node data node; node; path_index;
+            posterior_prob }
+          :: acc
+        end
+        else acc)
+      support []
+  in
+  List.sort (fun a b -> Int.compare a.node b.node) results
+
+let apply categories promotions =
+  let promoted =
+    List.fold_left
+      (fun acc p -> Asn.Set.add p.asn acc)
+      Asn.Set.empty promotions
+  in
+  List.map
+    (fun (asn, c) ->
+      if Asn.Set.mem asn promoted then (asn, Categorize.max_ c Categorize.C4)
+      else (asn, c))
+    categories
+
+let assign_with_pinpointing ?threshold ?min_support result =
+  let categories = Categorize.assign result in
+  let promos = promotions ?threshold ?min_support result ~categories in
+  apply categories promos

@@ -1,0 +1,39 @@
+open Because_bgp
+module Chain = Because_mcmc.Chain
+module Summary = Because_stats.Summary
+module Hdpi = Because_stats.Hdpi
+
+type marginal = {
+  asn : Asn.t;
+  index : int;
+  mean : float;
+  hdpi : Hdpi.t;
+  certainty : float;
+  samples : float array;
+}
+
+let marginal ?(mass = 0.95) data chain i =
+  let samples = Chain.marginal chain i in
+  let hdpi = Hdpi.compute ~mass samples in
+  {
+    asn = Tomography.node data i;
+    index = i;
+    mean = Summary.mean samples;
+    hdpi;
+    certainty = 1.0 -. Hdpi.width hdpi;
+    samples;
+  }
+
+let marginals ?mass data chain =
+  Array.init (Tomography.n_nodes data) (marginal ?mass data chain)
+
+let per_sampler ?mass result =
+  let data = Infer.dataset result in
+  List.map
+    (fun (run : Infer.sampler_run) ->
+      (run.Infer.name, marginals ?mass data run.Infer.chain))
+    result.Infer.runs
+
+let combined ?mass result =
+  let data = Infer.dataset result in
+  marginals ?mass data (Infer.combined_chain result)

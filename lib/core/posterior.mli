@@ -1,0 +1,31 @@
+(** Marginal posterior summaries (§5.1.2).
+
+    For each AS the paper summarises the marginal distribution P(pᵢ ∣ D) by
+    its mean and its 95 % Highest Posterior Density Interval; Fig. 11 plots
+    the mean against a certainty score defined as 1 − HDPI width. *)
+
+open Because_bgp
+
+type marginal = {
+  asn : Asn.t;
+  index : int;
+  mean : float;
+  hdpi : Because_stats.Hdpi.t;
+  certainty : float;  (** 1 − HDPI width. *)
+  samples : float array;
+}
+
+val marginal :
+  ?mass:float -> Tomography.t -> Because_mcmc.Chain.t -> int -> marginal
+(** Summary of node [i] under one chain ([mass] defaults to 0.95). *)
+
+val marginals :
+  ?mass:float -> Tomography.t -> Because_mcmc.Chain.t -> marginal array
+(** One summary per node. *)
+
+val per_sampler :
+  ?mass:float -> Infer.result -> (string * marginal array) list
+(** [(sampler-name, summaries)] for each sampler run. *)
+
+val combined : ?mass:float -> Infer.result -> marginal array
+(** Summaries over all samplers' draws pooled. *)

@@ -1,0 +1,106 @@
+module Chain = Because_mcmc.Chain
+
+type path_prediction = {
+  path_index : int;
+  probability : float;
+  label : bool;
+}
+
+type calibration_bin = {
+  lo : float;
+  hi : float;
+  count : int;
+  mean_predicted : float;
+  observed_rate : float;
+}
+
+type t = {
+  predictions : path_prediction list;
+  brier : float;
+  log_score : float;
+  calibration : calibration_bin list;
+}
+
+let path_probability data chain j =
+  let nodes = Tomography.path data j in
+  let n = Chain.length chain in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    let draw = Chain.get chain k in
+    let q = ref 1.0 in
+    Array.iter (fun i -> q := !q *. (1.0 -. draw.(i))) nodes;
+    acc := !acc +. (1.0 -. !q)
+  done;
+  !acc /. float_of_int n
+
+let evaluate ?(bins = 10) result =
+  let data = Infer.dataset result in
+  let chain = Infer.combined_chain result in
+  let predictions =
+    List.init (Tomography.n_paths data) (fun j ->
+        {
+          path_index = j;
+          probability = path_probability data chain j;
+          label = Tomography.label data j;
+        })
+  in
+  let n = float_of_int (List.length predictions) in
+  let brier =
+    List.fold_left
+      (fun acc p ->
+        let y = if p.label then 1.0 else 0.0 in
+        let d = p.probability -. y in
+        acc +. (d *. d))
+      0.0 predictions
+    /. n
+  in
+  let log_score =
+    List.fold_left
+      (fun acc p ->
+        let prob =
+          Float.max 1e-9
+            (if p.label then p.probability else 1.0 -. p.probability)
+        in
+        acc +. Float.log prob)
+      0.0 predictions
+    /. n
+  in
+  let calibration =
+    List.init bins (fun b ->
+        let lo = float_of_int b /. float_of_int bins in
+        let hi = float_of_int (b + 1) /. float_of_int bins in
+        let members =
+          List.filter
+            (fun p ->
+              p.probability >= lo
+              && (p.probability < hi || (b = bins - 1 && p.probability <= hi)))
+            predictions
+        in
+        let count = List.length members in
+        let mean xs f =
+          if xs = [] then 0.0
+          else
+            List.fold_left (fun acc x -> acc +. f x) 0.0 xs
+            /. float_of_int (List.length xs)
+        in
+        {
+          lo;
+          hi;
+          count;
+          mean_predicted = mean members (fun p -> p.probability);
+          observed_rate =
+            mean members (fun p -> if p.label then 1.0 else 0.0);
+        })
+  in
+  { predictions; brier; log_score; calibration }
+
+let pp_summary fmt t =
+  Format.fprintf fmt "Brier %.4f, mean log score %.4f@." t.brier t.log_score;
+  Format.fprintf fmt "%-14s %8s %12s %10s@." "bin" "paths" "predicted"
+    "observed";
+  List.iter
+    (fun b ->
+      if b.count > 0 then
+        Format.fprintf fmt "[%.1f, %.1f)     %8d %11.2f %10.2f@." b.lo b.hi
+          b.count b.mean_predicted b.observed_rate)
+    t.calibration

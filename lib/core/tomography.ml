@@ -1,0 +1,73 @@
+open Because_bgp
+
+type t = {
+  node_of_index : Asn.t array;
+  index_of_node : int Asn.Map.t;
+  paths : int array array;
+  labels : bool array;
+  incidence : int array array;
+}
+
+let of_observations observations =
+  if observations = [] then
+    invalid_arg "Tomography.of_observations: no observations";
+  List.iter
+    (fun (path, _) ->
+      if path = [] then
+        invalid_arg "Tomography.of_observations: empty path")
+    observations;
+  (* Assign indices in order of first appearance for determinism. *)
+  let index_of_node = ref Asn.Map.empty in
+  let rev_nodes = ref [] in
+  let n = ref 0 in
+  let index_of asn =
+    match Asn.Map.find_opt asn !index_of_node with
+    | Some i -> i
+    | None ->
+        let i = !n in
+        index_of_node := Asn.Map.add asn i !index_of_node;
+        rev_nodes := asn :: !rev_nodes;
+        incr n;
+        i
+  in
+  let paths =
+    Array.of_list
+      (List.map
+         (fun (path, _) -> Array.of_list (List.map index_of path))
+         observations)
+  in
+  let labels = Array.of_list (List.map snd observations) in
+  let node_of_index = Array.of_list (List.rev !rev_nodes) in
+  let incidence_lists = Array.make !n [] in
+  Array.iteri
+    (fun j path ->
+      (* A node may appear once per path after cleaning, but be defensive
+         about duplicates. *)
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun i ->
+          if not (Hashtbl.mem seen i) then begin
+            Hashtbl.replace seen i ();
+            incidence_lists.(i) <- j :: incidence_lists.(i)
+          end)
+        path)
+    paths;
+  let incidence =
+    Array.map (fun l -> Array.of_list (List.rev l)) incidence_lists
+  in
+  { node_of_index; index_of_node = !index_of_node; paths; labels; incidence }
+
+let n_nodes t = Array.length t.node_of_index
+let n_paths t = Array.length t.paths
+let node t i = t.node_of_index.(i)
+let index_of t asn = Asn.Map.find_opt asn t.index_of_node
+let nodes t = Array.copy t.node_of_index
+let path t j = t.paths.(j)
+let label t j = t.labels.(j)
+let paths_through t i = t.incidence.(i)
+
+let rfd_path_count t =
+  Array.fold_left (fun acc l -> if l then acc + 1 else acc) 0 t.labels
+
+let positive_share t =
+  float_of_int (rfd_path_count t) /. float_of_int (n_paths t)

@@ -1,0 +1,40 @@
+(** The binary network tomography dataset (§2.3 of the paper).
+
+    Observations are [(AS path, shows-property)] pairs.  The dataset indexes
+    every AS appearing on any path and precomputes, per AS, the list of paths
+    through it — the incidence structure that makes single-site likelihood
+    updates cheap. *)
+
+open Because_bgp
+
+type t
+
+val of_observations : (Asn.t list * bool) list -> t
+(** Build from labeled paths.  Duplicate observations are kept (each is an
+    independent measurement); empty paths are rejected. *)
+
+val n_nodes : t -> int
+val n_paths : t -> int
+
+val node : t -> int -> Asn.t
+(** ASN of node index [i]. *)
+
+val index_of : t -> Asn.t -> int option
+
+val nodes : t -> Asn.t array
+
+val path : t -> int -> int array
+(** Node indices of path [j]. *)
+
+val label : t -> int -> bool
+(** [true] when path [j] shows the property (e.g. was labeled RFD). *)
+
+val paths_through : t -> int -> int array
+(** Indices of paths containing node [i]. *)
+
+val rfd_path_count : t -> int
+(** Number of positive observations. *)
+
+val positive_share : t -> float
+(** Fraction of paths labeled positive (18 % in the paper's RFD data, 90 %
+    in the ROV data). *)

@@ -1,0 +1,39 @@
+open Because_bgp
+module Label = Because_labeling.Label
+
+let scores labeled =
+  let acc = Hashtbl.create 64 in
+  let note asn share =
+    let sum, count = Option.value (Hashtbl.find_opt acc asn) ~default:(0.0, 0) in
+    Hashtbl.replace acc asn (sum +. share, count + 1)
+  in
+  List.iter
+    (fun (lp : Label.labeled_path) ->
+      if lp.Label.rfd && lp.Label.alternatives <> [] then begin
+        let n_alt = List.length lp.Label.alternatives in
+        List.iter
+          (fun asn ->
+            let avoiding =
+              List.length
+                (List.filter
+                   (fun alt -> not (List.exists (Asn.equal asn) alt))
+                   lp.Label.alternatives)
+            in
+            note asn (float_of_int avoiding /. float_of_int n_alt))
+          lp.Label.path
+      end)
+    labeled;
+  let with_scores =
+    Hashtbl.fold
+      (fun asn (sum, count) m ->
+        Asn.Map.add asn (sum /. float_of_int (Stdlib.max 1 count)) m)
+      acc Asn.Map.empty
+  in
+  (* ASs never seen on a damped path with alternatives default to 0. *)
+  List.fold_left
+    (fun m (lp : Label.labeled_path) ->
+      List.fold_left
+        (fun m asn ->
+          if Asn.Map.mem asn m then m else Asn.Map.add asn 0.0 m)
+        m lp.Label.path)
+    with_scores labeled

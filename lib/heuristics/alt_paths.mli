@@ -1,0 +1,13 @@
+(** Heuristic M2 — alternative-path avoidance (§5.2.2).
+
+    Damping reveals alternative paths through path hunting, and an AS that
+    actively damps will not appear on the alternatives that replace its
+    damped path.  For each AS we average, over the damped (vantage point,
+    prefix) observations whose primary path contains it, the share of
+    alternative paths that avoid the AS. *)
+
+open Because_bgp
+
+val scores : Because_labeling.Label.labeled_path list -> float Asn.Map.t
+(** ASs with no damped primary path, or whose damped observations revealed no
+    alternatives, score 0. *)

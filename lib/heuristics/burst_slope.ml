@@ -1,0 +1,55 @@
+open Because_bgp
+module Dump = Because_collector.Dump
+module Clean = Because_labeling.Clean
+module Regression = Because_stats.Regression
+
+let bins = 40
+
+let score_of_histogram heights =
+  let total = Array.fold_left ( +. ) 0.0 heights in
+  if total < float_of_int bins /. 4.0 then 0.0
+  else begin
+    let fit = Regression.fit_heights heights in
+    let rel = Regression.relative_change fit ~n:(Array.length heights) in
+    (* Announcements dying out ⇒ rel → −1 ⇒ score → 1. *)
+    Float.max 0.0 (Float.min 1.0 (-.rel))
+  end
+
+let histograms ~records ~windows_of =
+  let acc : (Asn.t, float array) Hashtbl.t = Hashtbl.create 64 in
+  let bump asn b =
+    let cell =
+      match Hashtbl.find_opt acc asn with
+      | Some c -> c
+      | None ->
+          let c = Array.make bins 0.0 in
+          Hashtbl.replace acc asn c;
+          c
+    in
+    cell.(b) <- cell.(b) +. 1.0
+  in
+  List.iter
+    (fun (r : Dump.record) ->
+      match Update.as_path r.Dump.update with
+      | None -> ()
+      | Some raw_path -> (
+          match Clean.clean raw_path with
+          | None -> ()
+          | Some path ->
+              let t = r.Dump.export_at in
+              let prefix = Update.prefix r.Dump.update in
+              List.iter
+                (fun (bs, be, _) ->
+                  if t >= bs && t < be && be > bs then begin
+                    let width = (be -. bs) /. float_of_int bins in
+                    let b =
+                      Stdlib.min (bins - 1) (int_of_float ((t -. bs) /. width))
+                    in
+                    List.iter (fun asn -> bump asn b) path
+                  end)
+                (windows_of prefix)))
+    records;
+  Hashtbl.fold (fun asn h m -> Asn.Map.add asn h m) acc Asn.Map.empty
+
+let scores ~records ~windows_of =
+  Asn.Map.map score_of_histogram (histograms ~records ~windows_of)

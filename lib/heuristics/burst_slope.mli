@@ -1,0 +1,29 @@
+(** Heuristic M3 — announcement distribution across Bursts (§5.2.3, Fig. 10).
+
+    A damping AS forwards fewer announcements towards the end of a Burst
+    (once suppression kicks in, updates stop), while a non-damping AS
+    forwards them evenly.  Every announcement is credited to each AS on its
+    own AS path and grouped into 40 time bins per Burst; a line is fit
+    through the bin heights and the fitted relative change maps to a score in
+    [0, 1] — 1 when announcements die out, 0 when the rate stays flat. *)
+
+open Because_bgp
+
+val bins : int
+(** 40, as in the paper. *)
+
+val score_of_histogram : float array -> float
+(** Map one aggregate Burst histogram to a score (exposed for tests and the
+    Fig. 10 reproduction). *)
+
+val histograms :
+  records:Because_collector.Dump.record list ->
+  windows_of:(Prefix.t -> (float * float * float) list) ->
+  float array Asn.Map.t
+(** Per-AS aggregate announcement histogram over all Burst windows of all
+    oscillating prefixes. *)
+
+val scores :
+  records:Because_collector.Dump.record list ->
+  windows_of:(Prefix.t -> (float * float * float) list) ->
+  float Asn.Map.t

@@ -1,0 +1,49 @@
+open Because_bgp
+module Label = Because_labeling.Label
+
+type verdict = {
+  asn : Asn.t;
+  m1 : float;
+  m2 : float;
+  m3 : float;
+  combined : float;
+  rfd : bool;
+}
+
+let default_threshold = 0.5
+
+let evaluate ?(threshold = default_threshold) ~records ~labeled ~windows_of ()
+    =
+  let observations = Label.observations labeled in
+  let m1 = Path_ratio.scores observations in
+  let m2 = Alt_paths.scores labeled in
+  let m3 = Burst_slope.scores ~records ~windows_of in
+  let find map asn = Option.value (Asn.Map.find_opt asn map) ~default:0.0 in
+  let all_ases =
+    List.fold_left
+      (fun acc (path, _) ->
+        List.fold_left (fun acc asn -> Asn.Set.add asn acc) acc path)
+      Asn.Set.empty observations
+  in
+  let verdicts =
+    Asn.Set.fold
+      (fun asn acc ->
+        let v1 = find m1 asn and v2 = find m2 asn and v3 = find m3 asn in
+        let combined = (v1 +. v2 +. v3) /. 3.0 in
+        {
+          asn;
+          m1 = v1;
+          m2 = v2;
+          m3 = v3;
+          combined;
+          rfd = combined >= threshold;
+        }
+        :: acc)
+      all_ases []
+  in
+  List.sort (fun a b -> Float.compare b.combined a.combined) verdicts
+
+let damping_set verdicts =
+  List.fold_left
+    (fun acc v -> if v.rfd then Asn.Set.add v.asn acc else acc)
+    Asn.Set.empty verdicts

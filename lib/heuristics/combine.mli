@@ -1,0 +1,30 @@
+(** Combined heuristic classifier (§5.2): the average of metrics M1–M3 per
+    AS, thresholded to a decision.  Unlike BeCAUSe the threshold needs
+    tuning, and the heuristics misfire when an AS sits behind a damping
+    upstream (Table 3's TekSavvy case). *)
+
+open Because_bgp
+
+type verdict = {
+  asn : Asn.t;
+  m1 : float;        (** RFD path ratio. *)
+  m2 : float;        (** Alternative-path avoidance. *)
+  m3 : float;        (** Burst announcement slope. *)
+  combined : float;  (** Mean of the three. *)
+  rfd : bool;
+}
+
+val default_threshold : float
+(** 0.5. *)
+
+val evaluate :
+  ?threshold:float ->
+  records:Because_collector.Dump.record list ->
+  labeled:Because_labeling.Label.labeled_path list ->
+  windows_of:(Prefix.t -> (float * float * float) list) ->
+  unit ->
+  verdict list
+(** One verdict per AS appearing on any labeled path, sorted by descending
+    combined score. *)
+
+val damping_set : verdict list -> Asn.Set.t

@@ -1,0 +1,23 @@
+open Because_bgp
+
+let scores observations =
+  let totals = Hashtbl.create 64 in
+  List.iter
+    (fun (path, rfd) ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun asn ->
+          if not (Hashtbl.mem seen asn) then begin
+            Hashtbl.replace seen asn ();
+            let pos, all =
+              Option.value (Hashtbl.find_opt totals asn) ~default:(0, 0)
+            in
+            Hashtbl.replace totals asn
+              ((if rfd then pos + 1 else pos), all + 1)
+          end)
+        path)
+    observations;
+  Hashtbl.fold
+    (fun asn (pos, all) acc ->
+      Asn.Map.add asn (float_of_int pos /. float_of_int all) acc)
+    totals Asn.Map.empty

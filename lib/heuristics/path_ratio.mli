@@ -1,0 +1,14 @@
+(** Heuristic M1 — RFD path ratio (§5.2.1).
+
+    For each AS, the share of its paths that show the RFD signal:
+
+    M1(AS) = #RFD-paths(AS) / (#RFD-paths(AS) + #non-RFD-paths(AS)).
+
+    Robust for richly connected ASs; stubs inherit their upstreams' damping
+    and single-homed customers of a damping provider are false positives. *)
+
+open Because_bgp
+
+val scores : (Asn.t list * bool) list -> float Asn.Map.t
+(** Per-AS ratio over labeled paths.  Every AS appearing on at least one path
+    receives a score. *)

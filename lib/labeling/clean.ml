@@ -1,0 +1,46 @@
+open Because_bgp
+
+let remove_prepending path =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if Asn.equal a b then go rest else a :: go rest
+    | short -> short
+  in
+  go path
+
+let has_loop path =
+  let deduped = remove_prepending path in
+  let rec check seen = function
+    | [] -> false
+    | a :: rest -> Asn.Set.mem a seen || check (Asn.Set.add a seen) rest
+  in
+  check Asn.Set.empty deduped
+
+let clean path =
+  let cleaned = remove_prepending path in
+  if has_loop cleaned then None else Some cleaned
+
+let compare_paths a b =
+  List.compare Asn.compare a b
+
+let observed_paths records =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Because_collector.Dump.record) ->
+      match Update.as_path r.update with
+      | Some path -> (
+          match clean path with
+          | Some cleaned ->
+              let count =
+                Option.value (Hashtbl.find_opt table cleaned) ~default:0
+              in
+              Hashtbl.replace table cleaned (count + 1)
+          | None -> ())
+      | None -> ())
+    records;
+  let all =
+    Hashtbl.fold (fun path count acc -> (path, count) :: acc) table []
+  in
+  List.sort
+    (fun (pa, a) (pb, b) ->
+      match Int.compare b a with 0 -> compare_paths pa pb | c -> c)
+    all

@@ -1,0 +1,108 @@
+open Because_bgp
+
+type pair = {
+  burst_start : float;
+  burst_end : float;
+  break_end : float;
+  burst_updates : int;
+  last_burst_update : float option;
+  readvertisement : float option;
+  r_delta : float option;
+  readvertisement_path : Asn.t list option;
+  burst_dominant_path : Asn.t list option;
+  damped : bool;
+}
+
+let default_min_r_delta = 300.0
+let default_margin = 90.0
+
+let dominant_path announcements =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun u ->
+      match Update.as_path u with
+      | Some path -> (
+          match Clean.clean path with
+          | Some cleaned ->
+              let count =
+                Option.value (Hashtbl.find_opt table cleaned) ~default:0
+              in
+              Hashtbl.replace table cleaned (count + 1)
+          | None -> ())
+      | None -> ())
+    announcements;
+  let best =
+    Hashtbl.fold
+      (fun path count acc ->
+        match acc with
+        | Some (_, best_count) when best_count > count -> acc
+        | Some (best_path, best_count)
+          when best_count = count && List.compare Asn.compare best_path path <= 0
+          ->
+            acc
+        | _ -> Some (path, count))
+      table None
+  in
+  Option.map fst best
+
+let analyse_pair ?(min_r_delta = default_min_r_delta)
+    ?(margin = default_margin) ~times ~window () =
+  let burst_start, burst_end, break_end = window in
+  let burst_hi = burst_end +. margin in
+  let in_burst t = t >= burst_start && t <= burst_hi in
+  let in_break t = t > burst_hi && t <= break_end in
+  let burst_events = List.filter (fun (t, _) -> in_burst t) times in
+  let burst_updates = List.length burst_events in
+  let last_burst_update =
+    List.fold_left
+      (fun acc (t, _) ->
+        match acc with Some m -> Some (Float.max m t) | None -> Some t)
+      None burst_events
+  in
+  let burst_dominant_path =
+    dominant_path
+      (List.filter_map
+         (fun (_, u) -> if Update.is_announce u then Some u else None)
+         burst_events)
+  in
+  (* The re-advertisement: a Break announcement whose aggregator-encoded
+     send time lies far in the past — it was held back by damping. *)
+  let qualifying (t, u) =
+    if not (in_break t) then None
+    else
+      match Update.aggregator u with
+      | Some { sent_at; valid = true; _ } ->
+          let delay = t -. sent_at in
+          if delay > min_r_delta then Some (t, delay, u) else None
+      | Some { valid = false; _ } | None -> None
+  in
+  let readv = List.find_map qualifying times in
+  (* Attribute the damped evidence to the path the vantage point converges
+     to: releases trigger brief path exploration, so the first qualifying
+     announcement can carry a transient alternative path, while the last
+     Break announcement is the settled (previously damped) path. *)
+  let readvertisement_path =
+    Option.bind readv (fun (t_first, _, first_u) ->
+        let converged =
+          List.fold_left
+            (fun acc (t, u) ->
+              if t >= t_first && in_break t && Update.is_announce u then
+                Some u
+              else acc)
+            (Some first_u) times
+        in
+        Option.bind converged (fun u ->
+            Option.bind (Update.as_path u) Clean.clean))
+  in
+  {
+    burst_start;
+    burst_end;
+    break_end;
+    burst_updates;
+    last_burst_update;
+    readvertisement = Option.map (fun (t, _, _) -> t) readv;
+    r_delta = Option.map (fun (_, d, _) -> d) readv;
+    readvertisement_path;
+    burst_dominant_path;
+    damped = Option.is_some readv;
+  }

@@ -1,0 +1,20 @@
+type t = float array array
+
+let of_samples samples =
+  if Array.length samples = 0 then invalid_arg "Chain.of_samples: empty";
+  samples
+
+let length t = Array.length t
+let dim t = Array.length t.(0)
+let get t k = t.(k)
+let marginal t i = Array.map (fun draw -> draw.(i)) t
+let map_draws t f = Array.map f t
+
+let thin t k =
+  if k <= 0 then invalid_arg "Chain.thin: k must be positive";
+  let n = (Array.length t + k - 1) / k in
+  Array.init n (fun i -> t.(i * k))
+
+let append a b =
+  if dim a <> dim b then invalid_arg "Chain.append: dimension mismatch";
+  Array.append a b

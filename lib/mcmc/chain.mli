@@ -1,0 +1,27 @@
+(** Sample storage for MCMC runs. *)
+
+type t
+
+val of_samples : float array array -> t
+(** Takes ownership of a [n_samples × dim] matrix (row = one posterior
+    draw). *)
+
+val length : t -> int
+val dim : t -> int
+
+val get : t -> int -> float array
+(** [get t k] is the k-th draw (not copied; treat as read-only). *)
+
+val marginal : t -> int -> float array
+(** [marginal t i] extracts the i-th coordinate across all draws — the
+    marginal posterior sample for one AS. *)
+
+val map_draws : t -> (float array -> 'a) -> 'a array
+(** Apply a function to every draw; used e.g. to compute per-draw argmax for
+    the pinpointing step. *)
+
+val thin : t -> int -> t
+(** [thin t k] keeps every k-th draw. *)
+
+val append : t -> t -> t
+(** Concatenate two chains of equal dimension. *)

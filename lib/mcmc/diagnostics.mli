@@ -1,0 +1,20 @@
+(** Convergence diagnostics for MCMC output. *)
+
+val autocorrelation : float array -> int -> float
+(** [autocorrelation xs lag] is the sample autocorrelation at [lag]
+    (0 when the series is constant or shorter than [lag + 2]). *)
+
+val effective_sample_size : float array -> float
+(** Effective sample size via Geyer's initial positive sequence: pair
+    consecutive autocorrelations and truncate at the first non-positive
+    pair sum. *)
+
+val split_r_hat : float array -> float
+(** Split-R̂ (Gelman–Rubin on the two halves of a single chain).  Values
+    close to 1 indicate the chain has mixed; we flag > 1.1. *)
+
+val r_hat : float array array -> float
+(** Classic multi-chain potential scale reduction factor. *)
+
+val summary_line : name:string -> float array -> string
+(** One-line "mean sd ess rhat" rendering for reports. *)

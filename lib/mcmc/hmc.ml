@@ -1,0 +1,131 @@
+module Rng = Because_stats.Rng
+module Dist = Because_stats.Dist
+
+type result = { chain : Chain.t; acceptance : float; step_size : float }
+
+let sigmoid x =
+  if x >= 0.0 then 1.0 /. (1.0 +. Float.exp (-.x))
+  else begin
+    let e = Float.exp x in
+    e /. (1.0 +. e)
+  end
+
+let logit p =
+  let p = Float.max 1e-12 (Float.min (1.0 -. 1e-12) p) in
+  Float.log (p /. (1.0 -. p))
+
+(* Transformed view of the target in unconstrained space. *)
+let transformed target =
+  let grad =
+    match target.Target.grad_log_density with
+    | Some g -> g
+    | None -> invalid_arg "Hmc.run: target has no gradient"
+  in
+  match target.Target.support with
+  | Target.Unbounded ->
+      (* The copy matters: stored draws must not alias the evolving state. *)
+      (target.Target.log_density, grad, Array.copy, Array.copy)
+  | Target.Unit_interval ->
+      let to_p theta = Array.map sigmoid theta in
+      let of_p p = Array.map logit p in
+      let log_density theta =
+        let p = to_p theta in
+        let jacobian = ref 0.0 in
+        Array.iter
+          (fun pi ->
+            jacobian :=
+              !jacobian
+              +. Float.log (Float.max 1e-300 (pi *. (1.0 -. pi))))
+          p;
+        target.Target.log_density p +. !jacobian
+      in
+      let grad_theta theta =
+        let p = to_p theta in
+        let g = grad p in
+        Array.mapi
+          (fun i gi -> (gi *. p.(i) *. (1.0 -. p.(i))) +. 1.0 -. (2.0 *. p.(i)))
+          g
+      in
+      (log_density, grad_theta, to_p, of_p)
+
+let run ~rng ?init ?(initial_step = 0.05) ?(leapfrog_steps = 15) ?(thin = 1)
+    ~n_samples ~burn_in target =
+  let dim = target.Target.dim in
+  let log_density, grad, to_constrained, of_constrained =
+    transformed target
+  in
+  let theta =
+    match init with
+    | Some p -> (
+        match target.Target.support with
+        | Target.Unit_interval -> of_constrained p
+        | Target.Unbounded -> Array.copy p)
+    | None -> Array.make dim 0.0
+  in
+  let step = ref initial_step in
+  let kept = Array.make n_samples [||] in
+  let kept_count = ref 0 in
+  let accepted_post = ref 0 and proposed_post = ref 0 in
+  let accept_window = ref 0 in
+  let window = 10 in
+  let iter_idx = ref 0 in
+  let current_lp = ref (log_density theta) in
+  while !kept_count < n_samples do
+    let in_burn_in = !iter_idx < burn_in in
+    (* Fresh Gaussian momentum, unit mass matrix. *)
+    let momentum =
+      Array.init dim (fun _ -> Dist.normal rng ~mu:0.0 ~sigma:1.0)
+    in
+    let kinetic m = 0.5 *. Array.fold_left (fun a v -> a +. (v *. v)) 0.0 m in
+    let h0 = kinetic momentum -. !current_lp in
+    let q = Array.copy theta in
+    let m = Array.copy momentum in
+    let eps = !step in
+    (* Leapfrog: half momentum, full position, ..., half momentum. *)
+    let g = ref (grad q) in
+    for _ = 1 to leapfrog_steps do
+      for i = 0 to dim - 1 do
+        m.(i) <- m.(i) +. (0.5 *. eps *. !g.(i))
+      done;
+      for i = 0 to dim - 1 do
+        q.(i) <- q.(i) +. (eps *. m.(i))
+      done;
+      g := grad q;
+      for i = 0 to dim - 1 do
+        m.(i) <- m.(i) +. (0.5 *. eps *. !g.(i))
+      done
+    done;
+    let lp1 = log_density q in
+    let h1 = kinetic m -. lp1 in
+    let log_alpha = h0 -. h1 in
+    let accept =
+      Float.is_finite lp1
+      && (log_alpha >= 0.0 || Rng.float rng < Float.exp log_alpha)
+    in
+    if not in_burn_in then incr proposed_post;
+    if accept then begin
+      Array.blit q 0 theta 0 dim;
+      current_lp := lp1;
+      if in_burn_in then incr accept_window else incr accepted_post
+    end;
+    if in_burn_in && (!iter_idx + 1) mod window = 0 then begin
+      let observed = float_of_int !accept_window /. float_of_int window in
+      let rate = 1.0 /. Float.sqrt (float_of_int (!iter_idx + 1)) in
+      step := !step *. Float.exp (rate *. (observed -. 0.75));
+      step := Float.max 1e-4 (Float.min 1.0 !step);
+      accept_window := 0
+    end;
+    if not in_burn_in then begin
+      let post = !iter_idx - burn_in in
+      if post mod thin = 0 && !kept_count < n_samples then begin
+        kept.(!kept_count) <- to_constrained theta;
+        incr kept_count
+      end
+    end;
+    incr iter_idx
+  done;
+  let acceptance =
+    if !proposed_post = 0 then 0.0
+    else float_of_int !accepted_post /. float_of_int !proposed_post
+  in
+  { chain = Chain.of_samples kept; acceptance; step_size = !step }

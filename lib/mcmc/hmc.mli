@@ -1,0 +1,39 @@
+(** Hamiltonian Monte Carlo (§3.2 of the paper).
+
+    States are proposed by integrating Hamiltonian dynamics — leapfrog steps
+    through the potential −log posterior with Gaussian momenta — then accepted
+    with a Metropolis update on the total energy.  This yields distant,
+    multidimensional moves that escape the local modes single-site samplers
+    can get stuck near.
+
+    For targets on the unit box the sampler runs in logit space: with
+    pᵢ = σ(θᵢ) the transformed log density is
+    log P(p) + Σᵢ log(pᵢ(1−pᵢ)) (the change-of-variables Jacobian), whose
+    gradient adds the (1 − 2pᵢ) Jacobian term.  Draws are mapped back to p
+    before being stored, so the returned chain always lives in the original
+    parametrisation. *)
+
+type result = {
+  chain : Chain.t;       (** Post burn-in draws in the original space. *)
+  acceptance : float;    (** Post burn-in trajectory acceptance rate. *)
+  step_size : float;     (** Frozen leapfrog step size. *)
+}
+
+val run :
+  rng:Because_stats.Rng.t ->
+  ?init:float array ->
+  ?initial_step:float ->
+  ?leapfrog_steps:int ->
+  ?thin:int ->
+  n_samples:int ->
+  burn_in:int ->
+  Target.t ->
+  result
+(** [run ~rng ~n_samples ~burn_in target] requires [target.grad_log_density].
+    [leapfrog_steps] defaults to 15.  The step size adapts towards a 0.75
+    acceptance rate during burn-in.  Raises [Invalid_argument] if the target
+    has no gradient. *)
+
+val sigmoid : float -> float
+val logit : float -> float
+(** The constrained ↔ unconstrained maps, exposed for tests. *)

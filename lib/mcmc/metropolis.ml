@@ -1,0 +1,155 @@
+module Rng = Because_stats.Rng
+module Dist = Because_stats.Dist
+
+type result = {
+  chain : Chain.t;
+  acceptance : float;
+  step_sizes : float array;
+}
+
+let rec reflect_unit x =
+  if x < 0.0 then reflect_unit (-.x)
+  else if x > 1.0 then reflect_unit (2.0 -. x)
+  else x
+
+let default_init target =
+  match target.Target.support with
+  | Target.Unit_interval -> Array.make target.Target.dim 0.5
+  | Target.Unbounded -> Array.make target.Target.dim 0.0
+
+let clamp_unit x = Float.max 1e-9 (Float.min (1.0 -. 1e-9) x)
+
+(* Robbins–Monro style log-scale adaptation towards a target acceptance. *)
+let adapt_step step ~observed ~target_rate ~sweep =
+  let rate = 1.0 /. Float.sqrt (float_of_int (sweep + 1)) in
+  let next = step *. Float.exp (rate *. (observed -. target_rate)) in
+  Float.max 1e-4 (Float.min 2.0 next)
+
+let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ~n_samples
+    ~burn_in target =
+  let dim = target.Target.dim in
+  let current =
+    match init with Some p -> Array.copy p | None -> default_init target
+  in
+  (match target.Target.support with
+  | Target.Unit_interval ->
+      Array.iteri (fun i v -> current.(i) <- clamp_unit v) current
+  | Target.Unbounded -> ());
+  let steps = Array.make dim initial_step in
+  let log_post = ref (target.Target.log_density current) in
+  let accept_window = Array.make dim 0 in
+  let window = 25 in
+  let kept = Array.make n_samples [||] in
+  let kept_count = ref 0 in
+  let accepted_post = ref 0 and proposed_post = ref 0 in
+  let propose i =
+    let v = current.(i) in
+    let v' = v +. Dist.normal rng ~mu:0.0 ~sigma:steps.(i) in
+    match target.Target.support with
+    | Target.Unit_interval -> clamp_unit (reflect_unit v')
+    | Target.Unbounded -> v'
+  in
+  let delta_at i v' =
+    match target.Target.log_density_delta with
+    | Some delta -> delta current i v'
+    | None ->
+        let p' = Target.with_coordinate current i v' in
+        target.Target.log_density p' -. !log_post
+  in
+  let sweep_idx = ref 0 in
+  let total_sweeps = burn_in + (n_samples * thin) in
+  while !kept_count < n_samples do
+    let in_burn_in = !sweep_idx < burn_in in
+    for i = 0 to dim - 1 do
+      let v' = propose i in
+      let d = delta_at i v' in
+      let accept = d >= 0.0 || Rng.float rng < Float.exp d in
+      if not in_burn_in then incr proposed_post;
+      if accept then begin
+        current.(i) <- v';
+        log_post := !log_post +. d;
+        if in_burn_in then accept_window.(i) <- accept_window.(i) + 1
+        else incr accepted_post
+      end
+    done;
+    if in_burn_in && (!sweep_idx + 1) mod window = 0 then
+      Array.iteri
+        (fun i acc ->
+          let observed = float_of_int acc /. float_of_int window in
+          steps.(i) <-
+            adapt_step steps.(i) ~observed ~target_rate:0.44
+              ~sweep:!sweep_idx;
+          accept_window.(i) <- 0)
+        accept_window;
+    if not in_burn_in then begin
+      let post_sweep = !sweep_idx - burn_in in
+      if post_sweep mod thin = 0 && !kept_count < n_samples then begin
+        kept.(!kept_count) <- Array.copy current;
+        incr kept_count
+      end
+    end;
+    incr sweep_idx;
+    (* Defensive: the loop is bounded by construction, but guard anyway. *)
+    if !sweep_idx > total_sweeps + thin then
+      kept_count := n_samples
+  done;
+  let acceptance =
+    if !proposed_post = 0 then 0.0
+    else float_of_int !accepted_post /. float_of_int !proposed_post
+  in
+  { chain = Chain.of_samples kept; acceptance; step_sizes = steps }
+
+let run_vector ~rng ?init ?(initial_step = 0.05) ?(thin = 1) ~n_samples
+    ~burn_in target =
+  let dim = target.Target.dim in
+  let current =
+    match init with Some p -> Array.copy p | None -> default_init target
+  in
+  let step = ref initial_step in
+  let log_post = ref (target.Target.log_density current) in
+  let kept = Array.make n_samples [||] in
+  let kept_count = ref 0 in
+  let accepted_post = ref 0 and proposed_post = ref 0 in
+  let accept_window = ref 0 in
+  let window = 25 in
+  let sweep_idx = ref 0 in
+  while !kept_count < n_samples do
+    let in_burn_in = !sweep_idx < burn_in in
+    let proposal =
+      Array.map
+        (fun v ->
+          let v' = v +. Dist.normal rng ~mu:0.0 ~sigma:!step in
+          match target.Target.support with
+          | Target.Unit_interval -> clamp_unit (reflect_unit v')
+          | Target.Unbounded -> v')
+        current
+    in
+    let lp' = target.Target.log_density proposal in
+    let d = lp' -. !log_post in
+    let accept = d >= 0.0 || Rng.float rng < Float.exp d in
+    if not in_burn_in then incr proposed_post;
+    if accept then begin
+      Array.blit proposal 0 current 0 dim;
+      log_post := lp';
+      if in_burn_in then incr accept_window else incr accepted_post
+    end;
+    if in_burn_in && (!sweep_idx + 1) mod window = 0 then begin
+      let observed = float_of_int !accept_window /. float_of_int window in
+      step := adapt_step !step ~observed ~target_rate:0.234 ~sweep:!sweep_idx;
+      accept_window := 0
+    end;
+    if not in_burn_in then begin
+      let post_sweep = !sweep_idx - burn_in in
+      if post_sweep mod thin = 0 && !kept_count < n_samples then begin
+        kept.(!kept_count) <- Array.copy current;
+        incr kept_count
+      end
+    end;
+    incr sweep_idx
+  done;
+  let acceptance =
+    if !proposed_post = 0 then 0.0
+    else float_of_int !accepted_post /. float_of_int !proposed_post
+  in
+  { chain = Chain.of_samples kept; acceptance;
+    step_sizes = Array.make dim !step }

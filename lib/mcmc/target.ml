@@ -1,0 +1,42 @@
+type support = Unit_interval | Unbounded
+
+type t = {
+  dim : int;
+  support : support;
+  log_density : float array -> float;
+  grad_log_density : (float array -> float array) option;
+  log_density_delta : (float array -> int -> float -> float) option;
+}
+
+let create ?grad ?delta ~dim ~support log_density =
+  if dim <= 0 then invalid_arg "Target.create: dim must be positive";
+  { dim; support; log_density; grad_log_density = grad;
+    log_density_delta = delta }
+
+let with_coordinate p i v =
+  let p' = Array.copy p in
+  p'.(i) <- v;
+  p'
+
+let check_gradient t ~at ~eps ~tol =
+  match t.grad_log_density with
+  | None -> Error "target has no gradient"
+  | Some grad ->
+      let g = grad at in
+      let rec check i =
+        if i = t.dim then Ok ()
+        else begin
+          let plus = with_coordinate at i (at.(i) +. eps) in
+          let minus = with_coordinate at i (at.(i) -. eps) in
+          let fd = (t.log_density plus -. t.log_density minus) /. (2.0 *. eps) in
+          let err = Float.abs (fd -. g.(i)) in
+          let scale = Float.max 1.0 (Float.abs fd) in
+          if err /. scale > tol then
+            Error
+              (Printf.sprintf
+                 "gradient mismatch at coordinate %d: analytic=%.8g fd=%.8g" i
+                 g.(i) fd)
+          else check (i + 1)
+        end
+      in
+      check 0

@@ -1,0 +1,39 @@
+(** Inference targets: unnormalised log posterior densities.
+
+    A target bundles everything a sampler may exploit: the joint log density,
+    optionally its gradient (for HMC), and optionally a cheap single-site
+    update rule (for single-site Metropolis–Hastings — the tomography
+    likelihood factorises over paths, so changing one coordinate only touches
+    the paths through that AS). *)
+
+type support =
+  | Unit_interval  (** Every coordinate lives on (0, 1), e.g. damping proportions. *)
+  | Unbounded      (** Coordinates on ℝ. *)
+
+type t = {
+  dim : int;
+  support : support;
+  log_density : float array -> float;
+      (** Unnormalised log posterior at a point.  May return [neg_infinity]
+          outside the support. *)
+  grad_log_density : (float array -> float array) option;
+      (** Gradient of [log_density]; required by {!Hmc}. *)
+  log_density_delta : (float array -> int -> float -> float) option;
+      (** [delta p i v] = log_density with coordinate [i] set to [v] minus
+          log_density at [p].  Enables O(paths-through-i) single-site MH. *)
+}
+
+val create :
+  ?grad:(float array -> float array) ->
+  ?delta:(float array -> int -> float -> float) ->
+  dim:int ->
+  support:support ->
+  (float array -> float) ->
+  t
+
+val with_coordinate : float array -> int -> float -> float array
+(** Functional single-coordinate update (copies). *)
+
+val check_gradient :
+  t -> at:float array -> eps:float -> tol:float -> (unit, string) result
+(** Finite-difference validation of [grad_log_density]; used by the tests. *)

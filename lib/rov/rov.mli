@@ -1,0 +1,36 @@
+(** §7 — applying BeCAUSe beyond RFD: Route Origin Validation.
+
+    The paper benchmarks the unchanged algorithm on a second property by
+    {e simulating} the measurement output: real AS paths towards two RPKI
+    Beacon prefixes are labeled ROV iff a known-ROV AS sits on the path
+    (no noise, ≈90 % positive paths).  This module performs the identical
+    construction over the caller's path set and evaluates the result. *)
+
+open Because_bgp
+
+val label_paths :
+  paths:Asn.t list list -> rov_ases:Asn.Set.t -> (Asn.t list * bool) list
+(** A path is ROV iff at least one known-ROV AS is on it. *)
+
+val hidden_ases : paths:Asn.t list list -> rov_ases:Asn.Set.t -> Asn.Set.t
+(** ROV ASs that only ever appear on paths together with another ROV AS
+    closer to the vantage point or anywhere on the path — indistinguishable
+    by any tomographic method, the cause of the recall gap in Table 4. *)
+
+type benchmark = {
+  result : Because.Infer.result;
+  categories : (Asn.t * Because.Categorize.t) list;
+  metrics : Because.Evaluate.metrics;
+  hidden : Asn.Set.t;
+  positive_share : float;
+}
+
+val benchmark :
+  rng:Because_stats.Rng.t ->
+  ?config:Because.Infer.config ->
+  paths:Asn.t list list ->
+  rov_ases:Asn.Set.t ->
+  unit ->
+  benchmark
+(** Label, infer, categorise (with pinpointing) and score against the planted
+    ROV set over all ASs appearing on the paths. *)

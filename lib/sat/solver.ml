@@ -1,0 +1,103 @@
+type literal = int
+type clause = literal list
+type outcome = Sat of bool array | Unsat
+
+let validate ~n_vars clauses =
+  if n_vars <= 0 then invalid_arg "Solver.solve: n_vars must be positive";
+  List.iter
+    (List.iter (fun l ->
+         let v = abs l in
+         if l = 0 || v > n_vars then
+           invalid_arg "Solver.solve: literal out of range"))
+    clauses
+
+(* Assignment: 0 = unassigned, 1 = true, -1 = false. *)
+let value assignment literal =
+  let v = assignment.(abs literal) in
+  if v = 0 then 0 else if literal > 0 then v else -v
+
+let rec dpll assignment clauses =
+  (* Unit propagation to a fixed point. *)
+  let rec propagate clauses =
+    let changed = ref false in
+    let conflict = ref false in
+    let remaining =
+      List.filter_map
+        (fun clause ->
+          let satisfied =
+            List.exists (fun l -> value assignment l = 1) clause
+          in
+          if satisfied then None
+          else begin
+            let unassigned =
+              List.filter (fun l -> value assignment l = 0) clause
+            in
+            match unassigned with
+            | [] ->
+                conflict := true;
+                Some clause
+            | [ unit_literal ] ->
+                assignment.(abs unit_literal) <-
+                  (if unit_literal > 0 then 1 else -1);
+                changed := true;
+                None
+            | _ -> Some clause
+          end)
+        clauses
+    in
+    if !conflict then None
+    else if !changed then propagate remaining
+    else Some remaining
+  in
+  match propagate clauses with
+  | None -> false
+  | Some [] -> true
+  | Some remaining -> (
+      (* Branch on the first unassigned variable of the first clause. *)
+      match
+        List.find_map
+          (fun clause ->
+            List.find_opt (fun l -> value assignment l = 0) clause)
+          remaining
+      with
+      | None -> true (* all remaining clauses satisfied by propagation *)
+      | Some literal ->
+          let v = abs literal in
+          let saved = Array.copy assignment in
+          assignment.(v) <- 1;
+          if dpll assignment remaining then true
+          else begin
+            Array.blit saved 0 assignment 0 (Array.length saved);
+            assignment.(v) <- -1;
+            if dpll assignment remaining then true
+            else begin
+              Array.blit saved 0 assignment 0 (Array.length saved);
+              false
+            end
+          end)
+
+let solve ~n_vars clauses =
+  validate ~n_vars clauses;
+  let assignment = Array.make (n_vars + 1) 0 in
+  if dpll assignment clauses then begin
+    (* Unconstrained variables default to false. *)
+    Sat (Array.init (n_vars + 1) (fun v -> v > 0 && assignment.(v) = 1))
+  end
+  else Unsat
+
+let count_solutions ?(limit = 16) ~n_vars clauses =
+  let rec go clauses count =
+    if count >= limit then count
+    else
+      match solve ~n_vars clauses with
+      | Unsat -> count
+      | Sat model ->
+          (* Block this model and continue. *)
+          let blocking =
+            List.init n_vars (fun i ->
+                let v = i + 1 in
+                if model.(v) then -v else v)
+          in
+          go (blocking :: clauses) (count + 1)
+  in
+  go clauses 0

@@ -1,0 +1,27 @@
+(** A small CNF SAT solver (DPLL with unit propagation).
+
+    Built for the binary-tomography baseline of §8: prior work [10] casts
+    censorship localisation as SAT; the paper argues such formulations
+    either return many solutions or none at all under measurement noise and
+    inconsistent deployment.  This solver is strong enough to demonstrate
+    both failure modes on our datasets (hundreds of variables, thousands of
+    clauses of the shapes tomography produces). *)
+
+type literal = int
+(** Non-zero integer: variable [v] is literal [v], its negation [-v]. *)
+
+type clause = literal list
+
+type outcome =
+  | Sat of bool array  (** [assignment.(v)] for variables 1..n (index 0 unused). *)
+  | Unsat
+
+val solve : n_vars:int -> clause list -> outcome
+(** Raises [Invalid_argument] on literals outside [1..n_vars] or empty
+    variable counts ≤ 0.  An empty clause in the input is immediately
+    unsatisfiable. *)
+
+val count_solutions : ?limit:int -> n_vars:int -> clause list -> int
+(** Number of satisfying assignments, enumerated with blocking clauses and
+    capped at [limit] (default 16) — enough to distinguish "unique" from
+    "many". *)

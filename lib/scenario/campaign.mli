@@ -1,0 +1,77 @@
+(** A measurement campaign: one update interval, end to end.
+
+    Mirrors the paper's §4.3 procedure — install the two-phase Beacons at all
+    sites, run the BGP world, collect the three projects' dumps, clean and
+    label every (vantage point, prefix) stream, then run BeCAUSe and the
+    heuristics on the labeled paths. *)
+
+open Because_bgp
+
+type params = {
+  update_interval : float;  (** Seconds between Burst updates. *)
+  burst_duration : float;   (** Paper: 2 h. *)
+  break_duration : float;   (** Paper: 2 h (April) / 6 h (March). *)
+  cycles : int;             (** Burst–Break pairs. *)
+  lead_in : float;          (** Quiet time after the initial announcement. *)
+  anchor_period : float;    (** Anchor oscillation period (2 h). *)
+  noise : Because_collector.Noise.params;
+  min_r_delta : float;
+  match_threshold : float;
+  infer_config : Because.Infer.config;
+  run_inference : bool;
+  background_prefixes : int;     (** Synthetic churn prefixes (Appendix A). *)
+  background_mean_gap : float;   (** Mean seconds between churn updates. *)
+}
+
+val default_params : update_interval:float -> params
+(** 2-hour Bursts and Breaks, 4 cycles, realistic noise, inference on,
+    no background churn. *)
+
+type outcome = {
+  params : params;
+  schedule : Because_beacon.Schedule.t;   (** The oscillating schedule. *)
+  sites : Because_beacon.Site.t list;
+  records : Because_collector.Dump.record list;
+  labeled : Because_labeling.Label.labeled_path list;
+  windows : (float * float * float) list;
+  oscillating : Prefix.Set.t;
+  anchors : Prefix.Set.t;
+  result : Because.Infer.result option;   (** [None] when inference was off or no paths labeled. *)
+  categories_step1 : (Asn.t * Because.Categorize.t) list;
+      (** Before pinpointing (Fig. 12's "consistent" bars). *)
+  categories : (Asn.t * Because.Categorize.t) list;
+      (** After pinpointing (Fig. 12's full bars). *)
+  promotions : Because.Pinpoint.promotion list;
+  heuristic_verdicts : Because_heuristics.Combine.verdict list;
+  deliveries : int;          (** Total updates delivered in the simulation. *)
+  campaign_end : float;
+}
+
+val run : World.t -> params -> outcome
+
+val run_multi : World.t -> params -> intervals:float list -> outcome list
+(** One simulation carrying several oscillating prefixes per site — the
+    paper's actual setup (March: 1/2/3-minute prefixes together, April:
+    5/10/15).  Each site announces one prefix per interval plus the anchor;
+    the shared dump is then labeled and inferred per interval, one outcome
+    per interval in input order.  [params.update_interval] is ignored. *)
+
+val windows_of : outcome -> Prefix.t -> (float * float * float) list
+(** Burst–Break windows of an oscillating prefix; [\[\]] otherwise. *)
+
+val observations : outcome -> (Asn.t list * bool) list
+val because_damping : outcome -> Asn.Set.t
+(** ASs flagged Category 4/5 by the full BeCAUSe procedure. *)
+
+val heuristic_damping : outcome -> Asn.Set.t
+
+val universe : outcome -> Asn.Set.t
+(** Every AS appearing on a labeled path — the set the campaign can make
+    statements about. *)
+
+val site_of_prefix : outcome -> Prefix.t -> int option
+(** Which Beacon site announced a prefix. *)
+
+val propagation_samples : outcome -> role:[ `Anchor | `Oscillating ] -> float array
+(** Per announcement record: observation time − encoded Beacon send time
+    (the Fig. 8 propagation measurement). *)

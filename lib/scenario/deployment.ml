@@ -1,0 +1,202 @@
+open Because_bgp
+module Rng = Because_stats.Rng
+module Graph = Because_topology.Graph
+
+type vendor = Cisco | Juniper | Recommended
+
+type assignment = {
+  vendor : vendor;
+  params : Rfd_params.t;
+  scope : Policy.rfd_scope;
+}
+
+type spec = {
+  damping_share : float;
+  stub_damping_share : float;
+  vendor_default_share : float;
+  max_suppress_minutes : float array;
+  only_customer_share : float;
+  inconsistent_damper : bool;
+}
+
+let default_spec =
+  {
+    damping_share = 0.12;
+    stub_damping_share = 0.06;
+    vendor_default_share = 0.6;
+    (* The three plateaus Fig. 13 reveals. *)
+    max_suppress_minutes = [| 10.0; 30.0; 60.0 |];
+    only_customer_share = 0.1;
+    inconsistent_damper = true;
+  }
+
+type t = {
+  assignments : assignment Asn.Map.t;
+  inconsistent : (Asn.t * Asn.t) option;
+}
+
+let pp_vendor fmt = function
+  | Cisco -> Format.pp_print_string fmt "cisco"
+  | Juniper -> Format.pp_print_string fmt "juniper"
+  | Recommended -> Format.pp_print_string fmt "recommended"
+
+let draw_vendor rng spec =
+  if Rng.float rng < spec.vendor_default_share then
+    if Rng.bool rng then Cisco else Juniper
+  else Recommended
+
+let preset = function
+  | Cisco -> Rfd_params.cisco
+  | Juniper -> Rfd_params.juniper
+  | Recommended -> Rfd_params.rfc7454
+
+(* Coherent operator configurations per max-suppress-time.  For the
+   re-advertisement plateau to sit exactly at the max-suppress-time
+   (Fig. 13), the penalty must reach the ceiling during a fast Burst, which
+   requires the half-life to be large relative to the flap interval yet small
+   relative to max-suppress — so operators shortening max-suppress also
+   shorten the half-life and (at 10 min) lower both thresholds.  Operators
+   following the RIPE/IETF recommendation keep the default timers. *)
+let operator_params vendor max_suppress =
+  let base = preset vendor in
+  let minutes m = m *. 60.0 in
+  match (vendor, max_suppress) with
+  | Recommended, _ -> base
+  | (Cisco | Juniper), m when m <= 10.0 ->
+      {
+        base with
+        Rfd_params.readvertisement_penalty = 1000.0;
+        suppress_threshold = 1500.0;
+        reuse_threshold = 500.0;
+        half_life = minutes 5.0;
+        max_suppress_time = minutes 10.0;
+      }
+  | (Cisco | Juniper), m when m <= 30.0 ->
+      {
+        base with
+        Rfd_params.readvertisement_penalty = 1000.0;
+        half_life = minutes 7.5;
+        max_suppress_time = minutes 30.0;
+      }
+  | (Cisco | Juniper), _ -> base
+
+let draw_assignment rng spec =
+  let vendor = draw_vendor rng spec in
+  let max_suppress = Rng.choice rng spec.max_suppress_minutes in
+  let params = operator_params vendor max_suppress in
+  let scope =
+    if Rng.float rng < spec.only_customer_share then Policy.Only_customers
+    else Policy.All_neighbors
+  in
+  { vendor; params; scope }
+
+let plant rng graph spec ~exclude =
+  let eligible =
+    List.filter (fun a -> not (Asn.Set.mem a exclude)) (Graph.ases graph)
+  in
+  let assignments = ref Asn.Map.empty in
+  List.iter
+    (fun asn ->
+      let share =
+        match Graph.tier_of graph asn with
+        | Graph.Tier1 | Graph.Transit -> spec.damping_share
+        | Graph.Stub -> spec.stub_damping_share
+      in
+      if Rng.float rng < share then
+        assignments := Asn.Map.add asn (draw_assignment rng spec) !assignments)
+    eligible;
+  (* Promote (or convert) the largest-cone eligible transit into the
+     inconsistent damper: damps every neighbor except one (AS-701 style). *)
+  let inconsistent =
+    if not spec.inconsistent_damper then None
+    else begin
+      let transits =
+        List.filter
+          (fun a ->
+            Graph.tier_of graph a = Graph.Transit
+            && not (Asn.Set.mem a exclude))
+          (Graph.ases graph)
+      in
+      let largest =
+        List.fold_left
+          (fun acc a ->
+            let cone = Graph.customer_cone_size graph a in
+            match acc with
+            | Some (_, best) when best >= cone -> acc
+            | _ -> Some (a, cone))
+          None transits
+      in
+      match largest with
+      | None -> None
+      | Some (asn, _) -> (
+          match Graph.neighbors graph asn with
+          | [] -> None
+          | neighbors ->
+              (* Spare the lowest-ASN provider/peer so Beacon signal through
+                 that neighbor is never damped (contradictory evidence). *)
+              let spared =
+                List.fold_left
+                  (fun acc (n, rel) ->
+                    match rel with
+                    | Policy.Provider | Policy.Peer -> (
+                        match acc with
+                        | Some best when Asn.compare best n <= 0 -> acc
+                        | _ -> Some n)
+                    | Policy.Customer -> acc)
+                  None neighbors
+              in
+              let spared =
+                match spared with
+                | Some n -> n
+                | None -> fst (List.hd neighbors)
+              in
+              let vendor = if Rng.bool rng then Cisco else Juniper in
+              let params = operator_params vendor 60.0 in
+              let scope = Policy.All_except (Asn.Set.singleton spared) in
+              assignments :=
+                Asn.Map.add asn { vendor; params; scope } !assignments;
+              Some (asn, spared))
+    end
+  in
+  { assignments = !assignments; inconsistent }
+
+let assignment_of t asn = Asn.Map.find_opt asn t.assignments
+
+let scope_of t asn =
+  match assignment_of t asn with
+  | Some a -> a.scope
+  | None -> Policy.No_rfd
+
+let params_of t asn =
+  match assignment_of t asn with
+  | Some a -> a.params
+  | None -> Rfd_params.cisco
+
+let dampers t =
+  Asn.Map.fold (fun asn _ acc -> Asn.Set.add asn acc) t.assignments
+    Asn.Set.empty
+
+let detectable_dampers t =
+  Asn.Map.fold
+    (fun asn a acc ->
+      match a.scope with
+      | Policy.Only_customers -> acc
+      | Policy.No_rfd -> acc
+      | Policy.All_neighbors | Policy.Only_neighbors _ | Policy.All_except _
+        ->
+          Asn.Set.add asn acc)
+    t.assignments Asn.Set.empty
+
+let inconsistent t = t.inconsistent
+
+let vendor_share t v =
+  let total = Asn.Map.cardinal t.assignments in
+  if total = 0 then 0.0
+  else begin
+    let count =
+      Asn.Map.fold
+        (fun _ a acc -> if a.vendor = v then acc + 1 else acc)
+        t.assignments 0
+    in
+    float_of_int count /. float_of_int total
+  end

@@ -1,0 +1,74 @@
+(** Planted RFD deployments — the simulated ground truth.
+
+    The paper {e measures} an unknown deployment; to validate the pipeline we
+    {e plant} one with the paper's findings as its shape and check that the
+    pipeline recovers it: ≈9 % of ASs damp, ≈60 % of dampers run deprecated
+    vendor defaults (Cisco/Juniper) and the rest the RIPE/IETF recommended
+    parameters, max-suppress-times cluster at 10/30/60 minutes, one
+    large-cone AS damps inconsistently (all neighbors except one), and a few
+    ASs damp only customers (undetectable from provider-side Beacons). *)
+
+open Because_bgp
+
+type vendor = Cisco | Juniper | Recommended
+
+type assignment = {
+  vendor : vendor;
+  params : Rfd_params.t;   (** Vendor preset with the drawn max-suppress-time. *)
+  scope : Policy.rfd_scope;
+}
+
+type spec = {
+  damping_share : float;
+      (** Fraction of transit/Tier-1 ASs that damp (0.12).  The paper's
+          "9 % of measured ASs" refers to ASs on observed paths, which are
+          predominantly transits.  Note that with a core this much smaller
+          than the Internet's, several dampers stack on most paths, so more
+          of the identification happens in the eq.-8 pinpointing step than
+          in the paper (see EXPERIMENTS.md, Fig. 12). *)
+  stub_damping_share : float;     (** Fraction of stub ASs that damp (0.06). *)
+  vendor_default_share : float;   (** Fraction of dampers on deprecated defaults (0.6). *)
+  max_suppress_minutes : float array;  (** Drawn uniformly; {10, 30, 60, 60}. *)
+  only_customer_share : float;    (** Dampers that damp only customers (0.1). *)
+  inconsistent_damper : bool;     (** Plant one AS-701-like all-except-one damper. *)
+}
+
+val default_spec : spec
+
+val operator_params : vendor -> float -> Rfd_params.t
+(** [operator_params vendor max_suppress_minutes] — the coherent operator
+    configuration behind each Fig.-13 plateau: for the re-advertisement
+    delay to sit exactly at the max-suppress-time, the penalty must reach
+    the ceiling during a fast Burst, which pins the half-life (and, at
+    10 minutes, lower thresholds).  Operators on the RIPE/IETF
+    recommendation keep the default timers regardless. *)
+
+type t
+
+val plant :
+  Because_stats.Rng.t ->
+  Because_topology.Graph.t ->
+  spec ->
+  exclude:Asn.Set.t ->
+  t
+(** Draw a deployment over the graph's ASs, never assigning RFD to an AS in
+    [exclude] (Beacon origins and their upstream providers). *)
+
+val scope_of : t -> Asn.t -> Policy.rfd_scope
+val params_of : t -> Asn.t -> Rfd_params.t
+val assignment_of : t -> Asn.t -> assignment option
+
+val dampers : t -> Asn.Set.t
+(** Every AS with RFD enabled on at least one session (the ground truth). *)
+
+val detectable_dampers : t -> Asn.Set.t
+(** Dampers whose scope provider-side Beacons can trigger (everything except
+    [Only_customers]). *)
+
+val inconsistent : t -> (Asn.t * Asn.t) option
+(** The planted inconsistent damper and the neighbor it spares, if any. *)
+
+val vendor_share : t -> vendor -> float
+(** Share of dampers using the given parameter family. *)
+
+val pp_vendor : Format.formatter -> vendor -> unit

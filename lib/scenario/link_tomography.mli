@@ -1,0 +1,28 @@
+(** Link-granularity tomography (§6.3).
+
+    Heterogeneous RFD configurations damp {e sessions}, not whole ASs, so the
+    natural unknowns would be AS links.  The paper notes this and observes
+    that path data is too sparse at link granularity to give reasonable
+    results.  Because BeCAUSe is generic, the link problem is the same
+    algorithm over a transformed dataset: each AS path becomes a path of
+    {e link nodes}, and everything downstream (model, samplers, categories)
+    is reused unchanged.
+
+    Links are packed into synthetic ASNs ([a·2¹⁶ + b] with [a < b]), which
+    requires both endpoints below 65536 — true for every generated world. *)
+
+open Because_bgp
+
+val encode : Asn.t * Asn.t -> Asn.t
+(** Raises [Invalid_argument] if either endpoint is ≥ 65536. *)
+
+val decode : Asn.t -> Asn.t * Asn.t
+val is_link_node : Asn.t -> bool
+
+val observations : (Asn.t list * bool) list -> (Asn.t list * bool) list
+(** Transform AS-path observations into link-path observations.  Paths
+    shorter than two ASs are dropped (they cross no link). *)
+
+val median_incidence : (Asn.t list * bool) list -> float
+(** Median number of paths per node of a dataset — the sparsity measure that
+    explains why link granularity fails. *)

@@ -1,0 +1,111 @@
+(** Computations behind the paper's evaluation figures and tables.
+
+    Each function digests campaign outcomes into exactly the series/rows the
+    corresponding figure or table plots; the bench harness does the
+    printing. *)
+
+open Because_bgp
+
+val links_of_path : Asn.t list -> (Asn.t * Asn.t) list
+(** Unordered adjacent-AS pairs along a path ([fst < snd]). *)
+
+type link_coverage = {
+  site_id : int;
+  links_seen : int;
+  share_of_all : float;  (** Fraction of all observed links this site sees (Fig. 6). *)
+}
+
+val site_link_coverage : Campaign.outcome -> link_coverage list * int
+(** Per-site coverage and the total number of distinct observed links. *)
+
+val paths_per_link_median :
+  Campaign.outcome -> all_sites:bool -> float
+(** Median number of observed paths crossing a link, using all sites or only
+    the busiest single site (the paper: 11 vs 3). *)
+
+type overlap = {
+  per_project : (Because_collector.Project.t * int) list;
+  pairwise : ((Because_collector.Project.t * Because_collector.Project.t) * int) list;
+  all_three : int;
+  total : int;
+}
+
+val project_overlap : Campaign.outcome -> overlap
+(** Distinct AS links observed per collector project and their intersections
+    (Fig. 7). *)
+
+type archetype = {
+  label : string;  (** Which Fig. 9 panel this AS illustrates. *)
+  marginal : Because.Posterior.marginal;
+  category : Because.Categorize.t;
+}
+
+val archetypes : World.t -> Campaign.outcome -> archetype list
+(** The four diagnostic marginals of Fig. 9: strong damper, strong
+    non-damper, inconsistent damper, prior recovered. *)
+
+type scatter_point = {
+  asn : Asn.t;
+  mean : float;
+  certainty : float;
+  category : Because.Categorize.t;
+}
+
+val scatter : Campaign.outcome -> scatter_point list
+(** The Fig. 11 scatter: per measured AS, posterior mean vs certainty with
+    its assigned category. *)
+
+type interval_share = {
+  interval : float;
+  consistent : int;      (** Step-1 flagged ASs (Fig. 12 orange). *)
+  with_promotions : int; (** After pinpointing (Fig. 12 blue). *)
+  measured : int;        (** ASs measured in all campaigns. *)
+}
+
+val interval_shares : Campaign.outcome list -> interval_share list
+(** Fig. 12: damping shares per update interval over the ASs measured in
+    every campaign. *)
+
+val damped_path_r_deltas : Campaign.outcome -> float array
+(** Mean r-delta of each damped path (Fig. 13's CDF input). *)
+
+val plateau_mass : float array -> minutes:float -> tolerance:float -> float
+(** Fraction of r-deltas within [tolerance] minutes of a plateau value. *)
+
+(** Ground-truth comparison (Table 3 / Table 4). *)
+
+type verdict_pair = {
+  subject : Asn.t;
+  truth : bool;
+  because_says : bool;
+  heuristics_say : bool;
+  reason : string;  (** Divergence classification in the paper's terms. *)
+}
+
+type ground_truth_report = {
+  cases : verdict_pair list;
+  because_metrics : Because.Evaluate.metrics;
+  heuristic_metrics : Because.Evaluate.metrics;
+}
+
+val against_ground_truth :
+  ?feedback_size:int ->
+  rng:Because_stats.Rng.t ->
+  World.t ->
+  Campaign.outcome ->
+  ground_truth_report
+(** Evaluate both pinpointing methods against the planted deployment on an
+    operator-feedback-style subset: every visible damper plus a sample of
+    clean ASs ([feedback_size] total, default 75 as in the paper). *)
+
+val beacon_update_share : Campaign.outcome -> float
+(** Fraction of dump records caused by Beacon prefixes (Appendix A). *)
+
+val rov_benchmark :
+  rng:Because_stats.Rng.t ->
+  ?config:Because.Infer.config ->
+  Campaign.outcome ->
+  Because_rov.Rov.benchmark
+(** §7: build the ROV dataset from the campaign's observed paths — planting
+    ROV at well-connected transit ASs until ≈90 % of paths are positive —
+    and benchmark BeCAUSe on it. *)

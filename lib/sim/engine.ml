@@ -1,0 +1,26 @@
+type 'a t = { heap : 'a Heap.t; mutable clock : float }
+
+let create () = { heap = Heap.create (); clock = 0.0 }
+let now t = t.clock
+
+let schedule t ~time payload =
+  Heap.push t.heap ~time:(Float.max time t.clock) payload
+
+let pending t = Heap.size t.heap
+
+let step t ~handler =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (time, payload) ->
+      t.clock <- time;
+      handler ~now:time payload;
+      true
+
+let run t ~until ~handler =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time t.heap with
+    | None -> continue := false
+    | Some time when time > until -> continue := false
+    | Some _ -> ignore (step t ~handler)
+  done

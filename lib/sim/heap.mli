@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by (time, insertion sequence).
+
+    Equal-time events pop in insertion order, which keeps the simulator
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option

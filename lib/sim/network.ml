@@ -1,0 +1,117 @@
+open Because_bgp
+
+type event =
+  | Deliver of { from_asn : Asn.t; to_asn : Asn.t; update : Update.t }
+  | Reuse_check of { owner : Asn.t; neighbor : Asn.t; prefix : Prefix.t }
+  | Mrai_expiry of { owner : Asn.t; neighbor : Asn.t; prefix : Prefix.t }
+  | Announce_origin of { origin : Asn.t; prefix : Prefix.t }
+  | Withdraw_origin of { origin : Asn.t; prefix : Prefix.t }
+
+type stats = {
+  mutable deliveries : int;
+  mutable announcements : int;
+  mutable withdrawals : int;
+}
+
+type t = {
+  engine : event Engine.t;
+  routers : (Asn.t, Router.t) Hashtbl.t;
+  delay : from_asn:Asn.t -> to_asn:Asn.t -> float;
+  monitored_set : Asn.Set.t;
+  feeds : (Asn.t, (float * Update.t) list ref) Hashtbl.t;
+  stats : stats;
+}
+
+let create ~configs ~delay ~monitored =
+  let routers = Hashtbl.create (List.length configs) in
+  List.iter
+    (fun (cfg : Router.config) ->
+      if Hashtbl.mem routers cfg.Router.asn then
+        invalid_arg "Network.create: duplicate router";
+      Hashtbl.replace routers cfg.Router.asn (Router.create cfg))
+    configs;
+  {
+    engine = Engine.create ();
+    routers;
+    delay;
+    monitored_set = monitored;
+    feeds = Hashtbl.create (Asn.Set.cardinal monitored);
+    stats = { deliveries = 0; announcements = 0; withdrawals = 0 };
+  }
+
+let router t asn =
+  match Hashtbl.find_opt t.routers asn with
+  | Some r -> r
+  | None -> invalid_arg ("Network.router: unknown AS " ^ Asn.to_string asn)
+
+let record_feed t ~now asn update =
+  if Asn.Set.mem asn t.monitored_set then begin
+    let log =
+      match Hashtbl.find_opt t.feeds asn with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.replace t.feeds asn l;
+          l
+    in
+    log := (now, update) :: !log
+  end
+
+let rec perform t ~now owner actions =
+  List.iter
+    (fun action ->
+      match action with
+      | Router.Send { to_asn; update } ->
+          let d = t.delay ~from_asn:owner ~to_asn in
+          Engine.schedule t.engine ~time:(now +. d)
+            (Deliver { from_asn = owner; to_asn; update })
+      | Router.Set_reuse_timer { neighbor; prefix; at } ->
+          Engine.schedule t.engine ~time:at
+            (Reuse_check { owner; neighbor; prefix })
+      | Router.Set_mrai_timer { neighbor; prefix; at } ->
+          Engine.schedule t.engine ~time:at
+            (Mrai_expiry { owner; neighbor; prefix })
+      | Router.Feed update -> record_feed t ~now owner update)
+    actions
+
+and handle t ~now event =
+  match event with
+  | Deliver { from_asn; to_asn; update } ->
+      t.stats.deliveries <- t.stats.deliveries + 1;
+      (if Update.is_announce update then
+         t.stats.announcements <- t.stats.announcements + 1
+       else t.stats.withdrawals <- t.stats.withdrawals + 1);
+      let r = router t to_asn in
+      perform t ~now to_asn (Router.handle_update r ~now ~from:from_asn update)
+  | Reuse_check { owner; neighbor; prefix } ->
+      let r = router t owner in
+      perform t ~now owner (Router.handle_reuse_check r ~now ~neighbor ~prefix)
+  | Mrai_expiry { owner; neighbor; prefix } ->
+      let r = router t owner in
+      perform t ~now owner (Router.handle_mrai_expiry r ~now ~neighbor ~prefix)
+  | Announce_origin { origin; prefix } ->
+      let r = router t origin in
+      let aggregator =
+        { Update.aggregator_asn = origin; sent_at = now; valid = true }
+      in
+      perform t ~now origin (Router.originate r ~now ~aggregator prefix)
+  | Withdraw_origin { origin; prefix } ->
+      let r = router t origin in
+      perform t ~now origin (Router.withdraw_origin r ~now prefix)
+
+let schedule_announce t ~time ~origin prefix =
+  Engine.schedule t.engine ~time (Announce_origin { origin; prefix })
+
+let schedule_withdraw t ~time ~origin prefix =
+  Engine.schedule t.engine ~time (Withdraw_origin { origin; prefix })
+
+let run t ~until = Engine.run t.engine ~until ~handler:(handle t)
+let now t = Engine.now t.engine
+let stats t = t.stats
+
+let feed t asn =
+  match Hashtbl.find_opt t.feeds asn with
+  | Some l -> List.rev !l
+  | None -> []
+
+let monitored t = t.monitored_set

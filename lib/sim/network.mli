@@ -1,0 +1,50 @@
+(** AS-level BGP network simulation.
+
+    Wires one {!Because_bgp.Router} per AS to the event {!Engine}: [Send]
+    actions become delayed deliveries over the inter-AS link, timer requests
+    become future events, and [Feed] actions are recorded — timestamped — for
+    every monitored AS, forming the raw vantage-point update streams the
+    measurement pipeline consumes. *)
+
+open Because_bgp
+
+type event =
+  | Deliver of { from_asn : Asn.t; to_asn : Asn.t; update : Update.t }
+  | Reuse_check of { owner : Asn.t; neighbor : Asn.t; prefix : Prefix.t }
+  | Mrai_expiry of { owner : Asn.t; neighbor : Asn.t; prefix : Prefix.t }
+  | Announce_origin of { origin : Asn.t; prefix : Prefix.t }
+      (** Beacon announcement: stamped with an aggregator carrying the send
+          time. *)
+  | Withdraw_origin of { origin : Asn.t; prefix : Prefix.t }
+
+type stats = {
+  mutable deliveries : int;      (** Updates delivered over sessions. *)
+  mutable announcements : int;   (** ... of which announcements. *)
+  mutable withdrawals : int;     (** ... of which withdrawals. *)
+}
+
+type t
+
+val create :
+  configs:Router.config list ->
+  delay:(from_asn:Asn.t -> to_asn:Asn.t -> float) ->
+  monitored:Asn.Set.t ->
+  t
+(** [delay] gives the one-way propagation delay of each directed session;
+    [monitored] lists the ASs hosting a full-feed vantage-point session. *)
+
+val schedule_announce : t -> time:float -> origin:Asn.t -> Prefix.t -> unit
+val schedule_withdraw : t -> time:float -> origin:Asn.t -> Prefix.t -> unit
+
+val run : t -> until:float -> unit
+(** Process events up to [until] (inclusive of events at [until]). *)
+
+val now : t -> float
+val router : t -> Asn.t -> Router.t
+val stats : t -> stats
+
+val feed : t -> Asn.t -> (float * Update.t) list
+(** Chronological full-feed observations of a monitored AS ([\[\]] when the
+    AS is not monitored or saw nothing). *)
+
+val monitored : t -> Asn.Set.t

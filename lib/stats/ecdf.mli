@@ -1,0 +1,24 @@
+(** Empirical cumulative distribution functions.
+
+    Drives the CDF figures: propagation-time comparison (Fig. 8) and the
+    re-advertisement-delta plateaus (Fig. 13). *)
+
+type t
+
+val of_array : float array -> t
+(** Build from observations (copied and sorted). *)
+
+val size : t -> int
+
+val eval : t -> float -> float
+(** [eval t x] is the fraction of observations ≤ [x]. *)
+
+val quantile : t -> float -> float
+(** Inverse CDF by order statistic. *)
+
+val series : ?points:int -> t -> (float * float) list
+(** [series ~points t] samples [points] (default 20) equally spaced x-values
+    spanning the data range, as [(x, F(x))] pairs ready for printing. *)
+
+val support : t -> float * float
+(** Smallest and largest observation. *)

@@ -1,0 +1,25 @@
+type t = { lo : float; hi : float }
+
+let width t = t.hi -. t.lo
+
+let compute ?(mass = 0.95) samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Hdpi.compute: empty sample array";
+  if mass <= 0.0 || mass > 1.0 then
+    invalid_arg "Hdpi.compute: mass outside (0,1]";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let window = Stdlib.max 1 (int_of_float (Float.ceil (mass *. float_of_int n))) in
+  let window = Stdlib.min window n in
+  let best = ref 0 in
+  let best_width = ref infinity in
+  for i = 0 to n - window do
+    let w = sorted.(i + window - 1) -. sorted.(i) in
+    if w < !best_width then begin
+      best_width := w;
+      best := i
+    end
+  done;
+  { lo = sorted.(!best); hi = sorted.(!best + window - 1) }
+
+let contains t x = x >= t.lo && x <= t.hi

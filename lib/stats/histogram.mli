@@ -1,0 +1,38 @@
+(** Fixed-bin histograms.
+
+    Used for the marginal-posterior pictures (Fig. 9), the Burst announcement
+    distributions (Fig. 10), and general reporting. *)
+
+type t = {
+  lo : float;            (** Inclusive lower edge of the first bin. *)
+  hi : float;            (** Exclusive upper edge of the last bin. *)
+  counts : int array;    (** One count per bin. *)
+  total : int;           (** Number of in-range observations. *)
+}
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Empty histogram with [bins] equal-width bins over [\[lo, hi)]. *)
+
+val add : t -> float -> t
+(** Add one observation.  Values outside [\[lo, hi)] are clamped into the
+    first/last bin (posterior samples live on a known support, so clamping
+    only absorbs floating-point edge cases). *)
+
+val of_array : lo:float -> hi:float -> bins:int -> float array -> t
+
+val bin_center : t -> int -> float
+val bin_width : t -> float
+
+val densities : t -> float array
+(** Counts normalised so the histogram integrates to 1. *)
+
+val mode_bin : t -> int
+(** Index of the fullest bin (ties break low). *)
+
+val heights : t -> float array
+(** Raw counts as floats; convenient for regression over bin heights. *)
+
+val sparkline : t -> string
+(** Compact unicode bar rendering for terminal output. *)
+
+val pp : Format.formatter -> t -> unit

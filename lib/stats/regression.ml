@@ -1,0 +1,31 @@
+type fit = { slope : float; intercept : float; r2 : float }
+
+let fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regression.fit: length mismatch";
+  if n < 2 then invalid_arg "Regression.fit: need at least two points";
+  let mx = Summary.mean xs and my = Summary.mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 then invalid_arg "Regression.fit: constant x";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if !syy = 0.0 then 0.0 else !sxy *. !sxy /. (!sxx *. !syy) in
+  { slope; intercept; r2 }
+
+let fit_heights ys =
+  let xs = Array.init (Array.length ys) float_of_int in
+  fit xs ys
+
+let predict f x = (f.slope *. x) +. f.intercept
+
+let relative_change f ~n =
+  let y0 = predict f 0.0 in
+  let y1 = predict f (float_of_int (n - 1)) in
+  if Float.abs y0 < 1e-9 then if y1 > y0 then 1.0 else 0.0
+  else (y1 -. y0) /. y0

@@ -1,0 +1,24 @@
+(** Ordinary least squares on (x, y) pairs.
+
+    Heuristic M3 (§5.2.3) fits a line through the 40-bin announcement
+    histogram of a Burst and scores the slope and relative change. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** Coefficient of determination; 0 when y is constant. *)
+}
+
+val fit : float array -> float array -> fit
+(** [fit xs ys] fits [y = slope·x + intercept].  Requires equal lengths ≥ 2
+    and non-constant [xs]. *)
+
+val fit_heights : float array -> fit
+(** [fit_heights ys] regresses against bin indices 0, 1, …  — the exact
+    operation Fig. 10 performs on histogram heights. *)
+
+val predict : fit -> float -> float
+
+val relative_change : fit -> n:int -> float
+(** Fitted relative change over [n] bins: (ŷ(n−1) − ŷ(0)) / ŷ(0), with a
+    guard for a near-zero start.  Negative when announcements die out. *)

@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of this repository draw their randomness from an
+    explicit [Rng.t] so that every simulation, campaign and MCMC run is
+    reproducible bit-for-bit from a seed.  The generator is SplitMix64
+    (Steele, Lea & Flood 2014): a tiny, fast, well-distributed 64-bit
+    generator that also supports cheap splitting into independent streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed.  Equal seeds
+    produce equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent child generator and
+    advances [t].  Used to give subsystems their own streams so that adding
+    draws in one subsystem does not perturb another. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** [float t] is uniform on [\[0, 1)] with 53-bit resolution. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val range_float : t -> float -> float -> float
+(** [range_float t lo hi] is uniform on [\[lo, hi)]. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> 'a array -> 'a array
+(** [sample_without_replacement t k arr] returns [k] distinct elements chosen
+    uniformly.  Raises [Invalid_argument] if [k > Array.length arr]. *)

@@ -1,0 +1,116 @@
+open Because_bgp
+module Rng = Because_stats.Rng
+
+type params = {
+  n_tier1 : int;
+  n_transit : int;
+  n_stub : int;
+  transit_max_providers : int;
+  stub_max_providers : int;
+  transit_peer_degree : float;
+}
+
+let default_params =
+  {
+    n_tier1 = 8;
+    n_transit = 80;
+    n_stub = 360;
+    transit_max_providers = 3;
+    stub_max_providers = 3;
+    transit_peer_degree = 1.5;
+  }
+
+let by_tier g tier =
+  List.filter (fun a -> Graph.tier_of g a = tier) (Graph.ases g)
+
+let tier1_asns g = by_tier g Graph.Tier1
+let transit_asns g = by_tier g Graph.Transit
+let stub_asns g = by_tier g Graph.Stub
+
+(* Preferential attachment: weight each candidate provider by current degree
+   plus a smoothing constant, so early transits accrete large cones. *)
+let pick_provider rng g candidates exclude =
+  let eligible =
+    List.filter (fun a -> not (List.exists (Asn.equal a) exclude)) candidates
+  in
+  match eligible with
+  | [] -> None
+  | _ ->
+      let arr = Array.of_list eligible in
+      let weights =
+        Array.map (fun a -> float_of_int (Graph.degree g a) +. 1.0) arr
+      in
+      Some arr.(Because_stats.Dist.categorical rng weights)
+
+let generate rng params =
+  if params.n_tier1 < 2 then invalid_arg "Generate: need at least 2 tier-1s";
+  let g = Graph.create () in
+  let tier1 =
+    List.init params.n_tier1 (fun i -> Asn.of_int (100 + (i * 100)))
+  in
+  let transit =
+    List.init params.n_transit (fun i -> Asn.of_int (1000 + i))
+  in
+  let stub = List.init params.n_stub (fun i -> Asn.of_int (10000 + i)) in
+  List.iter (fun a -> Graph.add_as g a Graph.Tier1) tier1;
+  List.iter (fun a -> Graph.add_as g a Graph.Transit) transit;
+  List.iter (fun a -> Graph.add_as g a Graph.Stub) stub;
+  (* Tier-1 full mesh of peer links. *)
+  let rec clique = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter (fun b -> Graph.add_peer_link g a b) rest;
+        clique rest
+  in
+  clique tier1;
+  (* Transits attach to 1..max providers drawn from tier-1s and
+     already-placed transits (preferentially by degree). *)
+  let placed_transit = ref [] in
+  List.iter
+    (fun a ->
+      let n_providers = 1 + Rng.int rng params.transit_max_providers in
+      let candidates = tier1 @ !placed_transit in
+      let chosen = ref [] in
+      for _ = 1 to n_providers do
+        match pick_provider rng g candidates (a :: !chosen) with
+        | Some p ->
+            Graph.add_customer_link g ~provider:p ~customer:a;
+            chosen := p :: !chosen
+        | None -> ()
+      done;
+      placed_transit := a :: !placed_transit)
+    transit;
+  (* Lateral transit peering. *)
+  let transit_arr = Array.of_list transit in
+  let n_peer_links =
+    int_of_float
+      (params.transit_peer_degree *. float_of_int params.n_transit /. 2.0)
+  in
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < n_peer_links && !attempts < n_peer_links * 20 do
+    incr attempts;
+    let a = Rng.choice rng transit_arr in
+    let b = Rng.choice rng transit_arr in
+    if (not (Asn.equal a b)) && not (Graph.has_link g a b) then begin
+      Graph.add_peer_link g a b;
+      incr added
+    end
+  done;
+  (* Stubs multihome to transits (and occasionally a tier-1). *)
+  List.iter
+    (fun a ->
+      let n_providers = 1 + Rng.int rng params.stub_max_providers in
+      let candidates =
+        if Rng.float rng < 0.05 then tier1 @ transit else transit
+      in
+      let chosen = ref [] in
+      for _ = 1 to n_providers do
+        match pick_provider rng g candidates (a :: !chosen) with
+        | Some p ->
+            Graph.add_customer_link g ~provider:p ~customer:a;
+            chosen := p :: !chosen
+        | None -> ()
+      done)
+    stub;
+  g

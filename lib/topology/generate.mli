@@ -1,0 +1,29 @@
+(** Internet-like AS topology generation.
+
+    Produces a three-tier hierarchy: a clique of Tier-1 providers, a layer of
+    transit ASs multihomed to providers chosen by preferential attachment
+    (yielding the heavy-tailed customer cones of the real AS graph), lateral
+    peering between transits, and stub ASs at the edge.  All randomness comes
+    from the supplied {!Because_stats.Rng.t}, so a (seed, params) pair
+    identifies a topology. *)
+
+open Because_bgp
+
+type params = {
+  n_tier1 : int;            (** Size of the Tier-1 clique. *)
+  n_transit : int;
+  n_stub : int;
+  transit_max_providers : int;  (** Providers per transit AS (1..max). *)
+  stub_max_providers : int;     (** Providers per stub AS (1..max). *)
+  transit_peer_degree : float;  (** Expected lateral peer links per transit. *)
+}
+
+val default_params : params
+(** 8 Tier-1s, 80 transits, 360 stubs — a few-hundred-AS world comparable in
+    diversity (not size) to the measured Internet slice in the paper. *)
+
+val generate : Because_stats.Rng.t -> params -> Graph.t
+
+val tier1_asns : Graph.t -> Asn.t list
+val transit_asns : Graph.t -> Asn.t list
+val stub_asns : Graph.t -> Asn.t list

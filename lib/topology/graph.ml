@@ -1,0 +1,87 @@
+open Because_bgp
+
+type tier = Tier1 | Transit | Stub
+
+type t = {
+  mutable order : Asn.t list;  (* reversed registration order *)
+  tiers : (Asn.t, tier) Hashtbl.t;
+  adj : (Asn.t, (Asn.t * Policy.relationship) list ref) Hashtbl.t;
+  mutable n_links : int;
+}
+
+let create () =
+  { order = []; tiers = Hashtbl.create 64; adj = Hashtbl.create 64;
+    n_links = 0 }
+
+let add_as t asn tier =
+  if Hashtbl.mem t.tiers asn then
+    invalid_arg ("Graph.add_as: duplicate " ^ Asn.to_string asn);
+  Hashtbl.replace t.tiers asn tier;
+  Hashtbl.replace t.adj asn (ref []);
+  t.order <- asn :: t.order
+
+let adj_exn t asn =
+  match Hashtbl.find_opt t.adj asn with
+  | Some l -> l
+  | None -> invalid_arg ("Graph: unknown AS " ^ Asn.to_string asn)
+
+let has_link t a b =
+  List.exists (fun (n, _) -> Asn.equal n b) !(adj_exn t a)
+
+let add_edge t a b rel_of_b_for_a =
+  if Asn.equal a b then invalid_arg "Graph: self link";
+  if has_link t a b then invalid_arg "Graph: duplicate link";
+  let la = adj_exn t a and lb = adj_exn t b in
+  la := (b, rel_of_b_for_a) :: !la;
+  lb := (a, Policy.flip rel_of_b_for_a) :: !lb;
+  t.n_links <- t.n_links + 1
+
+let add_customer_link t ~provider ~customer =
+  (* From the provider's viewpoint the neighbor is a customer. *)
+  add_edge t provider customer Policy.Customer
+
+let add_peer_link t a b = add_edge t a b Policy.Peer
+
+let ases t = List.rev t.order
+let size t = Hashtbl.length t.tiers
+let link_count t = t.n_links
+
+let tier_of t asn =
+  match Hashtbl.find_opt t.tiers asn with
+  | Some tier -> tier
+  | None -> invalid_arg ("Graph.tier_of: unknown AS " ^ Asn.to_string asn)
+
+let neighbors t asn = !(adj_exn t asn)
+
+let links t =
+  Hashtbl.fold
+    (fun a l acc ->
+      List.fold_left
+        (fun acc (b, _) ->
+          if Asn.compare a b < 0 then (a, b) :: acc else acc)
+        acc !l)
+    t.adj []
+
+let degree t asn = List.length (neighbors t asn)
+
+let customer_cone_size t asn =
+  let seen = Hashtbl.create 16 in
+  let rec descend a =
+    List.iter
+      (fun (n, rel) ->
+        match rel with
+        | Policy.Customer ->
+            if not (Hashtbl.mem seen n) then begin
+              Hashtbl.replace seen n ();
+              descend n
+            end
+        | Policy.Peer | Policy.Provider -> ())
+      (neighbors t a)
+  in
+  descend asn;
+  Hashtbl.length seen
+
+let pp_tier fmt = function
+  | Tier1 -> Format.pp_print_string fmt "tier1"
+  | Transit -> Format.pp_print_string fmt "transit"
+  | Stub -> Format.pp_print_string fmt "stub"

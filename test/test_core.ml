@@ -1,0 +1,251 @@
+(* Tomography, Prior, Model — the BeCAUSe core. *)
+open Because_bgp
+module Tomography = Because.Tomography
+module Prior = Because.Prior
+module Model = Because.Model
+module Rng = Because_stats.Rng
+
+let asn = Asn.of_int
+let path ints = List.map asn ints
+
+let obs =
+  [ (path [ 1; 2; 3 ], true); (path [ 1; 4 ], false); (path [ 2; 4 ], true) ]
+
+let test_tomography_indexing () =
+  let data = Tomography.of_observations obs in
+  Alcotest.(check int) "nodes" 4 (Tomography.n_nodes data);
+  Alcotest.(check int) "paths" 3 (Tomography.n_paths data);
+  (* first-appearance order: 1,2,3,4 *)
+  Alcotest.(check int) "node 0" 1 (Asn.to_int (Tomography.node data 0));
+  Alcotest.(check int) "node 3" 4 (Asn.to_int (Tomography.node data 3));
+  Alcotest.(check (option int)) "index of AS2" (Some 1)
+    (Tomography.index_of data (asn 2));
+  Alcotest.(check (option int)) "unknown" None
+    (Tomography.index_of data (asn 99));
+  Alcotest.(check bool) "label 0" true (Tomography.label data 0);
+  Alcotest.(check bool) "label 1" false (Tomography.label data 1)
+
+let test_tomography_incidence () =
+  let data = Tomography.of_observations obs in
+  let through asn_int =
+    let i = Option.get (Tomography.index_of data (asn asn_int)) in
+    Array.to_list (Tomography.paths_through data i)
+  in
+  Alcotest.(check (list int)) "AS1 on paths 0,1" [ 0; 1 ] (through 1);
+  Alcotest.(check (list int)) "AS2 on paths 0,2" [ 0; 2 ] (through 2);
+  Alcotest.(check (list int)) "AS4 on paths 1,2" [ 1; 2 ] (through 4)
+
+let test_tomography_share () =
+  let data = Tomography.of_observations obs in
+  Alcotest.(check (float 1e-9)) "positive share" (2.0 /. 3.0)
+    (Tomography.positive_share data);
+  Alcotest.(check int) "rfd count" 2 (Tomography.rfd_path_count data)
+
+let test_tomography_invalid () =
+  Alcotest.(check bool) "empty obs" true
+    (try ignore (Tomography.of_observations []); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty path" true
+    (try ignore (Tomography.of_observations [ ([], true) ]); false
+     with Invalid_argument _ -> true)
+
+let test_prior_log_pdfs () =
+  Alcotest.(check (float 0.0)) "uniform inside" 0.0 (Prior.log_pdf Prior.Uniform 0.3);
+  Alcotest.(check (float 0.0)) "uniform outside" neg_infinity
+    (Prior.log_pdf Prior.Uniform 1.5);
+  (* Beta(1,1) = uniform on (0,1) *)
+  Alcotest.(check (float 1e-9)) "beta(1,1)" 0.0
+    (Prior.log_pdf (Prior.Beta { a = 1.0; b = 1.0 }) 0.42);
+  (* near-zero prior prefers small p *)
+  Alcotest.(check bool) "near-zero decreasing" true
+    (Prior.log_pdf Prior.Near_zero 0.05 > Prior.log_pdf Prior.Near_zero 0.5)
+
+let test_prior_grad () =
+  (* finite-difference check of the Beta gradient *)
+  let prior = Prior.Beta { a = 2.0; b = 3.0 } in
+  let eps = 1e-6 in
+  List.iter
+    (fun p ->
+      let fd = (Prior.log_pdf prior (p +. eps) -. Prior.log_pdf prior (p -. eps)) /. (2.0 *. eps) in
+      let g = Prior.grad_log_pdf prior p in
+      Alcotest.(check bool)
+        (Printf.sprintf "grad at %.2f (fd %.4f vs %.4f)" p fd g)
+        true
+        (Float.abs (fd -. g) < 1e-3))
+    [ 0.2; 0.5; 0.8 ]
+
+(* Hand-computable likelihood: one positive path over two nodes. *)
+let test_likelihood_hand_computed () =
+  let data = Tomography.of_observations [ (path [ 1; 2 ], true) ] in
+  let model = Model.create ~prior:Prior.Uniform data in
+  let p = [| 0.5; 0.5 |] in
+  (* P = 1 − q1·q2 = 1 − 0.25 = 0.75 *)
+  Alcotest.(check (float 1e-9)) "positive path" (Float.log 0.75)
+    (Model.log_likelihood model p);
+  let data2 = Tomography.of_observations [ (path [ 1; 2 ], false) ] in
+  let model2 = Model.create ~prior:Prior.Uniform data2 in
+  (* P = q1·q2 = 0.25 *)
+  Alcotest.(check (float 1e-9)) "negative path" (Float.log 0.25)
+    (Model.log_likelihood model2 p)
+
+let test_likelihood_factorises () =
+  let data = Tomography.of_observations obs in
+  let model = Model.create ~prior:Prior.Uniform data in
+  let p = [| 0.3; 0.1; 0.6; 0.2 |] in
+  let expected =
+    Float.log (1.0 -. (0.7 *. 0.9 *. 0.4))   (* path 1-2-3 positive *)
+    +. Float.log (0.7 *. 0.8)                 (* path 1-4 negative *)
+    +. Float.log (1.0 -. (0.9 *. 0.8))        (* path 2-4 positive *)
+  in
+  Alcotest.(check (float 1e-9)) "matches closed form" expected
+    (Model.log_likelihood model p)
+
+let test_posterior_includes_prior () =
+  let data = Tomography.of_observations obs in
+  let prior = Prior.Beta { a = 2.0; b = 2.0 } in
+  let model = Model.create ~prior data in
+  let p = [| 0.3; 0.1; 0.6; 0.2 |] in
+  Alcotest.(check (float 1e-9)) "posterior = likelihood + prior"
+    (Model.log_likelihood model p +. Model.log_prior model p)
+    (Model.log_posterior model p)
+
+let test_node_prior_override () =
+  let data = Tomography.of_observations obs in
+  let model =
+    Model.create ~prior:Prior.Uniform
+      ~node_priors:[ (asn 3, Prior.Near_zero) ]
+      data
+  in
+  let base = Model.create ~prior:Prior.Uniform data in
+  let p = [| 0.3; 0.1; 0.6; 0.2 |] in
+  Alcotest.(check (float 1e-9)) "override changes prior only"
+    (Model.log_prior model p -. Prior.log_pdf Prior.Near_zero 0.6)
+    (Model.log_prior base p -. Prior.log_pdf Prior.Uniform 0.6)
+
+(* The §7.2 error-aware likelihood. *)
+
+let test_epsilon_zero_equivalence () =
+  let data = Tomography.of_observations obs in
+  let base = Model.create ~prior:Prior.Uniform data in
+  let with_eps = Model.create ~prior:Prior.Uniform ~false_negative_rate:0.0 data in
+  let p = [| 0.3; 0.1; 0.6; 0.2 |] in
+  Alcotest.(check (float 1e-12)) "identical at eps=0"
+    (Model.log_posterior base p)
+    (Model.log_posterior with_eps p)
+
+let test_epsilon_softens_clean_paths () =
+  (* With a false-negative rate, a clean label is weaker evidence: the
+     likelihood at high p is less punishing. *)
+  let data = Tomography.of_observations [ (path [ 1 ], false) ] in
+  let strict = Model.create ~prior:Prior.Uniform data in
+  let lenient =
+    Model.create ~prior:Prior.Uniform ~false_negative_rate:0.3 data
+  in
+  let p = [| 0.9 |] in
+  Alcotest.(check bool) "lenient model dominates" true
+    (Model.log_likelihood lenient p > Model.log_likelihood strict p);
+  (* and a positive label costs the constant ln(1−ε) *)
+  let data_pos = Tomography.of_observations [ (path [ 1 ], true) ] in
+  let strict_pos = Model.create ~prior:Prior.Uniform data_pos in
+  let lenient_pos =
+    Model.create ~prior:Prior.Uniform ~false_negative_rate:0.3 data_pos
+  in
+  Alcotest.(check (float 1e-9)) "positive label offset"
+    (Model.log_likelihood strict_pos p +. Float.log 0.7)
+    (Model.log_likelihood lenient_pos p)
+
+let test_epsilon_invalid () =
+  let data = Tomography.of_observations obs in
+  Alcotest.(check bool) "rejects eps >= 1" true
+    (try ignore (Model.create ~false_negative_rate:1.0 data); false
+     with Invalid_argument _ -> true)
+
+let random_dataset rng ~nodes ~paths =
+  let observations =
+    List.init paths (fun _ ->
+        let len = 2 + Rng.int rng 4 in
+        let used = Array.init len (fun _ -> 1 + Rng.int rng nodes) in
+        let distinct = List.sort_uniq Int.compare (Array.to_list used) in
+        (path distinct, Rng.bool rng))
+  in
+  Tomography.of_observations observations
+
+let qcheck_delta_matches_full =
+  QCheck.Test.make ~name:"single-site delta equals full recompute" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let data = random_dataset rng ~nodes:8 ~paths:15 in
+      let epsilon = if seed mod 2 = 0 then 0.0 else 0.05 in
+      let model = Model.create ~false_negative_rate:epsilon data in
+      let n = Tomography.n_nodes data in
+      let p = Array.init n (fun _ -> 0.05 +. (0.9 *. Rng.float rng)) in
+      let i = Rng.int rng n in
+      let v = 0.05 +. (0.9 *. Rng.float rng) in
+      let delta = Model.delta_log_posterior model p i v in
+      let p' = Array.copy p in
+      p'.(i) <- v;
+      let full = Model.log_posterior model p' -. Model.log_posterior model p in
+      Float.abs (delta -. full) < 1e-8)
+
+let qcheck_gradient_matches_fd =
+  QCheck.Test.make ~name:"analytic gradient matches finite differences"
+    ~count:30 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 100) in
+      let data = random_dataset rng ~nodes:6 ~paths:10 in
+      let epsilon = if seed mod 2 = 0 then 0.0 else 0.08 in
+      let model = Model.create ~false_negative_rate:epsilon data in
+      let target = Model.target model in
+      let n = Tomography.n_nodes data in
+      let p = Array.init n (fun _ -> 0.2 +. (0.6 *. Rng.float rng)) in
+      match Because_mcmc.Target.check_gradient target ~at:p ~eps:1e-6 ~tol:1e-3 with
+      | Ok () -> true
+      | Error _ -> false)
+
+let qcheck_likelihood_is_log_probability =
+  QCheck.Test.make ~name:"log likelihood never exceeds 0" ~count:80
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 300) in
+      let data = random_dataset rng ~nodes:8 ~paths:12 in
+      let model = Model.create ~prior:Prior.Uniform data in
+      let n = Tomography.n_nodes data in
+      let p = Array.init n (fun _ -> Rng.float rng) in
+      Model.log_likelihood model p <= 1e-12)
+
+let qcheck_likelihood_monotone_on_positive =
+  QCheck.Test.make
+    ~name:"raising p on a positive-only node raises the likelihood" ~count:50
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 200) in
+      (* one positive path through node 1 *)
+      let data = Tomography.of_observations [ (path [ 1; 2 ], true) ] in
+      let model = Model.create ~prior:Prior.Uniform data in
+      let base = 0.1 +. (0.4 *. Rng.float rng) in
+      let higher = base +. 0.2 in
+      let ll v = Model.log_likelihood model [| v; 0.3 |] in
+      ll higher > ll base)
+
+let suite =
+  ( "core-model",
+    [
+      Alcotest.test_case "tomography indexing" `Quick test_tomography_indexing;
+      Alcotest.test_case "tomography incidence" `Quick test_tomography_incidence;
+      Alcotest.test_case "positive share" `Quick test_tomography_share;
+      Alcotest.test_case "tomography invalid" `Quick test_tomography_invalid;
+      Alcotest.test_case "prior log pdfs" `Quick test_prior_log_pdfs;
+      Alcotest.test_case "prior gradient" `Quick test_prior_grad;
+      Alcotest.test_case "likelihood hand computed" `Quick
+        test_likelihood_hand_computed;
+      Alcotest.test_case "likelihood factorises" `Quick test_likelihood_factorises;
+      Alcotest.test_case "posterior = ll + prior" `Quick
+        test_posterior_includes_prior;
+      Alcotest.test_case "node prior override" `Quick test_node_prior_override;
+      Alcotest.test_case "epsilon=0 equivalence" `Quick
+        test_epsilon_zero_equivalence;
+      Alcotest.test_case "epsilon softens clean labels" `Quick
+        test_epsilon_softens_clean_paths;
+      Alcotest.test_case "epsilon validation" `Quick test_epsilon_invalid;
+      QCheck_alcotest.to_alcotest qcheck_likelihood_is_log_probability;
+      QCheck_alcotest.to_alcotest qcheck_delta_matches_full;
+      QCheck_alcotest.to_alcotest qcheck_gradient_matches_fd;
+      QCheck_alcotest.to_alcotest qcheck_likelihood_monotone_on_positive;
+    ] )

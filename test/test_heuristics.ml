@@ -1,0 +1,164 @@
+open Because_bgp
+module Path_ratio = Because_heuristics.Path_ratio
+module Alt_paths = Because_heuristics.Alt_paths
+module Burst_slope = Because_heuristics.Burst_slope
+module Combine = Because_heuristics.Combine
+module Label = Because_labeling.Label
+module Vantage = Because_collector.Vantage
+module Dump = Because_collector.Dump
+
+let asn = Asn.of_int
+let path ints = List.map asn ints
+
+let test_path_ratio () =
+  let obs =
+    [ (path [ 1; 2 ], true); (path [ 1; 3 ], true); (path [ 1; 4 ], false);
+      (path [ 5; 4 ], false) ]
+  in
+  let scores = Path_ratio.scores obs in
+  let s i = Asn.Map.find (asn i) scores in
+  Alcotest.(check (float 1e-9)) "AS1 two thirds" (2.0 /. 3.0) (s 1);
+  Alcotest.(check (float 1e-9)) "AS2 full" 1.0 (s 2);
+  Alcotest.(check (float 1e-9)) "AS4 zero" 0.0 (s 4);
+  Alcotest.(check (float 1e-9)) "AS5 zero" 0.0 (s 5)
+
+let test_path_ratio_prepending_safe () =
+  (* An AS appearing twice on one path counts once. *)
+  let obs = [ (path [ 1; 1; 2 ], true) ] in
+  let scores = Path_ratio.scores obs in
+  Alcotest.(check (float 1e-9)) "counted once" 1.0 (Asn.Map.find (asn 1) scores)
+
+let vp = Vantage.make ~vp_id:0 ~host_asn:(asn 9) ~project:Because_collector.Project.Isolario
+let prefix = Prefix.of_string "10.0.1.0/24"
+
+let labeled ~rfd ~p ~alternatives =
+  {
+    Label.prefix;
+    vp;
+    path = path p;
+    rfd;
+    matched_pairs = (if rfd then 2 else 0);
+    total_pairs = 2;
+    pairs = [];
+    mean_r_delta = None;
+    alternatives = List.map path alternatives;
+  }
+
+let test_alt_paths () =
+  (* Damped path through AS7; both alternatives avoid AS7 but use AS8. *)
+  let lps =
+    [
+      labeled ~rfd:true ~p:[ 9; 7; 1 ] ~alternatives:[ [ 9; 8; 1 ]; [ 9; 8; 2; 1 ] ];
+      labeled ~rfd:false ~p:[ 9; 8; 1 ] ~alternatives:[];
+    ]
+  in
+  let scores = Alt_paths.scores lps in
+  let s i = Asn.Map.find (asn i) scores in
+  Alcotest.(check (float 1e-9)) "damper avoided on all alternatives" 1.0 (s 7);
+  (* AS9 (the vantage host) is on every alternative. *)
+  Alcotest.(check (float 1e-9)) "host never avoided" 0.0 (s 9);
+  (* AS8 not on any damped primary: default 0. *)
+  Alcotest.(check (float 1e-9)) "clean AS defaults to 0" 0.0 (s 8)
+
+let test_alt_paths_no_alternatives () =
+  let lps = [ labeled ~rfd:true ~p:[ 9; 7; 1 ] ~alternatives:[] ] in
+  let scores = Alt_paths.scores lps in
+  Alcotest.(check (float 1e-9)) "no alternatives → 0" 0.0
+    (Asn.Map.find (asn 7) scores)
+
+let test_burst_slope_scores () =
+  (* A histogram that dies out scores ~1; flat scores 0. *)
+  let dying = Array.init 40 (fun i -> Float.max 0.0 (20.0 -. float_of_int i)) in
+  Alcotest.(check bool) "dying scores high" true
+    (Burst_slope.score_of_histogram dying > 0.8);
+  let flat = Array.make 40 5.0 in
+  Alcotest.(check (float 1e-9)) "flat scores 0" 0.0
+    (Burst_slope.score_of_histogram flat);
+  let sparse = Array.make 40 0.1 in
+  Alcotest.(check (float 1e-9)) "too little data scores 0" 0.0
+    (Burst_slope.score_of_histogram sparse);
+  let rising = Array.init 40 (fun i -> float_of_int i) in
+  Alcotest.(check (float 1e-9)) "rising clamps to 0" 0.0
+    (Burst_slope.score_of_histogram rising)
+
+let record t p =
+  {
+    Dump.received_at = t;
+    export_at = t;
+    vp;
+    update =
+      Update.Announce
+        {
+          prefix;
+          as_path = path p;
+          aggregator =
+            Some { Update.aggregator_asn = asn 1; sent_at = t; valid = true };
+        };
+  }
+
+let test_burst_slope_histograms () =
+  (* Burst [0, 400): AS7's announcements stop halfway, AS8's run through. *)
+  let records =
+    List.init 20 (fun k -> record (float_of_int k *. 10.0) [ 9; 7; 1 ])
+    @ List.init 40 (fun k -> record (float_of_int k *. 10.0) [ 9; 8; 1 ])
+  in
+  let windows_of p = if Prefix.equal p prefix then [ (0.0, 400.0, 800.0) ] else [] in
+  let scores = Burst_slope.scores ~records ~windows_of in
+  let s i = Asn.Map.find (asn i) scores in
+  Alcotest.(check bool)
+    (Printf.sprintf "AS7 dies out (%.2f)" (s 7))
+    true (s 7 > 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "AS8 stays flat (%.2f)" (s 8))
+    true (s 8 < 0.2)
+
+let test_combine () =
+  let records =
+    List.init 10 (fun k -> record (float_of_int k *. 10.0) [ 9; 7; 1 ])
+    @ List.init 40 (fun k -> record (float_of_int k *. 10.0) [ 9; 8; 1 ])
+  in
+  let windows_of p = if Prefix.equal p prefix then [ (0.0, 400.0, 800.0) ] else [] in
+  let lps =
+    [
+      labeled ~rfd:true ~p:[ 9; 7; 1 ] ~alternatives:[ [ 9; 8; 1 ] ];
+      labeled ~rfd:false ~p:[ 9; 8; 1 ] ~alternatives:[ [ 9; 7; 1 ] ];
+    ]
+  in
+  let verdicts = Combine.evaluate ~records ~labeled:lps ~windows_of () in
+  let v7 = List.find (fun v -> Asn.equal v.Combine.asn (asn 7)) verdicts in
+  let v8 = List.find (fun v -> Asn.equal v.Combine.asn (asn 8)) verdicts in
+  Alcotest.(check (float 1e-9)) "m1 of damper" 1.0 v7.Combine.m1;
+  Alcotest.(check bool) "damper scores above clean" true
+    (v7.Combine.combined > v8.Combine.combined);
+  Alcotest.(check bool) "sorted descending" true
+    (List.for_all2
+       (fun a b -> a.Combine.combined >= b.Combine.combined)
+       (List.filteri (fun i _ -> i < List.length verdicts - 1) verdicts)
+       (List.tl verdicts));
+  Alcotest.(check (float 1e-9)) "combined is the mean"
+    ((v7.Combine.m1 +. v7.Combine.m2 +. v7.Combine.m3) /. 3.0)
+    v7.Combine.combined
+
+let test_damping_set_threshold () =
+  let records = [] in
+  let windows_of _ = [] in
+  let lps =
+    [ labeled ~rfd:true ~p:[ 7 ] ~alternatives:[] ] (* m1(7) = 1.0 *)
+  in
+  let verdicts = Combine.evaluate ~threshold:0.3 ~records ~labeled:lps ~windows_of () in
+  let s = Combine.damping_set verdicts in
+  Alcotest.(check (list int)) "threshold applied" [ 7 ]
+    (List.map Asn.to_int (Asn.Set.elements s))
+
+let suite =
+  ( "heuristics",
+    [
+      Alcotest.test_case "M1 path ratio" `Quick test_path_ratio;
+      Alcotest.test_case "M1 prepending safe" `Quick test_path_ratio_prepending_safe;
+      Alcotest.test_case "M2 alternative paths" `Quick test_alt_paths;
+      Alcotest.test_case "M2 no alternatives" `Quick test_alt_paths_no_alternatives;
+      Alcotest.test_case "M3 score shapes" `Quick test_burst_slope_scores;
+      Alcotest.test_case "M3 histograms" `Quick test_burst_slope_histograms;
+      Alcotest.test_case "combine" `Quick test_combine;
+      Alcotest.test_case "damping set threshold" `Quick test_damping_set_threshold;
+    ] )

@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "because"
+    [
+      Test_rng.suite;
+      Test_special.suite;
+      Test_dist.suite;
+      Test_stats.suite;
+      Test_mcmc.suite;
+      Test_bgp_types.suite;
+      Test_rfd.suite;
+      Test_policy.suite;
+      Test_router.suite;
+      Test_sim.suite;
+      Test_topology.suite;
+      Test_beacon.suite;
+      Test_collector.suite;
+      Test_wire.suite;
+      Test_session.suite;
+      Test_labeling.suite;
+      Test_core.suite;
+      Test_inference.suite;
+      Test_heuristics.suite;
+      Test_rov.suite;
+      Test_sat.suite;
+      Test_report.suite;
+      Test_scenario.suite;
+      Test_integration.suite;
+    ]

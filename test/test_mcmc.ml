@@ -1,0 +1,263 @@
+module Rng = Because_stats.Rng
+module Dist = Because_stats.Dist
+module Summary = Because_stats.Summary
+module Target = Because_mcmc.Target
+module Chain = Because_mcmc.Chain
+module Metropolis = Because_mcmc.Metropolis
+module Hmc = Because_mcmc.Hmc
+module Gibbs = Because_mcmc.Gibbs
+module Diagnostics = Because_mcmc.Diagnostics
+
+let close msg expected actual tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %.4f, got %.4f)" msg expected actual)
+    true
+    (Float.abs (expected -. actual) < tol)
+
+(* A 2-d Gaussian target on ℝ² with means (1, −2) and σ = (1, 0.5). *)
+let gaussian_target =
+  let mu = [| 1.0; -2.0 |] and sigma = [| 1.0; 0.5 |] in
+  Target.create ~dim:2 ~support:Target.Unbounded
+    ~grad:(fun p ->
+      Array.init 2 (fun i -> -.(p.(i) -. mu.(i)) /. (sigma.(i) *. sigma.(i))))
+    (fun p ->
+      let acc = ref 0.0 in
+      for i = 0 to 1 do
+        let z = (p.(i) -. mu.(i)) /. sigma.(i) in
+        acc := !acc -. (0.5 *. z *. z)
+      done;
+      !acc)
+
+(* Independent Beta(3,2) × Beta(2,5) target on the unit box. *)
+let beta_target =
+  let a = [| 3.0; 2.0 |] and b = [| 2.0; 5.0 |] in
+  Target.create ~dim:2 ~support:Target.Unit_interval
+    ~grad:(fun p ->
+      Array.init 2 (fun i ->
+          let x = Float.max 1e-9 (Float.min (1.0 -. 1e-9) p.(i)) in
+          ((a.(i) -. 1.0) /. x) -. ((b.(i) -. 1.0) /. (1.0 -. x))))
+    (fun p ->
+      let acc = ref 0.0 in
+      for i = 0 to 1 do
+        acc := !acc +. Dist.beta_log_pdf ~a:a.(i) ~b:b.(i) p.(i)
+      done;
+      !acc)
+
+let test_gradient_check () =
+  match
+    Target.check_gradient gaussian_target ~at:[| 0.3; -1.0 |] ~eps:1e-5
+      ~tol:1e-4
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_gradient_check_detects_error () =
+  let bad =
+    Target.create ~dim:1 ~support:Target.Unbounded
+      ~grad:(fun _ -> [| 42.0 |])
+      (fun p -> -.(p.(0) *. p.(0)))
+  in
+  match Target.check_gradient bad ~at:[| 1.0 |] ~eps:1e-5 ~tol:1e-4 with
+  | Ok () -> Alcotest.fail "bogus gradient accepted"
+  | Error _ -> ()
+
+let test_with_coordinate () =
+  let p = [| 1.0; 2.0 |] in
+  let p' = Target.with_coordinate p 1 9.0 in
+  Alcotest.(check (float 0.0)) "updated" 9.0 p'.(1);
+  Alcotest.(check (float 0.0)) "original intact" 2.0 p.(1)
+
+let run_and_check_moments name chain =
+  let m0 = Chain.marginal chain 0 and m1 = Chain.marginal chain 1 in
+  close (name ^ " mean0") 1.0 (Summary.mean m0) 0.15;
+  close (name ^ " mean1") (-2.0) (Summary.mean m1) 0.1;
+  close (name ^ " sd0") 1.0 (Summary.std m0) 0.15;
+  close (name ^ " sd1") 0.5 (Summary.std m1) 0.1
+
+let test_mh_single_site_gaussian () =
+  let rng = Rng.create 101 in
+  let r =
+    Metropolis.run_single_site ~rng ~n_samples:4000 ~burn_in:1000
+      gaussian_target
+  in
+  run_and_check_moments "mh" r.Metropolis.chain;
+  Alcotest.(check bool) "acceptance sane" true
+    (r.Metropolis.acceptance > 0.15 && r.Metropolis.acceptance < 0.85)
+
+let test_mh_vector_gaussian () =
+  let rng = Rng.create 103 in
+  let r =
+    Metropolis.run_vector ~rng ~n_samples:8000 ~burn_in:2000 gaussian_target
+  in
+  run_and_check_moments "mh-vector" r.Metropolis.chain
+
+let test_hmc_gaussian () =
+  let rng = Rng.create 107 in
+  let r =
+    Hmc.run ~rng ~n_samples:3000 ~burn_in:800 ~leapfrog_steps:10
+      gaussian_target
+  in
+  run_and_check_moments "hmc" r.Hmc.chain;
+  Alcotest.(check bool) "acceptance high" true (r.Hmc.acceptance > 0.5)
+
+let test_mh_beta () =
+  let rng = Rng.create 109 in
+  let r =
+    Metropolis.run_single_site ~rng ~n_samples:4000 ~burn_in:1000 beta_target
+  in
+  let m0 = Chain.marginal r.Metropolis.chain 0 in
+  let m1 = Chain.marginal r.Metropolis.chain 1 in
+  close "beta mean0 = 3/5" 0.6 (Summary.mean m0) 0.03;
+  close "beta mean1 = 2/7" (2.0 /. 7.0) (Summary.mean m1) 0.03;
+  Alcotest.(check bool) "support respected" true
+    (Array.for_all (fun x -> x >= 0.0 && x <= 1.0) m0)
+
+let test_hmc_beta () =
+  let rng = Rng.create 113 in
+  let r =
+    Hmc.run ~rng ~n_samples:3000 ~burn_in:800 ~leapfrog_steps:10 beta_target
+  in
+  let m0 = Chain.marginal r.Hmc.chain 0 in
+  let m1 = Chain.marginal r.Hmc.chain 1 in
+  close "hmc beta mean0" 0.6 (Summary.mean m0) 0.03;
+  close "hmc beta mean1" (2.0 /. 7.0) (Summary.mean m1) 0.03
+
+let test_gibbs_beta () =
+  let rng = Rng.create 127 in
+  let r = Gibbs.run ~rng ~n_samples:3000 ~burn_in:300 beta_target in
+  let m0 = Chain.marginal r.Gibbs.chain 0 in
+  let m1 = Chain.marginal r.Gibbs.chain 1 in
+  close "gibbs beta mean0" 0.6 (Summary.mean m0) 0.03;
+  close "gibbs beta mean1" (2.0 /. 7.0) (Summary.mean m1) 0.03;
+  Alcotest.(check (float 0.0)) "never rejects" 1.0 r.Gibbs.acceptance;
+  Alcotest.(check bool) "support respected" true
+    (Array.for_all (fun x -> x > 0.0 && x < 1.0) m0)
+
+let test_gibbs_rejects_unbounded () =
+  let rng = Rng.create 1 in
+  Alcotest.(check bool) "unbounded rejected" true
+    (try
+       ignore (Gibbs.run ~rng ~n_samples:5 ~burn_in:1 gaussian_target);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hmc_requires_gradient () =
+  let no_grad =
+    Target.create ~dim:1 ~support:Target.Unbounded (fun p ->
+        -.(p.(0) *. p.(0)))
+  in
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "no gradient"
+    (Invalid_argument "Hmc.run: target has no gradient") (fun () ->
+      ignore (Hmc.run ~rng ~n_samples:10 ~burn_in:5 no_grad))
+
+let test_sigmoid_logit () =
+  close "sigmoid 0" 0.5 (Hmc.sigmoid 0.0) 1e-12;
+  close "roundtrip" 0.3 (Hmc.sigmoid (Hmc.logit 0.3)) 1e-9;
+  close "logit 0.5" 0.0 (Hmc.logit 0.5) 1e-9;
+  Alcotest.(check bool) "extreme stays finite" true
+    (Float.is_finite (Hmc.logit 1.0) && Float.is_finite (Hmc.logit 0.0))
+
+let test_reflect_unit () =
+  close "inside" 0.4 (Metropolis.reflect_unit 0.4) 1e-12;
+  close "below" 0.2 (Metropolis.reflect_unit (-0.2)) 1e-12;
+  close "above" 0.7 (Metropolis.reflect_unit 1.3) 1e-12;
+  close "double wrap" 0.5 (Metropolis.reflect_unit 2.5) 1e-12
+
+let qcheck_reflect_in_unit =
+  QCheck.Test.make ~name:"reflect_unit lands in [0,1]" ~count:500
+    QCheck.(float_range (-50.0) 50.0)
+    (fun x ->
+      let v = Metropolis.reflect_unit x in
+      v >= 0.0 && v <= 1.0)
+
+(* Chain utilities *)
+
+let test_chain_ops () =
+  let chain = Chain.of_samples [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  Alcotest.(check int) "length" 3 (Chain.length chain);
+  Alcotest.(check int) "dim" 2 (Chain.dim chain);
+  Alcotest.(check (array (float 0.0))) "marginal" [| 2.0; 4.0; 6.0 |]
+    (Chain.marginal chain 1);
+  let thinned = Chain.thin chain 2 in
+  Alcotest.(check int) "thinned" 2 (Chain.length thinned);
+  let doubled = Chain.append chain chain in
+  Alcotest.(check int) "appended" 6 (Chain.length doubled);
+  let sums = Chain.map_draws chain (fun d -> d.(0) +. d.(1)) in
+  Alcotest.(check (array (float 0.0))) "map_draws" [| 3.0; 7.0; 11.0 |] sums
+
+(* Diagnostics *)
+
+let test_autocorrelation () =
+  let rng = Rng.create 211 in
+  let iid = Array.init 5000 (fun _ -> Dist.normal rng ~mu:0.0 ~sigma:1.0) in
+  close "iid lag1 ~ 0" 0.0 (Diagnostics.autocorrelation iid 1) 0.05;
+  let persistent = Array.init 1000 (fun i -> float_of_int (i / 100)) in
+  Alcotest.(check bool) "trending series strongly correlated" true
+    (Diagnostics.autocorrelation persistent 1 > 0.9)
+
+let test_ess () =
+  let rng = Rng.create 223 in
+  let n = 4000 in
+  let iid = Array.init n (fun _ -> Dist.normal rng ~mu:0.0 ~sigma:1.0) in
+  let ess = Diagnostics.effective_sample_size iid in
+  Alcotest.(check bool)
+    (Printf.sprintf "iid ESS near n (got %.0f)" ess)
+    true
+    (ess > 0.6 *. float_of_int n);
+  (* AR(1) with high persistence has far lower ESS *)
+  let ar = Array.make n 0.0 in
+  for i = 1 to n - 1 do
+    ar.(i) <- (0.95 *. ar.(i - 1)) +. Dist.normal rng ~mu:0.0 ~sigma:1.0
+  done;
+  let ess_ar = Diagnostics.effective_sample_size ar in
+  Alcotest.(check bool) "AR(1) ESS much smaller" true
+    (ess_ar < 0.2 *. float_of_int n)
+
+let test_rhat () =
+  let rng = Rng.create 227 in
+  let chain () = Array.init 2000 (fun _ -> Dist.normal rng ~mu:0.0 ~sigma:1.0) in
+  let same = Diagnostics.r_hat [| chain (); chain () |] in
+  Alcotest.(check bool) "same-dist chains ~ 1" true (same < 1.05);
+  let shifted =
+    Array.init 2000 (fun _ -> Dist.normal rng ~mu:5.0 ~sigma:1.0)
+  in
+  let diverged = Diagnostics.r_hat [| chain (); shifted |] in
+  Alcotest.(check bool) "diverged chains >> 1" true (diverged > 1.5)
+
+let test_split_rhat () =
+  let rng = Rng.create 229 in
+  let mixed = Array.init 4000 (fun _ -> Dist.normal rng ~mu:0.0 ~sigma:1.0) in
+  Alcotest.(check bool) "stationary chain ~ 1" true
+    (Diagnostics.split_r_hat mixed < 1.05);
+  let drifting = Array.init 4000 (fun i -> float_of_int i /. 100.0) in
+  Alcotest.(check bool) "drifting chain flagged" true
+    (Diagnostics.split_r_hat drifting > 1.2)
+
+let suite =
+  ( "mcmc",
+    [
+      Alcotest.test_case "gradient check ok" `Quick test_gradient_check;
+      Alcotest.test_case "gradient check catches errors" `Quick
+        test_gradient_check_detects_error;
+      Alcotest.test_case "with_coordinate" `Quick test_with_coordinate;
+      Alcotest.test_case "MH single-site gaussian" `Slow
+        test_mh_single_site_gaussian;
+      Alcotest.test_case "MH vector gaussian" `Slow test_mh_vector_gaussian;
+      Alcotest.test_case "HMC gaussian" `Slow test_hmc_gaussian;
+      Alcotest.test_case "MH beta posterior" `Slow test_mh_beta;
+      Alcotest.test_case "HMC beta posterior" `Slow test_hmc_beta;
+      Alcotest.test_case "Gibbs beta posterior" `Slow test_gibbs_beta;
+      Alcotest.test_case "Gibbs rejects unbounded" `Quick
+        test_gibbs_rejects_unbounded;
+      Alcotest.test_case "HMC requires gradient" `Quick
+        test_hmc_requires_gradient;
+      Alcotest.test_case "sigmoid/logit" `Quick test_sigmoid_logit;
+      Alcotest.test_case "reflect_unit" `Quick test_reflect_unit;
+      QCheck_alcotest.to_alcotest qcheck_reflect_in_unit;
+      Alcotest.test_case "chain operations" `Quick test_chain_ops;
+      Alcotest.test_case "autocorrelation" `Quick test_autocorrelation;
+      Alcotest.test_case "effective sample size" `Quick test_ess;
+      Alcotest.test_case "r-hat" `Quick test_rhat;
+      Alcotest.test_case "split r-hat" `Quick test_split_rhat;
+    ] )

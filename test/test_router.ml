@@ -1,0 +1,301 @@
+open Because_bgp
+
+let asn = Asn.of_int
+let prefix = Prefix.of_string "10.0.0.0/24"
+
+let neighbor ?(mrai = 0.0) n relationship =
+  { Router.neighbor_asn = asn n; relationship; mrai }
+
+let config ?(rfd_scope = Policy.No_rfd) ?(rfd_params = Rfd_params.cisco) me
+    neighbors =
+  { Router.asn = asn me; neighbors; rfd_scope; rfd_params }
+
+let announce ?(path = [ 1 ]) ?agg () =
+  Update.Announce
+    { prefix; as_path = List.map asn path; aggregator = agg }
+
+let withdraw = Update.Withdraw { prefix }
+
+let sends actions =
+  List.filter_map
+    (function
+      | Router.Send { to_asn; update } -> Some (Asn.to_int to_asn, update)
+      | Router.Set_reuse_timer _ | Router.Set_mrai_timer _ | Router.Feed _ ->
+          None)
+    actions
+
+let feeds actions =
+  List.filter_map
+    (function Router.Feed u -> Some u | _ -> None)
+    actions
+
+let send_paths actions =
+  List.map
+    (fun (to_, u) ->
+      (to_, Option.map (List.map Asn.to_int) (Update.as_path u)))
+    (sends actions)
+
+let test_propagation () =
+  (* Router 2 with customer 1 (origin side) and provider 3. *)
+  let r =
+    Router.create
+      (config 2 [ neighbor 1 Policy.Customer; neighbor 3 Policy.Provider ])
+  in
+  let actions = Router.handle_update r ~now:0.0 ~from:(asn 1) (announce ()) in
+  Alcotest.(check (list (pair int (option (list int)))))
+    "customer route exported to provider with self prepended"
+    [ (3, Some [ 2; 1 ]) ]
+    (send_paths actions);
+  Alcotest.(check int) "feed emitted" 1 (List.length (feeds actions));
+  match Router.best_route r prefix with
+  | Some (Router.Via v) ->
+      Alcotest.(check int) "best via 1" 1 (Asn.to_int v.from_asn)
+  | _ -> Alcotest.fail "no best route"
+
+let test_withdrawal_propagates () =
+  let r =
+    Router.create
+      (config 2 [ neighbor 1 Policy.Customer; neighbor 3 Policy.Provider ])
+  in
+  ignore (Router.handle_update r ~now:0.0 ~from:(asn 1) (announce ()));
+  let actions = Router.handle_update r ~now:1.0 ~from:(asn 1) withdraw in
+  (match sends actions with
+  | [ (3, Update.Withdraw _) ] -> ()
+  | _ -> Alcotest.fail "expected withdrawal to 3");
+  Alcotest.(check (option reject)) "loc-rib empty"
+    None
+    (Option.map ignore (Router.best_route r prefix))
+
+let test_spurious_withdrawal_silent () =
+  let r = Router.create (config 2 [ neighbor 1 Policy.Customer ]) in
+  let actions = Router.handle_update r ~now:0.0 ~from:(asn 1) withdraw in
+  Alcotest.(check int) "nothing sent" 0 (List.length (sends actions))
+
+let test_decision_prefers_customer () =
+  let r =
+    Router.create
+      (config 5
+         [ neighbor 1 Policy.Provider; neighbor 2 Policy.Customer;
+           neighbor 6 Policy.Customer ])
+  in
+  ignore
+    (Router.handle_update r ~now:0.0 ~from:(asn 1) (announce ~path:[ 1; 9 ] ()));
+  ignore
+    (Router.handle_update r ~now:1.0 ~from:(asn 2)
+       (announce ~path:[ 2; 8; 9 ] ()));
+  (* Customer route wins despite being longer. *)
+  match Router.best_route r prefix with
+  | Some (Router.Via v) ->
+      Alcotest.(check int) "customer wins" 2 (Asn.to_int v.from_asn)
+  | _ -> Alcotest.fail "no best"
+
+let test_decision_prefers_shorter_then_lower_asn () =
+  let r =
+    Router.create
+      (config 5
+         [ neighbor 2 Policy.Customer; neighbor 3 Policy.Customer;
+           neighbor 4 Policy.Customer ])
+  in
+  ignore
+    (Router.handle_update r ~now:0.0 ~from:(asn 4)
+       (announce ~path:[ 4; 8; 9 ] ()));
+  ignore
+    (Router.handle_update r ~now:1.0 ~from:(asn 3) (announce ~path:[ 3; 9 ] ()));
+  (match Router.best_route r prefix with
+  | Some (Router.Via v) ->
+      Alcotest.(check int) "shorter wins" 3 (Asn.to_int v.from_asn)
+  | _ -> Alcotest.fail "no best");
+  ignore
+    (Router.handle_update r ~now:2.0 ~from:(asn 2) (announce ~path:[ 2; 9 ] ()));
+  match Router.best_route r prefix with
+  | Some (Router.Via v) ->
+      Alcotest.(check int) "lower asn tiebreak" 2 (Asn.to_int v.from_asn)
+  | _ -> Alcotest.fail "no best"
+
+let test_split_horizon () =
+  let r =
+    Router.create
+      (config 2 [ neighbor 1 Policy.Customer; neighbor 3 Policy.Customer ])
+  in
+  let actions = Router.handle_update r ~now:0.0 ~from:(asn 1) (announce ()) in
+  Alcotest.(check bool) "never re-advertised to source" true
+    (List.for_all (fun (to_, _) -> to_ <> 1) (sends actions))
+
+let test_valley_free_not_exported () =
+  (* Peer-learned route must not go to the provider or another peer. *)
+  let r =
+    Router.create
+      (config 2
+         [ neighbor 1 Policy.Peer; neighbor 3 Policy.Provider;
+           neighbor 4 Policy.Peer; neighbor 5 Policy.Customer ])
+  in
+  let actions = Router.handle_update r ~now:0.0 ~from:(asn 1) (announce ()) in
+  Alcotest.(check (list (pair int (option (list int)))))
+    "only the customer hears a peer route"
+    [ (5, Some [ 2; 1 ]) ]
+    (send_paths actions)
+
+let test_loop_rejected () =
+  let r = Router.create (config 2 [ neighbor 1 Policy.Customer ]) in
+  let actions =
+    Router.handle_update r ~now:0.0 ~from:(asn 1) (announce ~path:[ 1; 2; 9 ] ())
+  in
+  Alcotest.(check int) "nothing sent" 0 (List.length (sends actions));
+  Alcotest.(check bool) "not installed" true
+    (Router.best_route r prefix = None)
+
+let test_duplicate_not_resent () =
+  let r =
+    Router.create
+      (config 2 [ neighbor 1 Policy.Customer; neighbor 3 Policy.Provider ])
+  in
+  ignore (Router.handle_update r ~now:0.0 ~from:(asn 1) (announce ()));
+  let again = Router.handle_update r ~now:1.0 ~from:(asn 1) (announce ()) in
+  Alcotest.(check int) "duplicate suppressed" 0 (List.length (sends again))
+
+let test_fresh_aggregator_resent () =
+  let agg t = { Update.aggregator_asn = asn 1; sent_at = t; valid = true } in
+  let r =
+    Router.create
+      (config 2 [ neighbor 1 Policy.Customer; neighbor 3 Policy.Provider ])
+  in
+  ignore
+    (Router.handle_update r ~now:0.0 ~from:(asn 1) (announce ~agg:(agg 0.0) ()));
+  let again =
+    Router.handle_update r ~now:5.0 ~from:(asn 1) (announce ~agg:(agg 5.0) ())
+  in
+  Alcotest.(check int) "fresh beacon timestamp propagates" 1
+    (List.length (sends again))
+
+let test_originate_and_withdraw () =
+  let r =
+    Router.create
+      (config 2 [ neighbor 1 Policy.Provider; neighbor 3 Policy.Peer ])
+  in
+  let actions = Router.originate r ~now:0.0 prefix in
+  Alcotest.(check (list (pair int (option (list int)))))
+    "originated everywhere"
+    [ (1, Some [ 2 ]); (3, Some [ 2 ]) ]
+    (send_paths actions);
+  let actions = Router.withdraw_origin r ~now:1.0 prefix in
+  Alcotest.(check int) "withdrawn everywhere" 2 (List.length (sends actions))
+
+let test_mrai_gates_announcements () =
+  let r =
+    Router.create
+      (config 2
+         [ neighbor 1 Policy.Customer; neighbor ~mrai:30.0 3 Policy.Provider ])
+  in
+  let agg t = { Update.aggregator_asn = asn 1; sent_at = t; valid = true } in
+  let first =
+    Router.handle_update r ~now:0.0 ~from:(asn 1) (announce ~agg:(agg 0.0) ())
+  in
+  Alcotest.(check int) "first goes out" 1 (List.length (sends first));
+  (* A new announcement 5 s later is gated: timer, no send. *)
+  let second =
+    Router.handle_update r ~now:5.0 ~from:(asn 1) (announce ~agg:(agg 5.0) ())
+  in
+  Alcotest.(check int) "gated" 0 (List.length (sends second));
+  let timers =
+    List.filter_map
+      (function
+        | Router.Set_mrai_timer { at; _ } -> Some at
+        | _ -> None)
+      second
+  in
+  Alcotest.(check (list (float 0.0))) "timer at gate end" [ 30.0 ] timers;
+  (* Withdrawals bypass MRAI. *)
+  let w = Router.handle_update r ~now:6.0 ~from:(asn 1) withdraw in
+  (match sends w with
+  | [ (3, Update.Withdraw _) ] -> ()
+  | _ -> Alcotest.fail "withdrawal should bypass MRAI");
+  (* Re-announce, then flush at timer expiry. *)
+  ignore (Router.handle_update r ~now:7.0 ~from:(asn 1) (announce ~agg:(agg 7.0) ()));
+  let flushed = Router.handle_mrai_expiry r ~now:30.0 ~neighbor:(asn 3) ~prefix in
+  Alcotest.(check int) "flushed" 1 (List.length (sends flushed))
+
+let flap r ~from k =
+  (* k rounds of withdraw+announce one minute apart, returning all actions. *)
+  let actions = ref [] in
+  for i = 0 to k - 1 do
+    let t = float_of_int i *. 120.0 in
+    actions := Router.handle_update r ~now:t ~from withdraw :: !actions;
+    actions :=
+      Router.handle_update r ~now:(t +. 60.0) ~from (announce ()) :: !actions
+  done;
+  List.concat (List.rev !actions)
+
+let test_rfd_suppression_and_release () =
+  let r =
+    Router.create
+      (config ~rfd_scope:Policy.All_neighbors 2
+         [ neighbor 1 Policy.Customer; neighbor 3 Policy.Provider ])
+  in
+  ignore (Router.handle_update r ~now:(-600.0) ~from:(asn 1) (announce ()));
+  let actions = flap r ~from:(asn 1) 4 in
+  (* Suppression must have kicked in. *)
+  Alcotest.(check bool) "suppressing" true (Router.is_suppressing r ~now:500.0);
+  let reuse_timers =
+    List.filter_map
+      (function Router.Set_reuse_timer { at; _ } -> Some at | _ -> None)
+      actions
+  in
+  Alcotest.(check bool) "reuse timer armed" true (reuse_timers <> []);
+  (* While suppressed the loc-rib ignores the session even though the last
+     update was an announcement. *)
+  Alcotest.(check bool) "best gone while suppressed" true
+    (Router.best_route r prefix = None);
+  (* Fire the reuse check once the penalty has decayed. *)
+  let state = Option.get (Router.rfd_state r ~neighbor:(asn 1) ~prefix) in
+  let eta = Option.get (Rfd.reuse_eta state ~now:500.0) in
+  let released = Router.handle_reuse_check r ~now:(eta +. 1.0) ~neighbor:(asn 1) ~prefix in
+  (match send_paths released with
+  | [ (3, Some [ 2; 1 ]) ] -> ()
+  | other ->
+      Alcotest.failf "expected delayed re-advertisement, got %d sends"
+        (List.length other));
+  Alcotest.(check bool) "best restored" true
+    (Router.best_route r prefix <> None)
+
+let test_rfd_scope_respected () =
+  (* Damping only customers: a peer session flaps freely. *)
+  let r =
+    Router.create
+      (config ~rfd_scope:Policy.Only_customers 2
+         [ neighbor 1 Policy.Peer; neighbor 3 Policy.Customer ])
+  in
+  ignore (flap r ~from:(asn 1) 6);
+  Alcotest.(check bool) "peer session not damped" false
+    (Router.is_suppressing r ~now:2000.0)
+
+let test_unknown_neighbor_rejected () =
+  let r = Router.create (config 2 [ neighbor 1 Policy.Customer ]) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Router.handle_update r ~now:0.0 ~from:(asn 9) (announce ()));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "router",
+    [
+      Alcotest.test_case "propagation" `Quick test_propagation;
+      Alcotest.test_case "withdrawal propagates" `Quick test_withdrawal_propagates;
+      Alcotest.test_case "spurious withdrawal silent" `Quick
+        test_spurious_withdrawal_silent;
+      Alcotest.test_case "customer preferred" `Quick test_decision_prefers_customer;
+      Alcotest.test_case "path length then ASN" `Quick
+        test_decision_prefers_shorter_then_lower_asn;
+      Alcotest.test_case "split horizon" `Quick test_split_horizon;
+      Alcotest.test_case "valley-free export" `Quick test_valley_free_not_exported;
+      Alcotest.test_case "loop rejected" `Quick test_loop_rejected;
+      Alcotest.test_case "duplicate not resent" `Quick test_duplicate_not_resent;
+      Alcotest.test_case "fresh aggregator resent" `Quick
+        test_fresh_aggregator_resent;
+      Alcotest.test_case "originate/withdraw" `Quick test_originate_and_withdraw;
+      Alcotest.test_case "MRAI gating" `Quick test_mrai_gates_announcements;
+      Alcotest.test_case "RFD suppression and release" `Quick
+        test_rfd_suppression_and_release;
+      Alcotest.test_case "RFD scope respected" `Quick test_rfd_scope_respected;
+      Alcotest.test_case "unknown neighbor" `Quick test_unknown_neighbor_rejected;
+    ] )

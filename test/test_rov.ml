@@ -1,0 +1,59 @@
+open Because_bgp
+module Rov = Because_rov.Rov
+module Rng = Because_stats.Rng
+
+let asn = Asn.of_int
+let path ints = List.map asn ints
+let set ints = Asn.Set.of_list (List.map asn ints)
+
+let test_label_paths () =
+  let paths = [ path [ 1; 2; 3 ]; path [ 4; 5 ]; path [ 2; 6 ] ] in
+  let labeled = Rov.label_paths ~paths ~rov_ases:(set [ 2 ]) in
+  Alcotest.(check (list bool)) "labels" [ true; false; true ]
+    (List.map snd labeled)
+
+let test_hidden_ases () =
+  (* AS2 always co-occurs with AS1 (both ROV): AS2 is hidden. *)
+  let paths = [ path [ 1; 2; 9 ]; path [ 1; 8 ]; path [ 7; 1; 2 ] ] in
+  let hidden = Rov.hidden_ases ~paths ~rov_ases:(set [ 1; 2 ]) in
+  Alcotest.(check (list int)) "AS2 hidden" [ 2 ]
+    (List.map Asn.to_int (Asn.Set.elements hidden))
+
+let test_hidden_none () =
+  let paths = [ path [ 1; 9 ]; path [ 2; 8 ] ] in
+  let hidden = Rov.hidden_ases ~paths ~rov_ases:(set [ 1; 2 ]) in
+  Alcotest.(check int) "all observable" 0 (Asn.Set.cardinal hidden)
+
+let test_benchmark_small () =
+  (* 2 ROV ASs, one hiding situation; BeCAUSe should get 100% precision and
+     miss only the hidden AS, mirroring §7. *)
+  let rov = set [ 50; 51 ] in
+  let paths =
+    List.concat
+      (List.init 8 (fun k ->
+           let leaf = 100 + k in
+           [
+             path [ leaf; 50; 9 ];      (* ROV via 50 *)
+             path [ leaf; 51; 50; 9 ];  (* 51 always behind 50: hidden *)
+             path [ leaf; 60; 9 ];      (* clean *)
+           ]))
+  in
+  let config =
+    { Because.Infer.default_config with n_samples = 500; burn_in = 300 }
+  in
+  let b = Rov.benchmark ~rng:(Rng.create 3) ~config ~paths ~rov_ases:rov () in
+  Alcotest.(check (float 1e-9)) "precision 100%" 1.0 b.Rov.metrics.Because.Evaluate.precision;
+  Alcotest.(check bool) "positive share high" true (b.Rov.positive_share > 0.5);
+  Alcotest.(check (list int)) "hidden is 51" [ 51 ]
+    (List.map Asn.to_int (Asn.Set.elements b.Rov.hidden));
+  (* recall limited exactly by hiding *)
+  Alcotest.(check int) "one miss" 1 b.Rov.metrics.Because.Evaluate.false_negatives
+
+let suite =
+  ( "rov",
+    [
+      Alcotest.test_case "label paths" `Quick test_label_paths;
+      Alcotest.test_case "hidden ASs" `Quick test_hidden_ases;
+      Alcotest.test_case "hidden none" `Quick test_hidden_none;
+      Alcotest.test_case "benchmark small" `Slow test_benchmark_small;
+    ] )

@@ -1,0 +1,173 @@
+(* RFC 4271 session FSM. *)
+open Because_bgp
+
+let asn = Asn.of_int
+let config = Session.default_config (asn 65001)
+
+let has action actions = List.mem action actions
+
+let step t event = Session.handle t event
+
+let bring_up () =
+  let t = Session.create config in
+  let t, a1 = step t Session.Manual_start in
+  let t, a2 = step t Session.Transport_connected in
+  let t, a3 =
+    step t (Session.Open_received { peer_asn = asn 2; hold_time = 90.0 })
+  in
+  let t, a4 = step t Session.Keepalive_received in
+  (t, a1, a2, a3, a4)
+
+let test_happy_path () =
+  let t, a1, a2, a3, a4 = bring_up () in
+  Alcotest.(check bool) "start initiates transport" true
+    (has Session.Initiate_transport a1);
+  Alcotest.(check bool) "sends OPEN" true (has Session.Send_open a2);
+  Alcotest.(check bool) "answers with KEEPALIVE" true
+    (has Session.Send_keepalive a3);
+  Alcotest.(check bool) "session comes up" true (has Session.Session_up a4);
+  Alcotest.(check bool) "established" true (Session.state t = Session.Established);
+  Alcotest.(check (option int)) "peer learned" (Some 2)
+    (Option.map Asn.to_int (Session.peer t))
+
+let test_hold_time_negotiation () =
+  let t = Session.create config in
+  let t, _ = step t Session.Manual_start in
+  let t, _ = step t Session.Transport_connected in
+  let t, actions =
+    step t (Session.Open_received { peer_asn = asn 2; hold_time = 30.0 })
+  in
+  Alcotest.(check (option (float 1e-9))) "minimum wins" (Some 30.0)
+    (Session.negotiated_hold_time t);
+  Alcotest.(check bool) "keepalive at a third" true
+    (has (Session.Start_keepalive_timer 10.0) actions)
+
+let test_hold_timer_teardown () =
+  let t, _, _, _, _ = bring_up () in
+  let t, actions = step t Session.Hold_timer_expired in
+  Alcotest.(check bool) "back to idle" true (Session.state t = Session.Idle);
+  Alcotest.(check bool) "routes dropped" true
+    (List.exists
+       (function Session.Session_down _ -> true | _ -> false)
+       actions);
+  Alcotest.(check bool) "notification sent" true
+    (List.exists
+       (function Session.Send_notification _ -> true | _ -> false)
+       actions)
+
+let test_keepalive_refreshes_hold () =
+  let t, _, _, _, _ = bring_up () in
+  let t, actions = step t Session.Keepalive_received in
+  Alcotest.(check bool) "still established" true
+    (Session.state t = Session.Established);
+  Alcotest.(check bool) "hold timer restarted" true
+    (has (Session.Start_hold_timer 90.0) actions)
+
+let test_transport_failure_retries () =
+  let t = Session.create config in
+  let t, _ = step t Session.Manual_start in
+  let t, actions = step t Session.Transport_failed in
+  Alcotest.(check bool) "falls to active" true (Session.state t = Session.Active);
+  Alcotest.(check bool) "retry armed" true
+    (List.exists
+       (function Session.Start_connect_retry_timer _ -> true | _ -> false)
+       actions);
+  let t, actions = step t Session.Connect_retry_expired in
+  Alcotest.(check bool) "retries connect" true (Session.state t = Session.Connect);
+  Alcotest.(check bool) "initiates again" true
+    (has Session.Initiate_transport actions)
+
+let test_fsm_error_resets () =
+  let t = Session.create config in
+  let t, _ = step t Session.Manual_start in
+  (* An UPDATE in Connect state is an FSM error. *)
+  let t, actions = step t Session.Update_received in
+  Alcotest.(check bool) "reset to idle" true (Session.state t = Session.Idle);
+  Alcotest.(check bool) "transport closed" true
+    (has Session.Close_transport actions)
+
+let test_established_update_keeps_session () =
+  let t, _, _, _, _ = bring_up () in
+  let t, _ = step t Session.Update_received in
+  Alcotest.(check bool) "still up" true (Session.state t = Session.Established)
+
+let test_manual_stop_ceases () =
+  let t, _, _, _, _ = bring_up () in
+  let t, actions = step t Session.Manual_stop in
+  Alcotest.(check bool) "idle" true (Session.state t = Session.Idle);
+  Alcotest.(check bool) "cease sent" true
+    (List.exists
+       (function Session.Send_notification _ -> true | _ -> false)
+       actions);
+  Alcotest.(check bool) "routes dropped" true
+    (List.exists
+       (function Session.Session_down _ -> true | _ -> false)
+       actions)
+
+let qcheck_never_up_without_open =
+  (* Random event sequences: Session_up is only ever emitted right after a
+     KEEPALIVE in OpenConfirm, i.e. an OPEN must have been accepted. *)
+  let event_gen =
+    QCheck.Gen.oneofl
+      [ Session.Manual_start; Session.Manual_stop;
+        Session.Transport_connected; Session.Transport_failed;
+        Session.Open_received { peer_asn = asn 7; hold_time = 90.0 };
+        Session.Keepalive_received; Session.Update_received;
+        Session.Notification_received; Session.Hold_timer_expired;
+        Session.Keepalive_timer_expired; Session.Connect_retry_expired ]
+  in
+  QCheck.Test.make ~name:"Session_up implies an accepted OPEN" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 40) event_gen))
+    (fun events ->
+      let t = ref (Session.create config) in
+      List.for_all
+        (fun event ->
+          let t', actions = Session.handle !t event in
+          let ok =
+            (not (List.mem Session.Session_up actions))
+            || Session.peer t' <> None
+          in
+          t := t';
+          ok)
+        events)
+
+let qcheck_state_consistency =
+  let event_gen =
+    QCheck.Gen.oneofl
+      [ Session.Manual_start; Session.Manual_stop;
+        Session.Transport_connected; Session.Transport_failed;
+        Session.Open_received { peer_asn = asn 7; hold_time = 90.0 };
+        Session.Keepalive_received; Session.Update_received;
+        Session.Notification_received; Session.Hold_timer_expired;
+        Session.Keepalive_timer_expired; Session.Connect_retry_expired ]
+  in
+  QCheck.Test.make ~name:"established sessions always know their peer"
+    ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) event_gen))
+    (fun events ->
+      let t = ref (Session.create config) in
+      List.for_all
+        (fun event ->
+          let t', _ = Session.handle !t event in
+          t := t';
+          Session.state t' <> Session.Established || Session.peer t' <> None)
+        events)
+
+let suite =
+  ( "session",
+    [
+      Alcotest.test_case "happy path" `Quick test_happy_path;
+      Alcotest.test_case "hold-time negotiation" `Quick
+        test_hold_time_negotiation;
+      Alcotest.test_case "hold timer teardown" `Quick test_hold_timer_teardown;
+      Alcotest.test_case "keepalive refreshes hold" `Quick
+        test_keepalive_refreshes_hold;
+      Alcotest.test_case "transport failure retries" `Quick
+        test_transport_failure_retries;
+      Alcotest.test_case "FSM error resets" `Quick test_fsm_error_resets;
+      Alcotest.test_case "update keeps session" `Quick
+        test_established_update_keeps_session;
+      Alcotest.test_case "manual stop" `Quick test_manual_stop_ceases;
+      QCheck_alcotest.to_alcotest qcheck_never_up_without_open;
+      QCheck_alcotest.to_alcotest qcheck_state_consistency;
+    ] )

@@ -1,0 +1,155 @@
+open Because_bgp
+module Graph = Because_topology.Graph
+module Generate = Because_topology.Generate
+module Rng = Because_stats.Rng
+
+let asn = Asn.of_int
+
+let small_graph () =
+  let g = Graph.create () in
+  Graph.add_as g (asn 1) Graph.Tier1;
+  Graph.add_as g (asn 2) Graph.Transit;
+  Graph.add_as g (asn 3) Graph.Stub;
+  Graph.add_customer_link g ~provider:(asn 1) ~customer:(asn 2);
+  Graph.add_customer_link g ~provider:(asn 2) ~customer:(asn 3);
+  g
+
+let test_graph_basics () =
+  let g = small_graph () in
+  Alcotest.(check int) "size" 3 (Graph.size g);
+  Alcotest.(check int) "links" 2 (Graph.link_count g);
+  Alcotest.(check bool) "has link" true (Graph.has_link g (asn 1) (asn 2));
+  Alcotest.(check bool) "symmetric" true (Graph.has_link g (asn 2) (asn 1));
+  Alcotest.(check bool) "no link" false (Graph.has_link g (asn 1) (asn 3))
+
+let test_graph_relationship_orientation () =
+  let g = small_graph () in
+  (* From AS1's perspective, AS2 is a customer; from AS2's, AS1 a provider. *)
+  (match Graph.neighbors g (asn 1) with
+  | [ (n, rel) ] ->
+      Alcotest.(check int) "neighbor" 2 (Asn.to_int n);
+      Alcotest.(check bool) "customer" true
+        (Policy.relationship_equal rel Policy.Customer)
+  | _ -> Alcotest.fail "tier1 neighbors");
+  let rel_to_1 =
+    List.assoc (asn 1) (Graph.neighbors g (asn 2))
+  in
+  Alcotest.(check bool) "provider" true
+    (Policy.relationship_equal rel_to_1 Policy.Provider)
+
+let test_graph_duplicates_rejected () =
+  let g = small_graph () in
+  Alcotest.(check bool) "dup AS" true
+    (try Graph.add_as g (asn 1) Graph.Stub; false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "dup link" true
+    (try Graph.add_customer_link g ~provider:(asn 1) ~customer:(asn 2); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "self link" true
+    (try Graph.add_peer_link g (asn 1) (asn 1); false
+     with Invalid_argument _ -> true)
+
+let test_customer_cone () =
+  let g = small_graph () in
+  Alcotest.(check int) "tier1 cone" 2 (Graph.customer_cone_size g (asn 1));
+  Alcotest.(check int) "transit cone" 1 (Graph.customer_cone_size g (asn 2));
+  Alcotest.(check int) "stub cone" 0 (Graph.customer_cone_size g (asn 3))
+
+let test_links_undirected () =
+  let g = small_graph () in
+  let links = Graph.links g in
+  Alcotest.(check int) "each link once" 2 (List.length links);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "ordered" true (Asn.compare a b < 0))
+    links
+
+let params =
+  { Generate.default_params with n_tier1 = 5; n_transit = 20; n_stub = 60 }
+
+let test_generate_sizes () =
+  let g = Generate.generate (Rng.create 7) params in
+  Alcotest.(check int) "total" 85 (Graph.size g);
+  Alcotest.(check int) "tier1" 5 (List.length (Generate.tier1_asns g));
+  Alcotest.(check int) "transit" 20 (List.length (Generate.transit_asns g));
+  Alcotest.(check int) "stub" 60 (List.length (Generate.stub_asns g))
+
+let test_generate_tier1_clique () =
+  let g = Generate.generate (Rng.create 7) params in
+  let tier1 = Generate.tier1_asns g in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (Asn.equal a b) then begin
+            Alcotest.(check bool) "clique link" true (Graph.has_link g a b);
+            let rel = List.assoc b (Graph.neighbors g a) in
+            Alcotest.(check bool) "peers" true
+              (Policy.relationship_equal rel Policy.Peer)
+          end)
+        tier1)
+    tier1
+
+let test_generate_everyone_has_provider () =
+  let g = Generate.generate (Rng.create 7) params in
+  List.iter
+    (fun a ->
+      let has_provider =
+        List.exists
+          (fun (_, rel) -> Policy.relationship_equal rel Policy.Provider)
+          (Graph.neighbors g a)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has a provider" (Asn.to_string a))
+        true has_provider)
+    (Generate.transit_asns g @ Generate.stub_asns g)
+
+let test_generate_deterministic () =
+  let g1 = Generate.generate (Rng.create 9) params in
+  let g2 = Generate.generate (Rng.create 9) params in
+  Alcotest.(check int) "same link count" (Graph.link_count g1)
+    (Graph.link_count g2);
+  let l1 = List.map (fun (a, b) -> (Asn.to_int a, Asn.to_int b)) (Graph.links g1) in
+  let l2 = List.map (fun (a, b) -> (Asn.to_int a, Asn.to_int b)) (Graph.links g2) in
+  Alcotest.(check (list (pair int int))) "same links"
+    (List.sort compare l1) (List.sort compare l2)
+
+let test_generate_seed_sensitivity () =
+  let g1 = Generate.generate (Rng.create 9) params in
+  let g2 = Generate.generate (Rng.create 10) params in
+  let l g = List.sort compare (List.map (fun (a, b) -> (Asn.to_int a, Asn.to_int b)) (Graph.links g)) in
+  Alcotest.(check bool) "different seeds differ" false (l g1 = l g2)
+
+let test_heavy_tail () =
+  (* Preferential attachment should concentrate cones: the largest transit
+     cone dwarfs the median. *)
+  let g = Generate.generate (Rng.create 21) Generate.default_params in
+  let cones =
+    List.map (fun a -> Graph.customer_cone_size g a) (Generate.transit_asns g)
+  in
+  let sorted = List.sort (fun a b -> Int.compare b a) cones in
+  let biggest = List.hd sorted in
+  let median = List.nth sorted (List.length sorted / 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cone skew (max %d, median %d)" biggest median)
+    true
+    (biggest >= 4 * Stdlib.max 1 median)
+
+let suite =
+  ( "topology",
+    [
+      Alcotest.test_case "graph basics" `Quick test_graph_basics;
+      Alcotest.test_case "relationship orientation" `Quick
+        test_graph_relationship_orientation;
+      Alcotest.test_case "duplicates rejected" `Quick
+        test_graph_duplicates_rejected;
+      Alcotest.test_case "customer cone" `Quick test_customer_cone;
+      Alcotest.test_case "links undirected" `Quick test_links_undirected;
+      Alcotest.test_case "generate sizes" `Quick test_generate_sizes;
+      Alcotest.test_case "tier1 clique" `Quick test_generate_tier1_clique;
+      Alcotest.test_case "providers everywhere" `Quick
+        test_generate_everyone_has_provider;
+      Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+      Alcotest.test_case "seed sensitivity" `Quick test_generate_seed_sensitivity;
+      Alcotest.test_case "heavy-tailed cones" `Quick test_heavy_tail;
+    ] )
