@@ -1,0 +1,60 @@
+(* Fault-severity sweep: how gracefully does the pipeline degrade as
+   session resets, link flaps and collector outages intensify?
+
+   For each severity preset we draw a seeded plan, run the 1-minute campaign
+   with it, and report the surviving measurement volume, the accuracy
+   against the planted deployment, and how many ASs were explicitly demoted
+   to "insufficient data" instead of being miscategorized. *)
+
+module Sc = Because_scenario
+module Plan = Because_faults.Plan
+
+let severities =
+  [ ("none", Plan.calm); ("mild", Plan.mild); ("realistic", Plan.realistic);
+    ("severe", Plan.severe) ]
+
+let run () =
+  Bench_context.section "fault-severity sweep";
+  Printf.printf
+    "%-10s %6s %7s %7s %6s %6s %6s %7s %6s %6s\n"
+    "severity" "specs" "events" "labeled" "RFD" "insuf" "warn" "precis"
+    "recall" "f1";
+  let world = Lazy.force Bench_context.world in
+  let truth = Sc.Deployment.detectable_dampers (Sc.World.deployment world) in
+  List.iter
+    (fun (name, severity) ->
+      let base = Bench_context.campaign_params 1.0 in
+      let plan = Sc.Campaign.draw_faults world base severity in
+      let params =
+        if Plan.is_empty plan then base
+        else { base with Sc.Campaign.faults = plan; min_path_support = 2 }
+      in
+      let outcome = Sc.Campaign.run world params in
+      let rfd =
+        List.length
+          (List.filter
+             (fun (lp : Because_labeling.Label.labeled_path) ->
+               lp.Because_labeling.Label.rfd)
+             outcome.Sc.Campaign.labeled)
+      in
+      let m =
+        Because.Evaluate.of_sets
+          ~predicted:(Sc.Campaign.because_damping outcome)
+          ~truth
+          ~universe:(Sc.Campaign.universe outcome)
+      in
+      Printf.printf "%-10s %6d %7d %7d %6d %6d %6d %7.2f %6.2f %6.2f\n%!"
+        name (Plan.size plan)
+        (List.length outcome.Sc.Campaign.fault_log)
+        (List.length outcome.Sc.Campaign.labeled)
+        rfd
+        (List.length outcome.Sc.Campaign.insufficient)
+        (List.length outcome.Sc.Campaign.warnings)
+        m.Because.Evaluate.precision m.Because.Evaluate.recall
+        m.Because.Evaluate.f1)
+    severities;
+  print_endline
+    "expected: fault churn inflates the labeled/RFD columns with severity \
+     and precision degrades gradually while recall holds — low-evidence ASs \
+     are demoted to insufficient, never silently miscategorized, and the \
+     none row matches the fault-free campaign exactly."

@@ -27,6 +27,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("appA", "Beacon share of control-plane traffic", Tables.app_a);
     ("appB", "vendor default parameters", Tables.app_b);
     ("ablations", "design-choice ablations", Ablations.all);
+    ("faults", "fault-injection severity sweep", Faults.run);
     ("kernels", "Bechamel kernel micro-benchmarks", Kernels.run);
   ]
 

@@ -145,6 +145,46 @@ let interval_arg =
 let cycles_arg =
   Arg.(value & opt int 4 & info [ "cycles" ] ~doc:"Burst-Break pairs.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("none", None);
+             ("mild", Some Because_faults.Plan.mild);
+             ("realistic", Some Because_faults.Plan.realistic);
+             ("severe", Some Because_faults.Plan.severe) ])
+        None
+    & info [ "faults" ] ~docv:"SEVERITY"
+        ~doc:
+          "Inject a seeded fault plan: session resets, link flaps, Beacon \
+           site outages, collector outages and lossy sessions.  One of \
+           none, mild, realistic or severe.")
+
+let print_fault_summary outcome =
+  let module Plan = Because_faults.Plan in
+  let plan = outcome.Sc.Campaign.params.Sc.Campaign.faults in
+  if not (Plan.is_empty plan) then begin
+    Printf.printf
+      "faults: %d injected (%d session resets, %d link flaps, %d site \
+       outages, %d collector outages, %d impaired links), %d fault events \
+       realized\n"
+      (Plan.size plan)
+      (Plan.count `Session_reset plan)
+      (Plan.count `Link_flap plan)
+      (Plan.count `Site_outage plan)
+      (Plan.count `Collector_outage plan)
+      (Plan.count `Session_impairment plan)
+      (List.length outcome.Sc.Campaign.fault_log);
+    (match outcome.Sc.Campaign.insufficient with
+    | [] -> ()
+    | demoted ->
+        Printf.printf "insufficient data (demoted to C3):";
+        List.iter (fun a -> Printf.printf " %s" (Asn.to_string a)) demoted;
+        print_newline ());
+    List.iter (Printf.printf "warning: %s\n") outcome.Sc.Campaign.warnings
+  end
+
 let print_campaign_summary world outcome =
   let rfd_paths =
     List.filter
@@ -170,19 +210,30 @@ let print_campaign_summary world outcome =
   Format.printf "against planted deployment: %a@." Because.Evaluate.pp m
 
 let campaign_cmd =
-  let run seed sizes interval cycles =
+  let run seed sizes interval cycles severity =
     let world = world_of ~seed sizes in
-    let params =
+    let base =
       { (Sc.Campaign.default_params ~update_interval:(interval *. 60.0)) with
         Sc.Campaign.cycles }
     in
+    let params =
+      match severity with
+      | None -> base
+      | Some severity ->
+          let plan = Sc.Campaign.draw_faults world base severity in
+          Format.printf "fault plan:@.%a@." Because_faults.Plan.pp plan;
+          { base with Sc.Campaign.faults = plan; min_path_support = 2 }
+    in
     let outcome = Sc.Campaign.run world params in
+    print_fault_summary outcome;
     print_campaign_summary world outcome
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run one measurement campaign end to end on a simulated world.")
-    Term.(const run $ seed_arg $ world_size_args $ interval_arg $ cycles_arg)
+    Term.(
+      const run $ seed_arg $ world_size_args $ interval_arg $ cycles_arg
+      $ faults_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                                *)

@@ -30,19 +30,47 @@ let make ~site_id ~origin ~anchor_period ?(anchor_cycles = 12) ~oscillating ()
   in
   { site_id; origin; prefixes = anchor :: oscillating }
 
-let install t net =
+let in_window windows time =
+  List.exists (fun (lo, hi) -> time >= lo && time <= hi) windows
+
+(* Last scheduled action satisfying [keep]: the announce/withdraw state the
+   schedule prescribes at that point. *)
+let state_when events keep =
+  List.fold_left
+    (fun acc (time, action) -> if keep time then Some action else acc)
+    None events
+
+let install ?(outages = []) t net =
   List.iter
     (fun bp ->
+      let events = Schedule.events bp.schedule in
       List.iter
         (fun (time, action) ->
-          match action with
-          | Schedule.Announce ->
-              Because_sim.Network.schedule_announce net ~time ~origin:t.origin
-                bp.prefix
-          | Schedule.Withdraw ->
-              Because_sim.Network.schedule_withdraw net ~time ~origin:t.origin
-                bp.prefix)
-        (Schedule.events bp.schedule))
+          if not (in_window outages time) then
+            match action with
+            | Schedule.Announce ->
+                Because_sim.Network.schedule_announce net ~time
+                  ~origin:t.origin bp.prefix
+            | Schedule.Withdraw ->
+                Because_sim.Network.schedule_withdraw net ~time
+                  ~origin:t.origin bp.prefix)
+        events;
+      List.iter
+        (fun (lo, hi) ->
+          (* The site fails: whatever it had announced is withdrawn. *)
+          (match state_when events (fun time -> time < lo) with
+          | Some Schedule.Announce ->
+              Because_sim.Network.schedule_withdraw net ~time:lo
+                ~origin:t.origin bp.prefix
+          | Some Schedule.Withdraw | None -> ());
+          (* On recovery, restore the state the schedule prescribes now
+             (events inside the window were lost). *)
+          match state_when events (fun time -> time <= hi) with
+          | Some Schedule.Announce ->
+              Because_sim.Network.schedule_announce net ~time:hi
+                ~origin:t.origin bp.prefix
+          | Some Schedule.Withdraw | None -> ())
+        outages)
     t.prefixes
 
 let oscillating_prefix t ~interval =

@@ -25,8 +25,15 @@ val make :
     [anchor_cycles] rounds — default 12) and one slot per oscillating
     schedule. *)
 
-val install : t -> Because_sim.Network.t -> unit
-(** Schedule every Beacon event of the site into the network. *)
+val install :
+  ?outages:(float * float) list -> t -> Because_sim.Network.t -> unit
+(** Schedule every Beacon event of the site into the network.
+
+    [outages] are site-failure windows [(from, until)]: scheduled events
+    falling inside a window are skipped (Burst phases are lost), announced
+    prefixes are withdrawn when a window opens, and on recovery the prefix
+    state the schedule prescribes at that moment is restored.  Default: no
+    outages. *)
 
 val oscillating_prefix : t -> interval:float -> Prefix.t option
 (** The site's oscillating prefix whose schedule uses [interval]. *)

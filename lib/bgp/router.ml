@@ -353,6 +353,54 @@ let handle_reuse_check t ~now ~neighbor ~prefix =
       end
       else reconsider t ~now prefix
 
+let handle_session_down t ~now ~neighbor =
+  let (_ : neighbor) = neighbor_exn t neighbor in
+  (* Routes learned on the session are gone: clear the adj-RIB-in ... *)
+  let affected =
+    Hashtbl.fold
+      (fun (from, prefix) _ acc ->
+        if Asn.equal from neighbor then prefix :: acc else acc)
+      t.rib_in []
+    |> List.sort_uniq Prefix.compare
+  in
+  List.iter (fun prefix -> Hashtbl.remove t.rib_in (neighbor, prefix)) affected;
+  (* ... and forget what we advertised over it, together with its MRAI
+     state — a re-established session starts from an empty adj-RIB-out. *)
+  let sent =
+    Hashtbl.fold
+      (fun (to_asn, prefix) _ acc ->
+        if Asn.equal to_asn neighbor then prefix :: acc else acc)
+      t.adj_out []
+  in
+  List.iter (fun prefix -> Hashtbl.remove t.adj_out (neighbor, prefix)) sent;
+  let gated =
+    Hashtbl.fold
+      (fun (to_asn, prefix) _ acc ->
+        if Asn.equal to_asn neighbor then prefix :: acc else acc)
+      t.mrai []
+  in
+  List.iter (fun prefix -> Hashtbl.remove t.mrai (neighbor, prefix)) gated;
+  (* Path re-exploration: every prefix routed via the dead session is
+     reconsidered, producing withdrawals or failover announcements
+     downstream. *)
+  List.concat_map (reconsider t ~now) affected
+
+let handle_session_up t ~now ~neighbor =
+  let nb = neighbor_exn t neighbor in
+  (* The peer's RIB is empty after the reset: re-advertise the current
+     loc-RIB from scratch, subject to the usual export policy. *)
+  let prefixes =
+    Hashtbl.fold (fun prefix _ acc -> prefix :: acc) t.loc_rib []
+    |> List.sort_uniq Prefix.compare
+  in
+  List.concat_map
+    (fun prefix ->
+      Hashtbl.remove t.adj_out (neighbor, prefix);
+      Hashtbl.remove t.mrai (neighbor, prefix);
+      let best = Hashtbl.find_opt t.loc_rib prefix in
+      sync_neighbor t ~now prefix best nb)
+    prefixes
+
 let handle_mrai_expiry t ~now ~neighbor ~prefix =
   let nb = neighbor_exn t neighbor in
   let key = (neighbor, prefix) in

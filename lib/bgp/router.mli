@@ -81,6 +81,21 @@ val handle_mrai_expiry :
   t -> now:float -> neighbor:Asn.t -> prefix:Prefix.t -> action list
 (** Fired by a [Set_mrai_timer] request: flushes a pending announcement. *)
 
+val handle_session_down : t -> now:float -> neighbor:Asn.t -> action list
+(** The BGP session to [neighbor] dropped ({!Because_bgp.Session}'s
+    [Session_down]): every route learned on it is removed from the
+    adj-RIB-in, the adj-RIB-out and MRAI state towards the neighbor are
+    cleared, and each affected prefix is re-decided — producing the
+    downstream withdrawals and failover announcements of path
+    re-exploration.  Raises [Invalid_argument] if [neighbor] is not
+    configured. *)
+
+val handle_session_up : t -> now:float -> neighbor:Asn.t -> action list
+(** The session to [neighbor] (re-)established ([Session_up]): the current
+    loc-RIB is re-advertised from an empty adj-RIB-out, subject to the usual
+    export policy.  Raises [Invalid_argument] if [neighbor] is not
+    configured. *)
+
 val best_route : t -> Prefix.t -> best option
 (** Current loc-RIB entry. *)
 

@@ -8,18 +8,22 @@ type record = {
   update : Update.t;
 }
 
-let of_network rng net ~vantages ~noise ~campaign_end =
+let of_network ?(gaps_of = fun _ -> []) rng net ~vantages ~noise ~campaign_end
+    =
   let records =
     List.concat_map
       (fun (vp : Vantage.t) ->
         let feed = Because_sim.Network.feed net vp.Vantage.host_asn in
-        let outage = Noise.outage_window rng noise ~campaign_end in
+        let outages =
+          Noise.outage_windows rng noise ~campaign_end
+          @ gaps_of vp.Vantage.vp_id
+        in
         List.filter_map
           (fun (received_at, update) ->
             let in_outage =
-              match outage with
-              | Some (lo, hi) -> received_at >= lo && received_at <= hi
-              | None -> false
+              List.exists
+                (fun (lo, hi) -> received_at >= lo && received_at <= hi)
+                outages
             in
             if in_outage then None
             else begin

@@ -14,13 +14,19 @@ type record = {
 }
 
 val of_network :
+  ?gaps_of:(int -> (float * float) list) ->
   Because_stats.Rng.t ->
   Because_sim.Network.t ->
   vantages:Vantage.t list ->
   noise:Noise.params ->
   campaign_end:float ->
   record list
-(** All records across all vantage points, sorted by [export_at]. *)
+(** All records across all vantage points, sorted by [export_at].
+
+    [gaps_of vp_id] returns extra collector-outage windows for a vantage
+    point (e.g. from an injected fault plan); records received inside any
+    window — drawn from [noise] or supplied here — are dropped, truncating
+    that feed.  Defaults to no extra gaps. *)
 
 val for_prefix_vp : record list -> Prefix.t -> int -> record list
 (** Records of one (prefix, vantage point) pair, chronological. *)

@@ -10,9 +10,13 @@
 type params = {
   invalid_aggregator_rate : float;  (** Probability an announcement's aggregator is corrupted. *)
   session_reset_rate : float;
-      (** Probability that a given vantage point suffers one reset during the
-          campaign. *)
+      (** Per-slot probability that a vantage point suffers a reset during
+          the campaign (see [max_outages]). *)
   reset_outage : float;  (** Duration of the data gap a reset causes, seconds. *)
+  max_outages : int;
+      (** Number of independent reset slots per vantage point; each hits
+          with [session_reset_rate].  The historical behavior is
+          [max_outages = 1]. *)
 }
 
 val none : params
@@ -25,6 +29,15 @@ val corrupt_aggregator :
 (** Possibly invalidate an announcement's aggregator (withdrawals pass
     through). *)
 
+val outage_windows :
+  Because_stats.Rng.t -> params -> campaign_end:float -> (float * float) list
+(** Draw the outage windows for one vantage point: up to [max_outages]
+    windows, sorted by start time (possibly overlapping).  With
+    [max_outages = 1] this consumes the same RNG draws as the historical
+    {!outage_window}. *)
+
 val outage_window :
   Because_stats.Rng.t -> params -> campaign_end:float -> (float * float) option
-(** Draw the outage window for one vantage point, if any. *)
+[@@ocaml.deprecated "Use Noise.outage_windows, which supports several outages."]
+(** Draw a single outage window (forces [max_outages = 1]).
+    @deprecated use {!outage_windows}. *)

@@ -35,17 +35,33 @@ let of_marginal (m : Posterior.marginal) =
 
 let damping = function C4 | C5 -> true | C1 | C2 | C3 -> false
 
-let assign result =
+let insufficient result ~min_support =
+  let data = Infer.dataset result in
+  List.filter_map
+    (fun i ->
+      if Tomography.support data i < min_support then
+        Some (Tomography.node data i)
+      else None)
+    (List.init (Tomography.n_nodes data) Fun.id)
+
+let assign ?(min_support = 1) result =
   let data = Infer.dataset result in
   let n = Tomography.n_nodes data in
-  let best = Array.make n C1 in
+  let per_sampler = Posterior.per_sampler result in
+  (* No surviving sampler run means no posterior at all: everything is
+     uncertain, not "highly likely clean". *)
+  let best = Array.make n (if per_sampler = [] then C3 else C1) in
   List.iter
     (fun (_, marginals) ->
       Array.iteri
         (fun i m -> best.(i) <- max_ best.(i) (of_marginal m))
         marginals)
-    (Posterior.per_sampler result);
-  List.init n (fun i -> (Tomography.node data i, best.(i)))
+    per_sampler;
+  List.init n (fun i ->
+      let cat =
+        if Tomography.support data i < min_support then C3 else best.(i)
+      in
+      (Tomography.node data i, cat))
 
 let shares categories =
   let total = List.length categories in

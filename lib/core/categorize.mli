@@ -33,8 +33,17 @@ val of_marginal : Posterior.marginal -> t
 val damping : t -> bool
 (** The paper accepts categories 4 and 5 as RFD-enabled. *)
 
-val assign : Infer.result -> (Because_bgp.Asn.t * t) list
-(** Per-AS category: highest flag across the MH and HMC marginals. *)
+val assign :
+  ?min_support:int -> Infer.result -> (Because_bgp.Asn.t * t) list
+(** Per-AS category: highest flag across the MH and HMC marginals.
+
+    An AS crossed by fewer than [min_support] observations (default 1 — no
+    demotion) is forced to C3: with its feeds truncated by faults there is
+    not enough surviving evidence to call it either way.  When every
+    sampler was dropped ({!Infer.result}[.runs = \[\]]) all ASs are C3. *)
+
+val insufficient : Infer.result -> min_support:int -> Because_bgp.Asn.t list
+(** The ASs {!assign} demotes for lack of evidence, in node order. *)
 
 val shares : t list -> (t * int * float) list
 (** Count and share per category (Table 2 rows). *)

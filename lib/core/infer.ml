@@ -12,6 +12,7 @@ type config = {
   leapfrog_steps : int;
   run_mh : bool;
   run_hmc : bool;
+  max_restarts : int;
 }
 
 let default_config =
@@ -25,42 +26,93 @@ let default_config =
     leapfrog_steps = 12;
     run_mh = true;
     run_hmc = true;
+    max_restarts = 2;
   }
 
 type sampler_run = { name : string; chain : Chain.t; acceptance : float }
-type result = { model : Model.t; runs : sampler_run list }
+
+type result = {
+  model : Model.t;
+  runs : sampler_run list;
+  warnings : string list;
+}
+
+let chain_healthy chain =
+  let healthy = ref true in
+  for k = 0 to Chain.length chain - 1 do
+    Array.iter
+      (fun v -> if not (Float.is_finite v) then healthy := false)
+      (Chain.get chain k)
+  done;
+  !healthy
+
+(* Attempt 0 consumes exactly the [Rng.split] the pre-restart code did, so a
+   healthy first run leaves the caller's stream untouched; retries draw fresh
+   splits only after a failure. *)
+let run_with_restarts ~rng ~max_restarts ~name sample =
+  let rec attempt k warnings =
+    let outcome =
+      match sample (Because_stats.Rng.split rng) with
+      | chain, acceptance ->
+          if chain_healthy chain then Ok (chain, acceptance)
+          else Error "chain contains non-finite draws"
+      | exception Failure msg -> Error msg
+    in
+    match outcome with
+    | Ok (chain, acceptance) ->
+        (Some { name; chain; acceptance }, List.rev warnings)
+    | Error msg ->
+        let warnings =
+          Printf.sprintf "%s attempt %d/%d diverged: %s" name (k + 1)
+            (max_restarts + 1) msg
+          :: warnings
+        in
+        if k >= max_restarts then
+          ( None,
+            List.rev
+              (Printf.sprintf "%s disabled: no healthy chain in %d attempts"
+                 name (max_restarts + 1)
+              :: warnings) )
+        else attempt (k + 1) warnings
+  in
+  attempt 0 []
 
 let run ~rng ?(config = default_config) data =
   if not (config.run_mh || config.run_hmc) then
     invalid_arg "Infer.run: at least one sampler must be enabled";
+  if config.max_restarts < 0 then
+    invalid_arg "Infer.run: max_restarts must be non-negative";
   let model =
     Model.create ~prior:config.prior ~node_priors:config.node_priors
       ~false_negative_rate:config.false_negative_rate data
   in
   let target = Model.target model in
   let runs = ref [] in
-  if config.run_mh then begin
-    let r =
-      Metropolis.run_single_site ~rng:(Because_stats.Rng.split rng)
-        ~thin:config.thin ~n_samples:config.n_samples ~burn_in:config.burn_in
-        target
-    in
-    runs :=
-      { name = "MH"; chain = r.Metropolis.chain;
-        acceptance = r.Metropolis.acceptance }
-      :: !runs
-  end;
-  if config.run_hmc then begin
-    let r =
-      Hmc.run ~rng:(Because_stats.Rng.split rng)
-        ~leapfrog_steps:config.leapfrog_steps ~thin:config.thin
-        ~n_samples:config.n_samples ~burn_in:config.burn_in target
-    in
-    runs :=
-      { name = "HMC"; chain = r.Hmc.chain; acceptance = r.Hmc.acceptance }
-      :: !runs
-  end;
-  { model; runs = List.rev !runs }
+  let warnings = ref [] in
+  let record (run_opt, ws) =
+    warnings := !warnings @ ws;
+    match run_opt with Some r -> runs := r :: !runs | None -> ()
+  in
+  if config.run_mh then
+    record
+      (run_with_restarts ~rng ~max_restarts:config.max_restarts ~name:"MH"
+         (fun sub ->
+           let r =
+             Metropolis.run_single_site ~rng:sub ~thin:config.thin
+               ~n_samples:config.n_samples ~burn_in:config.burn_in target
+           in
+           (r.Metropolis.chain, r.Metropolis.acceptance)));
+  if config.run_hmc then
+    record
+      (run_with_restarts ~rng ~max_restarts:config.max_restarts ~name:"HMC"
+         (fun sub ->
+           let r =
+             Hmc.run ~rng:sub ~leapfrog_steps:config.leapfrog_steps
+               ~thin:config.thin ~n_samples:config.n_samples
+               ~burn_in:config.burn_in target
+           in
+           (r.Hmc.chain, r.Hmc.acceptance)));
+  { model; runs = List.rev !runs; warnings = !warnings }
 
 let combined_chain result =
   match result.runs with

@@ -15,11 +15,14 @@ type config = {
   leapfrog_steps : int;  (** HMC trajectory length. *)
   run_mh : bool;
   run_hmc : bool;
+  max_restarts : int;
+      (** Automatic restarts (fresh RNG split each) granted to a sampler
+          whose chain diverges or raises on a non-finite log-density. *)
 }
 
 val default_config : config
 (** 1000 samples after 500 burn-in, no thinning, {!Prior.default}, 12
-    leapfrog steps, both samplers. *)
+    leapfrog steps, both samplers, 2 restarts. *)
 
 type sampler_run = {
   name : string;
@@ -29,11 +32,22 @@ type sampler_run = {
 
 type result = {
   model : Model.t;
-  runs : sampler_run list;  (** One entry per enabled sampler. *)
+  runs : sampler_run list;
+      (** One entry per enabled sampler that produced a healthy chain; a
+          sampler exhausting its restarts is dropped (see [warnings]). *)
+  warnings : string list;
+      (** Human-readable notes on diverged attempts and disabled samplers;
+          [\[\]] on a clean run. *)
 }
 
 val run :
   rng:Because_stats.Rng.t -> ?config:config -> Tomography.t -> result
+(** Never raises on sampler divergence: each enabled sampler gets
+    [1 + max_restarts] attempts (each from a fresh RNG split, so a healthy
+    first attempt consumes exactly one split as before) and is skipped with
+    a warning if none yields an all-finite chain.  [runs] can therefore be
+    empty; downstream consumers must treat that as "no posterior" rather
+    than call {!combined_chain}. *)
 
 val combined_chain : result -> Because_mcmc.Chain.t
 (** All retained draws across samplers appended (used for point estimates

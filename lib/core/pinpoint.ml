@@ -11,8 +11,7 @@ type promotion = {
 let default_threshold = 0.8
 let default_min_support = 2
 
-let promotions ?(threshold = default_threshold)
-    ?(min_support = default_min_support) result ~categories =
+let promotions_nonempty ~threshold ~min_support result ~categories =
   let data = Infer.dataset result in
   let chain = Infer.combined_chain result in
   let n_draws = Chain.length chain in
@@ -74,6 +73,12 @@ let promotions ?(threshold = default_threshold)
       support []
   in
   List.sort (fun a b -> Int.compare a.node b.node) results
+
+let promotions ?(threshold = default_threshold)
+    ?(min_support = default_min_support) result ~categories =
+  (* No surviving sampler run means no pooled chain to pinpoint from. *)
+  if result.Infer.runs = [] then []
+  else promotions_nonempty ~threshold ~min_support result ~categories
 
 let apply categories promotions =
   let promoted =

@@ -36,7 +36,9 @@ val promotions :
   categories:(Asn.t * Categorize.t) list ->
   promotion list
 (** ASs to promote to Category 4.  Uses the pooled chain of all samplers.
-    Each returned promotion cites its strongest supporting path. *)
+    Each returned promotion cites its strongest supporting path.  Returns
+    [\[\]] when the result carries no sampler runs (all dropped after
+    divergence). *)
 
 val apply :
   (Asn.t * Categorize.t) list -> promotion list -> (Asn.t * Categorize.t) list

@@ -65,6 +65,7 @@ let nodes t = Array.copy t.node_of_index
 let path t j = t.paths.(j)
 let label t j = t.labels.(j)
 let paths_through t i = t.incidence.(i)
+let support t i = Array.length t.incidence.(i)
 
 let rfd_path_count t =
   Array.fold_left (fun acc l -> if l then acc + 1 else acc) 0 t.labels

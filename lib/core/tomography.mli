@@ -32,6 +32,10 @@ val label : t -> int -> bool
 val paths_through : t -> int -> int array
 (** Indices of paths containing node [i]. *)
 
+val support : t -> int -> int
+(** Number of observations crossing node [i] — how much evidence the
+    posterior for that AS rests on.  Fault-truncated feeds lower it. *)
+
 val rfd_path_count : t -> int
 (** Number of positive observations. *)
 

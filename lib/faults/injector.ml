@@ -1,0 +1,91 @@
+open Because_bgp
+module Network = Because_sim.Network
+
+let install plan net =
+  List.iter
+    (fun spec ->
+      match spec with
+      | Plan.Session_reset { a; b; at } ->
+          Network.schedule_session_reset net ~time:at ~a ~b
+      | Plan.Link_flap { a; b; down_at; duration } ->
+          Network.schedule_link_down net ~time:down_at ~a ~b;
+          Network.schedule_link_up net ~time:(down_at +. duration) ~a ~b
+      | Plan.Session_impairment { a; b; loss; duplication } ->
+          Network.set_link_impairment net ~a ~b ~loss ~duplication
+      | Plan.Site_outage _ | Plan.Collector_outage _ ->
+          (* Collection-layer faults: applied by the campaign when
+             installing sites and exporting dumps. *)
+          ())
+    (Plan.specs plan)
+
+type injected =
+  | Link_down of { a : Asn.t; b : Asn.t }
+  | Link_up of { a : Asn.t; b : Asn.t }
+  | Session_reset of { a : Asn.t; b : Asn.t }
+  | Session_down of { owner : Asn.t; peer : Asn.t; reason : string }
+  | Session_up of { owner : Asn.t; peer : Asn.t }
+  | Update_lost of { from_asn : Asn.t; to_asn : Asn.t }
+  | Update_duplicated of { from_asn : Asn.t; to_asn : Asn.t }
+  | Site_down of { site_id : int }
+  | Site_restored of { site_id : int }
+  | Collector_down of { vp_id : int }
+  | Collector_restored of { vp_id : int }
+
+let of_network_event : Network.fault_event -> injected = function
+  | Network.Fault_link_down { a; b } -> Link_down { a; b }
+  | Network.Fault_link_up { a; b } -> Link_up { a; b }
+  | Network.Fault_session_reset { a; b } -> Session_reset { a; b }
+  | Network.Fault_session_down { owner; peer; reason } ->
+      Session_down { owner; peer; reason }
+  | Network.Fault_session_up { owner; peer } -> Session_up { owner; peer }
+  | Network.Fault_update_lost { from_asn; to_asn } ->
+      Update_lost { from_asn; to_asn }
+  | Network.Fault_update_duplicated { from_asn; to_asn } ->
+      Update_duplicated { from_asn; to_asn }
+
+(* Collection-layer fault events the network cannot see. *)
+let plan_events plan =
+  List.concat_map
+    (fun spec ->
+      match spec with
+      | Plan.Site_outage { site_id; from_; duration } ->
+          [ (from_, Site_down { site_id });
+            (from_ +. duration, Site_restored { site_id }) ]
+      | Plan.Collector_outage { vp_id; from_; duration } ->
+          [ (from_, Collector_down { vp_id });
+            (from_ +. duration, Collector_restored { vp_id }) ]
+      | Plan.Session_reset _ | Plan.Link_flap _ | Plan.Session_impairment _ ->
+          [])
+    (Plan.specs plan)
+
+let log ~plan net =
+  let network_events =
+    List.map
+      (fun (time, ev) -> (time, of_network_event ev))
+      (Network.fault_log net)
+  in
+  List.stable_sort
+    (fun (ta, _) (tb, _) -> Float.compare ta tb)
+    (network_events @ plan_events plan)
+
+let pp_injected fmt = function
+  | Link_down { a; b } ->
+      Format.fprintf fmt "link down %a--%a" Asn.pp a Asn.pp b
+  | Link_up { a; b } -> Format.fprintf fmt "link up %a--%a" Asn.pp a Asn.pp b
+  | Session_reset { a; b } ->
+      Format.fprintf fmt "session reset %a--%a" Asn.pp a Asn.pp b
+  | Session_down { owner; peer; reason } ->
+      Format.fprintf fmt "session down %a->%a (%s)" Asn.pp owner Asn.pp peer
+        reason
+  | Session_up { owner; peer } ->
+      Format.fprintf fmt "session up %a->%a" Asn.pp owner Asn.pp peer
+  | Update_lost { from_asn; to_asn } ->
+      Format.fprintf fmt "update lost %a->%a" Asn.pp from_asn Asn.pp to_asn
+  | Update_duplicated { from_asn; to_asn } ->
+      Format.fprintf fmt "update duplicated %a->%a" Asn.pp from_asn Asn.pp
+        to_asn
+  | Site_down { site_id } -> Format.fprintf fmt "site %d down" site_id
+  | Site_restored { site_id } -> Format.fprintf fmt "site %d restored" site_id
+  | Collector_down { vp_id } -> Format.fprintf fmt "collector vp%d down" vp_id
+  | Collector_restored { vp_id } ->
+      Format.fprintf fmt "collector vp%d restored" vp_id

@@ -19,8 +19,14 @@ type evidence = {
   mutable r_deltas : float list;
 }
 
-let label_vp_prefix ?min_r_delta ?margin ?(match_threshold = 0.9) ~records
-    ~windows () =
+(* A Burst–Break window overlapping a collection gap is torn: its missing
+   updates would masquerade as suppression, so it contributes no evidence. *)
+let torn gaps (burst_start, _burst_end, break_end) =
+  List.exists (fun (lo, hi) -> lo <= break_end && hi >= burst_start) gaps
+
+let label_vp_prefix ?min_r_delta ?margin ?(match_threshold = 0.9)
+    ?(gaps = []) ~records ~windows () =
+  let windows = List.filter (fun w -> not (torn gaps w)) windows in
   match records with
   | [] -> []
   | first :: _ ->
@@ -108,7 +114,8 @@ let label_vp_prefix ?min_r_delta ?margin ?(match_threshold = 0.9) ~records
           })
         all_paths
 
-let label_all ?min_r_delta ?margin ?match_threshold ~records ~windows_of () =
+let label_all ?min_r_delta ?margin ?match_threshold ?(gaps_of = fun _ -> [])
+    ~records ~windows_of () =
   (* Group records per (vp, prefix), preserving chronology. *)
   let groups = Hashtbl.create 64 in
   List.iter
@@ -134,13 +141,13 @@ let label_all ?min_r_delta ?margin ?match_threshold ~records ~windows_of () =
            | c -> c)
   in
   List.concat_map
-    (fun ((_, prefix) as key) ->
+    (fun ((vp_id, prefix) as key) ->
       match windows_of prefix with
       | [] -> []
       | windows ->
           let records = List.rev !(Hashtbl.find groups key) in
-          label_vp_prefix ?min_r_delta ?margin ?match_threshold ~records
-            ~windows ())
+          label_vp_prefix ?min_r_delta ?margin ?match_threshold
+            ~gaps:(gaps_of vp_id) ~records ~windows ())
     keys
 
 let observations labeled =

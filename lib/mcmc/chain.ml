@@ -2,11 +2,27 @@ type t = float array array
 
 let of_samples samples =
   if Array.length samples = 0 then invalid_arg "Chain.of_samples: empty";
+  let dim = Array.length samples.(0) in
+  Array.iteri
+    (fun k row ->
+      if Array.length row <> dim then
+        invalid_arg
+          (Printf.sprintf
+             "Chain.of_samples: ragged matrix (row %d has %d columns, row 0 \
+              has %d)"
+             k (Array.length row) dim))
+    samples;
   samples
 
 let length t = Array.length t
 let dim t = Array.length t.(0)
-let get t k = t.(k)
+
+let get t k =
+  if k < 0 || k >= Array.length t then
+    invalid_arg
+      (Printf.sprintf "Chain.get: draw %d out of bounds (length %d)" k
+         (Array.length t));
+  t.(k)
 let marginal t i = Array.map (fun draw -> draw.(i)) t
 let map_draws t f = Array.map f t
 

@@ -4,13 +4,15 @@ type t
 
 val of_samples : float array array -> t
 (** Takes ownership of a [n_samples × dim] matrix (row = one posterior
-    draw). *)
+    draw).
+    @raise Invalid_argument on an empty or ragged matrix. *)
 
 val length : t -> int
 val dim : t -> int
 
 val get : t -> int -> float array
-(** [get t k] is the k-th draw (not copied; treat as read-only). *)
+(** [get t k] is the k-th draw (not copied; treat as read-only).
+    @raise Invalid_argument when [k] is out of bounds. *)
 
 val marginal : t -> int -> float array
 (** [marginal t i] extracts the i-th coordinate across all draws — the

@@ -70,6 +70,12 @@ let run ~rng ?init ?(initial_step = 0.05) ?(leapfrog_steps = 15) ?(thin = 1)
   let window = 10 in
   let iter_idx = ref 0 in
   let current_lp = ref (log_density theta) in
+  if not (Float.is_finite !current_lp) then
+    failwith
+      (Printf.sprintf
+         "Hmc.run: non-finite log-density (%g) at the initial point — the \
+          target is broken or the initializer lies outside its support"
+         !current_lp);
   while !kept_count < n_samples do
     let in_burn_in = !iter_idx < burn_in in
     (* Fresh Gaussian momentum, unit mass matrix. *)

@@ -32,7 +32,9 @@ val run :
 (** [run ~rng ~n_samples ~burn_in target] requires [target.grad_log_density].
     [leapfrog_steps] defaults to 15.  The step size adapts towards a 0.75
     acceptance rate during burn-in.  Raises [Invalid_argument] if the target
-    has no gradient. *)
+    has no gradient.
+    @raise Failure when the log-density is non-finite at the initial point
+    (a broken target or an initializer outside the support). *)
 
 val sigmoid : float -> float
 val logit : float -> float

@@ -19,6 +19,16 @@ let default_init target =
 
 let clamp_unit x = Float.max 1e-9 (Float.min (1.0 -. 1e-9) x)
 
+let check_initial_lp ~who lp point =
+  if not (Float.is_finite lp) then
+    failwith
+      (Printf.sprintf
+         "%s: non-finite log-density (%g) at the initial point [%s] — the \
+          target is broken or the initializer lies outside its support"
+         who lp
+         (String.concat "; "
+            (Array.to_list (Array.map (Printf.sprintf "%g") point))))
+
 (* Robbins–Monro style log-scale adaptation towards a target acceptance. *)
 let adapt_step step ~observed ~target_rate ~sweep =
   let rate = 1.0 /. Float.sqrt (float_of_int (sweep + 1)) in
@@ -37,6 +47,7 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ~n_samples
   | Target.Unbounded -> ());
   let steps = Array.make dim initial_step in
   let log_post = ref (target.Target.log_density current) in
+  check_initial_lp ~who:"Metropolis.run_single_site" !log_post current;
   let accept_window = Array.make dim 0 in
   let window = 25 in
   let kept = Array.make n_samples [||] in
@@ -107,6 +118,7 @@ let run_vector ~rng ?init ?(initial_step = 0.05) ?(thin = 1) ~n_samples
   in
   let step = ref initial_step in
   let log_post = ref (target.Target.log_density current) in
+  check_initial_lp ~who:"Metropolis.run_vector" !log_post current;
   let kept = Array.make n_samples [||] in
   let kept_count = ref 0 in
   let accepted_post = ref 0 and proposed_post = ref 0 in

@@ -32,7 +32,10 @@ val run_single_site :
   result
 (** [run_single_site ~rng ~n_samples ~burn_in target] draws [n_samples]
     retained samples after [burn_in] adaptation sweeps.  [init] defaults to
-    the centre of the support. *)
+    the centre of the support.
+    @raise Failure when the log-density is non-finite at the initial point
+    (a broken target or an initializer outside the support) — instead of
+    silently propagating NaN through every acceptance test. *)
 
 val run_vector :
   rng:Because_stats.Rng.t ->
@@ -43,6 +46,7 @@ val run_vector :
   burn_in:int ->
   Target.t ->
   result
+(** Full-vector variant; same initial-point guard as {!run_single_site}. *)
 
 val reflect_unit : float -> float
 (** Reflect a proposal into [\[0, 1\]] (symmetric, so the MH ratio needs no

@@ -8,6 +8,8 @@ module Dump = Because_collector.Dump
 module Noise = Because_collector.Noise
 module Label = Because_labeling.Label
 module Combine = Because_heuristics.Combine
+module Plan = Because_faults.Plan
+module Injector = Because_faults.Injector
 
 type params = {
   update_interval : float;
@@ -23,6 +25,8 @@ type params = {
   run_inference : bool;
   background_prefixes : int;
   background_mean_gap : float;
+  faults : Plan.t;
+  min_path_support : int;
 }
 
 let default_params ~update_interval =
@@ -45,6 +49,8 @@ let default_params ~update_interval =
     run_inference = true;
     background_prefixes = 0;
     background_mean_gap = 1800.0;
+    faults = Plan.empty;
+    min_path_support = 1;
   }
 
 type outcome = {
@@ -63,6 +69,9 @@ type outcome = {
   heuristic_verdicts : Combine.verdict list;
   deliveries : int;
   campaign_end : float;
+  fault_log : (float * Injector.injected) list;
+  insufficient : Asn.t list;
+  warnings : string list;
 }
 
 let schedule_background rng world net ~count ~mean_gap ~campaign_end =
@@ -139,13 +148,29 @@ let run_multi world params ~intervals =
       ~configs:(World.router_configs world)
       ~delay:(World.delay world)
       ~monitored:(World.monitored world)
+      ()
   in
-  List.iter (fun site -> Site.install site net) sites;
+  (* A non-empty fault plan gets its own RNG stream (salt + 4) and is
+     installed before the run; the empty plan touches nothing, keeping the
+     event stream bit-for-bit the fault-free one. *)
+  if not (Plan.is_empty params.faults) then begin
+    Network.set_fault_rng net (World.fresh_rng world ~salt:(salt + 4));
+    Injector.install params.faults net
+  end;
+  let gaps_of vp_id = Plan.collector_outages params.faults ~vp_id in
+  List.iter
+    (fun site ->
+      let outages =
+        Plan.site_outages params.faults ~site_id:site.Site.site_id
+      in
+      Site.install ~outages site net)
+    sites;
   schedule_background churn_rng world net ~count:params.background_prefixes
     ~mean_gap:params.background_mean_gap ~campaign_end;
   Network.run net ~until:campaign_end;
+  let fault_log = Injector.log ~plan:params.faults net in
   let records =
-    Dump.of_network noise_rng net ~vantages:(World.vantages world)
+    Dump.of_network ~gaps_of noise_rng net ~vantages:(World.vantages world)
       ~noise:params.noise ~campaign_end
   in
   let anchors =
@@ -175,7 +200,8 @@ let run_multi world params ~intervals =
       in
       let labeled =
         Label.label_all ~min_r_delta:params.min_r_delta
-          ~match_threshold:params.match_threshold ~records ~windows_of ()
+          ~match_threshold:params.match_threshold ~gaps_of ~records
+          ~windows_of ()
       in
       let observations = Label.observations labeled in
       let result =
@@ -189,13 +215,29 @@ let run_multi world params ~intervals =
         end
         else None
       in
-      let categories_step1, categories, promotions =
+      let categories_step1, categories, promotions, insufficient, warnings =
         match result with
-        | None -> ([], [], [])
+        | None -> ([], [], [], [], [])
         | Some r ->
-            let step1 = Because.Categorize.assign r in
-            let promos = Because.Pinpoint.promotions r ~categories:step1 in
-            (step1, Because.Pinpoint.apply step1 promos, promos)
+            let min_support = params.min_path_support in
+            let step1 = Because.Categorize.assign ~min_support r in
+            let insufficient =
+              Because.Categorize.insufficient r ~min_support
+            in
+            let promos =
+              (* An AS demoted for lack of surviving evidence must stay
+                 "insufficient data", not get promoted back to C4. *)
+              List.filter
+                (fun (p : Because.Pinpoint.promotion) ->
+                  not (List.exists (Asn.equal p.Because.Pinpoint.asn)
+                         insufficient))
+                (Because.Pinpoint.promotions r ~categories:step1)
+            in
+            ( step1,
+              Because.Pinpoint.apply step1 promos,
+              promos,
+              insufficient,
+              r.Because.Infer.warnings )
       in
       let heuristic_verdicts =
         if labeled = [] then []
@@ -217,11 +259,35 @@ let run_multi world params ~intervals =
         heuristic_verdicts;
         deliveries;
         campaign_end;
+        fault_log;
+        insufficient;
+        warnings;
       })
     intervals
 
 let run world params =
   List.hd (run_multi world params ~intervals:[ params.update_interval ])
+
+let horizon params =
+  let s =
+    Schedule.of_durations ~lead_in:params.lead_in
+      ~update_interval:params.update_interval
+      ~burst_duration:params.burst_duration
+      ~break_duration:params.break_duration ~cycles:params.cycles ()
+  in
+  Schedule.end_time s +. params.break_duration +. 600.0
+
+let draw_faults world params severity =
+  let rng = World.fresh_rng world ~salt:5 in
+  let links = Because_topology.Graph.links (World.graph world) in
+  let site_ids = List.map fst (World.site_origins world) in
+  let vp_ids =
+    List.map
+      (fun (v : Because_collector.Vantage.t) ->
+        v.Because_collector.Vantage.vp_id)
+      (World.vantages world)
+  in
+  Plan.draw rng severity ~links ~site_ids ~vp_ids ~horizon:(horizon params)
 
 let windows_of outcome prefix =
   if Prefix.Set.mem prefix outcome.oscillating then outcome.windows else []

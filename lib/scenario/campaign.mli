@@ -21,11 +21,19 @@ type params = {
   run_inference : bool;
   background_prefixes : int;     (** Synthetic churn prefixes (Appendix A). *)
   background_mean_gap : float;   (** Mean seconds between churn updates. *)
+  faults : Because_faults.Plan.t;
+      (** Injected faults (session resets, link flaps, site and collector
+          outages, lossy sessions).  {!Because_faults.Plan.empty} — the
+          default — leaves the campaign bit-for-bit fault-free. *)
+  min_path_support : int;
+      (** Minimum observations crossing an AS before its posterior is
+          trusted; below it the AS is demoted to C3 and listed in
+          [outcome.insufficient].  Default 1 (no demotion). *)
 }
 
 val default_params : update_interval:float -> params
 (** 2-hour Bursts and Breaks, 4 cycles, realistic noise, inference on,
-    no background churn. *)
+    no background churn, no faults. *)
 
 type outcome = {
   params : params;
@@ -45,6 +53,15 @@ type outcome = {
   heuristic_verdicts : Because_heuristics.Combine.verdict list;
   deliveries : int;          (** Total updates delivered in the simulation. *)
   campaign_end : float;
+  fault_log : (float * Because_faults.Injector.injected) list;
+      (** Every injected fault that materialized, chronological: session
+          teardowns/recoveries, link transitions, lost/duplicated updates,
+          site and collector outage windows.  Empty on a fault-free run. *)
+  insufficient : Asn.t list;
+      (** ASs demoted to C3 because fewer than [min_path_support]
+          observations survived the faults. *)
+  warnings : string list;
+      (** Sampler-divergence notes propagated from {!Because.Infer}. *)
 }
 
 val run : World.t -> params -> outcome
@@ -55,6 +72,16 @@ val run_multi : World.t -> params -> intervals:float list -> outcome list
     5/10/15).  Each site announces one prefix per interval plus the anchor;
     the shared dump is then labeled and inferred per interval, one outcome
     per interval in input order.  [params.update_interval] is ignored. *)
+
+val horizon : params -> float
+(** The campaign end time a single-interval {!run} will use — the window
+    within which injected faults can land. *)
+
+val draw_faults :
+  World.t -> params -> Because_faults.Plan.severity -> Because_faults.Plan.t
+(** Draw a seeded fault plan for this world (its own RNG stream, so the
+    same world seed and severity reproduce the same plan) covering the
+    world's links, Beacon sites and vantage points over {!horizon}. *)
 
 val windows_of : outcome -> Prefix.t -> (float * float * float) list
 (** Burst–Break windows of an oscillating prefix; [\[\]] otherwise. *)

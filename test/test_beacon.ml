@@ -104,7 +104,7 @@ let test_site_install () =
   let net =
     Because_sim.Network.create ~configs
       ~delay:(fun ~from_asn:_ ~to_asn:_ -> 0.5)
-      ~monitored:(Asn.Set.singleton (asn 2))
+      ~monitored:(Asn.Set.singleton (asn 2)) ()
   in
   let site =
     Site.make ~site_id:0 ~origin:(asn 65003) ~anchor_period:7200.0

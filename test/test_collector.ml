@@ -77,18 +77,46 @@ let test_noise_corrupt_rate () =
 
 let test_noise_none () =
   let rng = Rng.create 6 in
-  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "no outage" None
-    (Noise.outage_window rng Noise.none ~campaign_end:1000.0)
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "no outage" []
+    (Noise.outage_windows rng Noise.none ~campaign_end:1000.0)
 
 let test_outage_within_campaign () =
   let rng = Rng.create 7 in
   for _ = 1 to 200 do
-    match Noise.outage_window rng Noise.realistic ~campaign_end:10_000.0 with
-    | Some (lo, hi) ->
+    match Noise.outage_windows rng Noise.realistic ~campaign_end:10_000.0 with
+    | [ (lo, hi) ] ->
         Alcotest.(check bool) "window sane" true
           (lo >= 0.0 && lo <= 10_000.0 && hi = lo +. 1800.0)
-    | None -> ()
+    | [] -> ()
+    | _ -> Alcotest.fail "max_outages = 1 yielded several windows"
   done
+
+(* The deprecated single-window API must keep drawing the same stream. *)
+let test_outage_window_forward () =
+  let deprecated =
+    let rng = Rng.create 7 in
+    (Noise.outage_window [@ocaml.warning "-3"])
+      rng Noise.realistic ~campaign_end:10_000.0
+  in
+  let windows =
+    let rng = Rng.create 7 in
+    Noise.outage_windows rng Noise.realistic ~campaign_end:10_000.0
+  in
+  Alcotest.(check (option (pair (float 0.0) (float 0.0))))
+    "same draw" deprecated
+    (match windows with [] -> None | w :: _ -> Some w)
+
+let test_multiple_outages () =
+  let rng = Rng.create 11 in
+  let params =
+    { Noise.none with session_reset_rate = 1.0; reset_outage = 100.0;
+      max_outages = 3 }
+  in
+  let windows = Noise.outage_windows rng params ~campaign_end:5_000.0 in
+  Alcotest.(check int) "three windows" 3 (List.length windows);
+  Alcotest.(check bool) "sorted" true
+    (windows = List.sort compare windows)
 
 (* Dump building over a tiny simulated network. *)
 let build_dump () =
@@ -105,7 +133,7 @@ let build_dump () =
   let net =
     Because_sim.Network.create ~configs
       ~delay:(fun ~from_asn:_ ~to_asn:_ -> 1.0)
-      ~monitored:(Asn.Set.singleton (asn 2))
+      ~monitored:(Asn.Set.singleton (asn 2)) ()
   in
   let p = Prefix.of_string "10.0.0.0/24" in
   Because_sim.Network.schedule_announce net ~time:0.0 ~origin:(asn 65001) p;
@@ -173,6 +201,9 @@ let suite =
       Alcotest.test_case "noise corrupt rate" `Quick test_noise_corrupt_rate;
       Alcotest.test_case "noise none" `Quick test_noise_none;
       Alcotest.test_case "outage window" `Quick test_outage_within_campaign;
+      Alcotest.test_case "outage_window forwards" `Quick
+        test_outage_window_forward;
+      Alcotest.test_case "multiple outages" `Quick test_multiple_outages;
       Alcotest.test_case "dump records" `Quick test_dump_records;
       Alcotest.test_case "aggregator filter" `Quick test_valid_aggregator_filter;
     ] )

@@ -44,7 +44,7 @@ let run_micro_world ~damper_scope =
   let net =
     Network.create ~configs:(configs ~damper_scope)
       ~delay:(fun ~from_asn:_ ~to_asn:_ -> 1.0)
-      ~monitored:(Asn.Set.singleton (asn 4))
+      ~monitored:(Asn.Set.singleton (asn 4)) ()
   in
   let site =
     Site.make ~site_id:0 ~origin:(asn 65001) ~anchor_period:7200.0

@@ -234,6 +234,48 @@ let test_split_rhat () =
   Alcotest.(check bool) "drifting chain flagged" true
     (Diagnostics.split_r_hat drifting > 1.2)
 
+(* --- input-validation guards --- *)
+
+let nan_target =
+  Target.create ~dim:1 ~support:Target.Unbounded
+    ~grad:(fun _ -> [| 0.0 |])
+    (fun _ -> Float.nan)
+
+let expect_failure name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Failure")
+  | exception Failure _ -> ()
+
+let test_mh_rejects_nan_target () =
+  expect_failure "single-site" (fun () ->
+      Metropolis.run_single_site ~rng:(Rng.create 1) ~n_samples:10 ~burn_in:5
+        nan_target);
+  expect_failure "vector" (fun () ->
+      Metropolis.run_vector ~rng:(Rng.create 1) ~n_samples:10 ~burn_in:5
+        nan_target)
+
+let test_hmc_rejects_nan_target () =
+  expect_failure "hmc" (fun () ->
+      Hmc.run ~rng:(Rng.create 1) ~n_samples:10 ~burn_in:5 nan_target)
+
+let test_chain_rejects_ragged () =
+  (match Chain.of_samples [| [| 1.0; 2.0 |]; [| 3.0 |] |] with
+  | _ -> Alcotest.fail "ragged matrix accepted"
+  | exception Invalid_argument _ -> ());
+  match Chain.of_samples [||] with
+  | _ -> Alcotest.fail "empty matrix accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_chain_get_bounds () =
+  let c = Chain.of_samples [| [| 1.0 |]; [| 2.0 |] |] in
+  Alcotest.(check (float 0.0)) "in bounds" 2.0 (Chain.get c 1).(0);
+  (match Chain.get c 2 with
+  | _ -> Alcotest.fail "out-of-bounds draw accepted"
+  | exception Invalid_argument _ -> ());
+  match Chain.get c (-1) with
+  | _ -> Alcotest.fail "negative draw accepted"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   ( "mcmc",
     [
@@ -260,4 +302,11 @@ let suite =
       Alcotest.test_case "effective sample size" `Quick test_ess;
       Alcotest.test_case "r-hat" `Quick test_rhat;
       Alcotest.test_case "split r-hat" `Quick test_split_rhat;
+      Alcotest.test_case "MH rejects non-finite target" `Quick
+        test_mh_rejects_nan_target;
+      Alcotest.test_case "HMC rejects non-finite target" `Quick
+        test_hmc_rejects_nan_target;
+      Alcotest.test_case "chain rejects ragged input" `Quick
+        test_chain_rejects_ragged;
+      Alcotest.test_case "chain bounds checks" `Quick test_chain_get_bounds;
     ] )

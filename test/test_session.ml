@@ -104,6 +104,94 @@ let test_manual_stop_ceases () =
        (function Session.Session_down _ -> true | _ -> false)
        actions)
 
+(* RFC 4271 FSM-error matrix: for every state, every event the FSM does not
+   handle must fall back to Idle with Close_transport — plus Session_down
+   when the session was Established. *)
+
+let reach = function
+  | Session.Idle -> Session.create config
+  | Session.Connect -> fst (step (Session.create config) Session.Manual_start)
+  | Session.Active ->
+      let t = fst (step (Session.create config) Session.Manual_start) in
+      fst (step t Session.Transport_failed)
+  | Session.Open_sent ->
+      let t = fst (step (Session.create config) Session.Manual_start) in
+      fst (step t Session.Transport_connected)
+  | Session.Open_confirm ->
+      let t = fst (step (Session.create config) Session.Manual_start) in
+      let t = fst (step t Session.Transport_connected) in
+      fst
+        (step t (Session.Open_received { peer_asn = asn 2; hold_time = 90.0 }))
+  | Session.Established ->
+      let t, _, _, _, _ = bring_up () in
+      t
+
+let open_ev = Session.Open_received { peer_asn = asn 9; hold_time = 90.0 }
+
+let error_events = function
+  | Session.Idle ->
+      [ Session.Transport_connected; open_ev; Session.Keepalive_received;
+        Session.Update_received; Session.Hold_timer_expired;
+        Session.Keepalive_timer_expired; Session.Connect_retry_expired ]
+  | Session.Connect | Session.Active ->
+      [ Session.Manual_start; open_ev; Session.Keepalive_received;
+        Session.Update_received; Session.Notification_received;
+        Session.Hold_timer_expired; Session.Keepalive_timer_expired ]
+  | Session.Open_sent ->
+      [ Session.Manual_start; Session.Transport_connected;
+        Session.Keepalive_received; Session.Update_received;
+        Session.Notification_received; Session.Keepalive_timer_expired;
+        Session.Connect_retry_expired ]
+  | Session.Open_confirm ->
+      [ Session.Manual_start; Session.Transport_connected; open_ev;
+        Session.Update_received; Session.Connect_retry_expired ]
+  | Session.Established ->
+      [ Session.Manual_start; Session.Transport_connected; open_ev;
+        Session.Connect_retry_expired ]
+
+let state_name = function
+  | Session.Idle -> "Idle"
+  | Session.Connect -> "Connect"
+  | Session.Active -> "Active"
+  | Session.Open_sent -> "OpenSent"
+  | Session.Open_confirm -> "OpenConfirm"
+  | Session.Established -> "Established"
+
+let test_fsm_error_matrix () =
+  List.iter
+    (fun state ->
+      let t0 = reach state in
+      Alcotest.(check string) "reached the intended state" (state_name state)
+        (state_name (Session.state t0));
+      List.iter
+        (fun event ->
+          let t, actions = step t0 event in
+          let ctx = state_name state in
+          Alcotest.(check bool) (ctx ^ ": error falls to Idle") true
+            (Session.state t = Session.Idle);
+          Alcotest.(check bool) (ctx ^ ": transport closed") true
+            (has Session.Close_transport actions);
+          Alcotest.(check bool)
+            (ctx ^ ": Session_down iff was Established")
+            (state = Session.Established)
+            (List.exists
+               (function Session.Session_down _ -> true | _ -> false)
+               actions))
+        (error_events state))
+    [ Session.Idle; Session.Connect; Session.Active; Session.Open_sent;
+      Session.Open_confirm; Session.Established ]
+
+let test_established_hold_expiry_drops_routes () =
+  (* Hold-timer expiry on a live session is the one timer error that must
+     withdraw routes: the peer has gone silent. *)
+  let t, _, _, _, _ = bring_up () in
+  let t, actions = step t Session.Hold_timer_expired in
+  Alcotest.(check bool) "idle" true (Session.state t = Session.Idle);
+  Alcotest.(check bool) "Session_down emitted" true
+    (List.exists
+       (function Session.Session_down _ -> true | _ -> false)
+       actions)
+
 let qcheck_never_up_without_open =
   (* Random event sequences: Session_up is only ever emitted right after a
      KEEPALIVE in OpenConfirm, i.e. an OPEN must have been accepted. *)
@@ -168,6 +256,9 @@ let suite =
       Alcotest.test_case "update keeps session" `Quick
         test_established_update_keeps_session;
       Alcotest.test_case "manual stop" `Quick test_manual_stop_ceases;
+      Alcotest.test_case "FSM error matrix" `Quick test_fsm_error_matrix;
+      Alcotest.test_case "hold expiry drops routes" `Quick
+        test_established_hold_expiry_drops_routes;
       QCheck_alcotest.to_alcotest qcheck_never_up_without_open;
       QCheck_alcotest.to_alcotest qcheck_state_consistency;
     ] )

@@ -107,7 +107,7 @@ let line_configs =
 let make_line () =
   Network.create ~configs:line_configs
     ~delay:(fun ~from_asn:_ ~to_asn:_ -> 1.0)
-    ~monitored:(Asn.Set.singleton (Asn.of_int 3))
+    ~monitored:(Asn.Set.singleton (Asn.of_int 3)) ()
 
 let prefix = Prefix.of_string "10.0.0.0/24"
 
@@ -167,7 +167,7 @@ let test_network_mrai_batches () =
     let net =
       Network.create ~configs
         ~delay:(fun ~from_asn:_ ~to_asn:_ -> 0.1)
-        ~monitored:(Asn.Set.singleton (asn 3))
+        ~monitored:(Asn.Set.singleton (asn 3)) ()
     in
     (* 20 announcements 5 s apart, each with a fresh aggregator. *)
     for k = 0 to 19 do
