@@ -1,4 +1,12 @@
-(* Bechamel micro-benchmarks of the computational kernels. *)
+(* Bechamel micro-benchmarks of the computational kernels.
+
+   Beyond printing to stdout, the section writes BENCH_kernels.json
+   (name, ns/run, minor words/run per kernel) so the performance trajectory
+   is tracked across PRs by CI artifacts instead of eyeballed.
+
+   The inference hot path is measured in pairs: the incremental-cache MH
+   sweep against the stateless-delta one, and multi-domain inference
+   against single-domain, so the speedups are visible in the same run. *)
 
 open Because_bgp
 module Sc = Because_scenario
@@ -19,10 +27,13 @@ let make_dataset () =
   in
   Because.Tomography.of_observations observations
 
+type row = { name : string; ns_per_run : float; minor_words : float option }
+
 let tests () =
   let data = make_dataset () in
   let model = Because.Model.create data in
   let target = Because.Model.target model in
+  let target_uncached = Because.Model.target ~cached:false model in
   let n = Because.Tomography.n_nodes data in
   let p = Array.init n (fun i -> 0.1 +. (0.8 *. float_of_int (i mod 7) /. 7.0)) in
   let rng = Rng.create 99 in
@@ -36,18 +47,38 @@ let tests () =
       (Bechamel.Staged.stage (fun () ->
            ignore (Because.Model.grad_log_posterior model p)))
   in
-  let delta =
-    Bechamel.Test.make ~name:"single-site delta"
+  let delta_uncached =
+    Bechamel.Test.make ~name:"single-site delta (uncached)"
       (Bechamel.Staged.stage (fun () ->
            ignore (Because.Model.delta_log_posterior model p 17 0.42)))
   in
-  let mh_sweep =
-    Bechamel.Test.make ~name:"MH run (50 draws)"
+  let delta_cached =
+    (* One cache reused across runs; deltas without commits leave it at p. *)
+    let cache = Because.Model.make_cache model p in
+    Bechamel.Test.make ~name:"single-site delta (cached)"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (cache.Because_mcmc.Target.cached_delta 17 0.42)))
+  in
+  let mh_sweep tgt name =
+    Bechamel.Test.make ~name
       (Bechamel.Staged.stage (fun () ->
            ignore
              (Because_mcmc.Metropolis.run_single_site ~rng:(Rng.copy rng)
-                ~n_samples:50 ~burn_in:10 target)))
+                ~n_samples:50 ~burn_in:10 tgt)))
   in
+  let mh_cached = mh_sweep target "MH run 50 draws (cached)" in
+  let mh_uncached = mh_sweep target_uncached "MH run 50 draws (uncached)" in
+  let infer_jobs jobs name =
+    let config =
+      { Because.Infer.default_config with
+        n_samples = 100; burn_in = 100; n_chains = 2; jobs }
+    in
+    Bechamel.Test.make ~name
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Because.Infer.run ~rng:(Rng.create 7) ~config data)))
+  in
+  let infer_seq = infer_jobs 1 "inference 4 chains (jobs=1)" in
+  let infer_par = infer_jobs 4 "inference 4 chains (jobs=4)" in
   let hmc_traj =
     Bechamel.Test.make ~name:"HMC run (10 draws)"
       (Bechamel.Staged.stage (fun () ->
@@ -87,33 +118,102 @@ let tests () =
                   n_stub = 72;
                 })))
   in
-  [ likelihood; gradient; delta; mh_sweep; hmc_traj; rfd_engine; heap;
-    topology ]
+  [ likelihood; gradient; delta_uncached; delta_cached; mh_uncached;
+    mh_cached; infer_seq; infer_par; hmc_traj; rfd_engine; heap; topology ]
+
+let estimate analysed =
+  (* One test per Benchmark.all call, so the table has exactly one entry. *)
+  Hashtbl.fold
+    (fun _ result acc ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some (x :: _) -> Some x
+      | Some [] | None -> acc)
+    analysed None
+
+let measure cfg test =
+  let open Bechamel in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let alloc = Toolkit.Instance.minor_allocated in
+  let results = Benchmark.all cfg [ clock; alloc ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let time = estimate (Analyze.all ols clock results) in
+  let words = estimate (Analyze.all ols alloc results) in
+  (time, words)
+
+let json_escape name =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length name) (String.get name)))
+
+let write_json path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      Printf.fprintf oc "  \"schema\": \"because-bench-kernels/1\",\n";
+      Printf.fprintf oc "  \"quick\": %b,\n" Ctx.quick;
+      output_string oc "  \"results\": [\n";
+      List.iteri
+        (fun k row ->
+          Printf.fprintf oc
+            "    { \"name\": \"%s\", \"ns_per_run\": %.3f%s }%s\n"
+            (json_escape row.name) row.ns_per_run
+            (match row.minor_words with
+            | Some w -> Printf.sprintf ", \"minor_words_per_run\": %.1f" w
+            | None -> "")
+            (if k = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "  ]\n}\n")
+
+let speedup rows ~slow ~fast ~label =
+  match
+    ( List.find_opt (fun r -> r.name = slow) rows,
+      List.find_opt (fun r -> r.name = fast) rows )
+  with
+  | Some s, Some f when f.ns_per_run > 0.0 ->
+      Printf.printf "%-32s %11.2fx\n" label (s.ns_per_run /. f.ns_per_run)
+  | _ -> ()
 
 let run () =
   Ctx.section "Kernel micro-benchmarks (Bechamel)";
-  let open Bechamel in
-  let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+    Bechamel.Benchmark.cfg ~limit:2000
+      ~quota:(Bechamel.Time.second 0.5) ~kde:None ()
   in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] test in
-      let ols =
-        Analyze.ols ~bootstrap:0 ~r_square:false
-          ~predictors:[| Measure.run |]
-      in
-      let analysed = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some (time :: _) ->
-              if time > 1_000_000.0 then
-                Printf.printf "%-32s %12.3f ms/run\n" name (time /. 1e6)
-              else if time > 1_000.0 then
-                Printf.printf "%-32s %12.3f µs/run\n" name (time /. 1e3)
-              else Printf.printf "%-32s %12.1f ns/run\n" name time
-          | Some [] | None -> Printf.printf "%-32s (no estimate)\n" name)
-        analysed)
-    (tests ())
+  let rows =
+    List.filter_map
+      (fun test ->
+        let name =
+          match Bechamel.Test.elements test with
+          | [ e ] -> Bechamel.Test.Elt.name e
+          | _ -> "?"
+        in
+        match measure cfg test with
+        | Some ns, words ->
+            (if ns > 1_000_000.0 then
+               Printf.printf "%-32s %12.3f ms/run" name (ns /. 1e6)
+             else if ns > 1_000.0 then
+               Printf.printf "%-32s %12.3f µs/run" name (ns /. 1e3)
+             else Printf.printf "%-32s %12.1f ns/run" name ns);
+            (match words with
+            | Some w -> Printf.printf " %14.0f w/run\n" w
+            | None -> print_newline ());
+            Some { name; ns_per_run = ns; minor_words = words }
+        | None, _ ->
+            Printf.printf "%-32s (no estimate)\n" name;
+            None)
+      (tests ())
+  in
+  speedup rows ~slow:"MH run 50 draws (uncached)" ~fast:"MH run 50 draws (cached)"
+    ~label:"MH sweep cache speedup";
+  speedup rows ~slow:"single-site delta (uncached)"
+    ~fast:"single-site delta (cached)" ~label:"single-site delta speedup";
+  speedup rows ~slow:"inference 4 chains (jobs=1)"
+    ~fast:"inference 4 chains (jobs=4)" ~label:"inference jobs=4 speedup";
+  write_json "BENCH_kernels.json" rows;
+  Printf.printf "wrote BENCH_kernels.json (%d kernels)\n" (List.length rows)

@@ -19,6 +19,23 @@ module Rng = Because_stats.Rng
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the MCMC samplers.  Chains are seeded from \
+           pre-split RNG streams, so the output is bit-for-bit identical \
+           for any value — only wall-clock time changes.")
+
+let chains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "chains" ] ~docv:"N"
+        ~doc:
+          "Independent chains per sampler; 2+ enables the cross-chain \
+           R-hat convergence diagnostic.")
+
 let world_size_args =
   let transit =
     Arg.(value & opt int 80 & info [ "transit" ] ~doc:"Transit AS count.")
@@ -210,11 +227,13 @@ let print_campaign_summary world outcome =
   Format.printf "against planted deployment: %a@." Because.Evaluate.pp m
 
 let campaign_cmd =
-  let run seed sizes interval cycles severity =
+  let run seed sizes interval cycles severity jobs chains =
     let world = world_of ~seed sizes in
     let base =
-      { (Sc.Campaign.default_params ~update_interval:(interval *. 60.0)) with
-        Sc.Campaign.cycles }
+      Sc.Campaign.with_jobs ~n_chains:chains
+        { (Sc.Campaign.default_params ~update_interval:(interval *. 60.0))
+          with Sc.Campaign.cycles }
+        jobs
     in
     let params =
       match severity with
@@ -233,21 +252,24 @@ let campaign_cmd =
        ~doc:"Run one measurement campaign end to end on a simulated world.")
     Term.(
       const run $ seed_arg $ world_size_args $ interval_arg $ cycles_arg
-      $ faults_arg)
+      $ faults_arg $ jobs_arg $ chains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                                *)
 
 let sweep_cmd =
-  let run seed sizes cycles =
+  let run seed sizes cycles jobs =
     let world = world_of ~seed sizes in
     let outcomes =
       List.map
         (fun minutes ->
           Printf.printf "[interval %.0f min]\n%!" minutes;
           Sc.Campaign.run world
-            { (Sc.Campaign.default_params ~update_interval:(minutes *. 60.0))
-              with Sc.Campaign.cycles })
+            (Sc.Campaign.with_jobs
+               { (Sc.Campaign.default_params
+                    ~update_interval:(minutes *. 60.0))
+                 with Sc.Campaign.cycles }
+               jobs))
         [ 1.0; 2.0; 3.0; 5.0; 10.0; 15.0 ]
     in
     let shares = Sc.Report.interval_shares outcomes in
@@ -266,7 +288,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run campaigns at all six update intervals (Fig. 12).")
-    Term.(const run $ seed_arg $ world_size_args $ cycles_arg)
+    Term.(const run $ seed_arg $ world_size_args $ cycles_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* infer                                                                *)
@@ -329,7 +351,7 @@ let infer_cmd =
       value & opt int 1000
       & info [ "samples" ] ~doc:"Posterior draws per sampler.")
   in
-  let run seed file samples =
+  let run seed file samples jobs chains =
     let observations = read_observations file in
     if observations = [] then failwith "no observations in file";
     let data = Because.Tomography.of_observations observations in
@@ -337,8 +359,15 @@ let infer_cmd =
       (Because.Tomography.n_paths data)
       (Because.Tomography.rfd_path_count data)
       (Because.Tomography.n_nodes data);
-    let config = { Because.Infer.default_config with n_samples = samples } in
+    let config =
+      { Because.Infer.default_config with
+        n_samples = samples; jobs; n_chains = chains }
+    in
     let result = Because.Infer.run ~rng:(Rng.create seed) ~config data in
+    if result.Because.Infer.runs <> [] then
+      List.iter
+        (fun (name, r) -> Printf.printf "R-hat %s: %.3f\n" name r)
+        (Because.Infer.r_hat result);
     let marginals = Because.Posterior.combined result in
     let categories = Because.Pinpoint.assign_with_pinpointing result in
     Printf.printf "%-10s %8s %8s %8s  %s\n" "AS" "mean" "hdpi-lo" "hdpi-hi"
@@ -363,7 +392,8 @@ let infer_cmd =
        ~doc:
          "Run BeCAUSe (MH + HMC) on externally labeled paths and print the \
           per-AS marginals and categories.")
-    Term.(const run $ seed_arg $ file_arg $ samples_arg)
+    Term.(
+      const run $ seed_arg $ file_arg $ samples_arg $ jobs_arg $ chains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export-dump / label-dump: the file-based pipeline                    *)

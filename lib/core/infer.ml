@@ -1,6 +1,8 @@
 module Chain = Because_mcmc.Chain
 module Metropolis = Because_mcmc.Metropolis
 module Hmc = Because_mcmc.Hmc
+module Diagnostics = Because_mcmc.Diagnostics
+module Rng = Because_stats.Rng
 
 type config = {
   n_samples : int;
@@ -13,6 +15,8 @@ type config = {
   run_mh : bool;
   run_hmc : bool;
   max_restarts : int;
+  n_chains : int;
+  jobs : int;
 }
 
 let default_config =
@@ -27,9 +31,16 @@ let default_config =
     run_mh = true;
     run_hmc = true;
     max_restarts = 2;
+    n_chains = 1;
+    jobs = 1;
   }
 
-type sampler_run = { name : string; chain : Chain.t; acceptance : float }
+type sampler_run = {
+  name : string;
+  chain_index : int;
+  chain : Chain.t;
+  acceptance : float;
+}
 
 type result = {
   model : Model.t;
@@ -46,13 +57,16 @@ let chain_healthy chain =
   done;
   !healthy
 
-(* Attempt 0 consumes exactly the [Rng.split] the pre-restart code did, so a
-   healthy first run leaves the caller's stream untouched; retries draw fresh
-   splits only after a failure. *)
-let run_with_restarts ~rng ~max_restarts ~name sample =
+(* Attempt 0 runs on the task's own pre-split generator, so for the default
+   single-chain configuration a healthy run consumes exactly the one
+   [Rng.split] per sampler the sequential code always did; retries split
+   fresh streams off the task generator only after a failure, never touching
+   any other task's stream. *)
+let run_with_restarts ~rng ~max_restarts ~name ~chain_index sample =
   let rec attempt k warnings =
+    let attempt_rng = if k = 0 then rng else Rng.split rng in
     let outcome =
-      match sample (Because_stats.Rng.split rng) with
+      match sample attempt_rng with
       | chain, acceptance ->
           if chain_healthy chain then Ok (chain, acceptance)
           else Error "chain contains non-finite draws"
@@ -60,7 +74,7 @@ let run_with_restarts ~rng ~max_restarts ~name sample =
     in
     match outcome with
     | Ok (chain, acceptance) ->
-        (Some { name; chain; acceptance }, List.rev warnings)
+        (Some { name; chain_index; chain; acceptance }, List.rev warnings)
     | Error msg ->
         let warnings =
           Printf.sprintf "%s attempt %d/%d diverged: %s" name (k + 1)
@@ -77,49 +91,128 @@ let run_with_restarts ~rng ~max_restarts ~name sample =
   in
   attempt 0 []
 
+(* Work-stealing over a fixed task array: worker domains grab the next index
+   off a shared atomic counter and write into disjoint result slots, so the
+   output order — and, thanks to per-task pre-split generators, the output
+   *values* — are identical for every [jobs]. *)
+let run_tasks ~jobs tasks =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let workers = min jobs n in
+  if workers <= 1 then
+    Array.iteri (fun i task -> results.(i) <- Some (task ())) tasks
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (tasks.(i) ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  Array.map Option.get results
+
 let run ~rng ?(config = default_config) data =
   if not (config.run_mh || config.run_hmc) then
     invalid_arg "Infer.run: at least one sampler must be enabled";
   if config.max_restarts < 0 then
     invalid_arg "Infer.run: max_restarts must be non-negative";
+  if config.n_chains < 1 then
+    invalid_arg "Infer.run: n_chains must be positive";
+  if config.jobs < 1 then invalid_arg "Infer.run: jobs must be positive";
   let model =
     Model.create ~prior:config.prior ~node_priors:config.node_priors
       ~false_negative_rate:config.false_negative_rate data
   in
   let target = Model.target model in
-  let runs = ref [] in
-  let warnings = ref [] in
-  let record (run_opt, ws) =
-    warnings := !warnings @ ws;
-    match run_opt with Some r -> runs := r :: !runs | None -> ()
+  (* The model and target are immutable and shared read-only across domains;
+     all mutable sampler state (including the likelihood cache) is created
+     inside each sampler call. *)
+  let sampler_specs =
+    (if config.run_mh then
+       [ ( "MH",
+           fun sub ->
+             let r =
+               Metropolis.run_single_site ~rng:sub ~thin:config.thin
+                 ~n_samples:config.n_samples ~burn_in:config.burn_in target
+             in
+             (r.Metropolis.chain, r.Metropolis.acceptance) ) ]
+     else [])
+    @
+    if config.run_hmc then
+      [ ( "HMC",
+          fun sub ->
+            let r =
+              Hmc.run ~rng:sub ~leapfrog_steps:config.leapfrog_steps
+                ~thin:config.thin ~n_samples:config.n_samples
+                ~burn_in:config.burn_in target
+            in
+            (r.Hmc.chain, r.Hmc.acceptance) ) ]
+    else []
   in
-  if config.run_mh then
-    record
-      (run_with_restarts ~rng ~max_restarts:config.max_restarts ~name:"MH"
-         (fun sub ->
-           let r =
-             Metropolis.run_single_site ~rng:sub ~thin:config.thin
-               ~n_samples:config.n_samples ~burn_in:config.burn_in target
-           in
-           (r.Metropolis.chain, r.Metropolis.acceptance)));
-  if config.run_hmc then
-    record
-      (run_with_restarts ~rng ~max_restarts:config.max_restarts ~name:"HMC"
-         (fun sub ->
-           let r =
-             Hmc.run ~rng:sub ~leapfrog_steps:config.leapfrog_steps
-               ~thin:config.thin ~n_samples:config.n_samples
-               ~burn_in:config.burn_in target
-           in
-           (r.Hmc.chain, r.Hmc.acceptance)));
-  { model; runs = List.rev !runs; warnings = !warnings }
+  let specs =
+    List.concat_map
+      (fun (name, sample) ->
+        List.init config.n_chains (fun k -> (name, k, sample)))
+      sampler_specs
+  in
+  (* All task generators are split off the caller's stream before anything
+     runs: execution order cannot perturb them. *)
+  let task_rngs = Rng.split_n rng (List.length specs) in
+  let tasks =
+    List.mapi
+      (fun idx (name, chain_index, sample) ->
+        fun () ->
+          run_with_restarts ~rng:task_rngs.(idx)
+            ~max_restarts:config.max_restarts ~name ~chain_index sample)
+      specs
+  in
+  let outcomes = run_tasks ~jobs:config.jobs (Array.of_list tasks) in
+  let runs =
+    List.filter_map fst (Array.to_list outcomes)
+  in
+  let warnings = List.concat_map snd (Array.to_list outcomes) in
+  { model; runs; warnings }
 
 let combined_chain result =
   match result.runs with
   | [] -> invalid_arg "Infer.combined_chain: no sampler runs"
-  | first :: rest ->
-      List.fold_left
-        (fun acc run -> Chain.append acc run.chain)
-        first.chain rest
+  | runs -> Chain.concat (List.map (fun run -> run.chain) runs)
+
+let r_hat result =
+  let groups =
+    List.fold_left
+      (fun acc run ->
+        match List.assoc_opt run.name acc with
+        | Some chains ->
+            (run.name, run.chain :: chains)
+            :: List.remove_assoc run.name acc
+        | None -> (run.name, [ run.chain ]) :: acc)
+      [] result.runs
+  in
+  List.rev_map
+    (fun (name, chains_rev) ->
+      let chains = List.rev chains_rev in
+      let dim = Chain.dim (List.hd chains) in
+      let worst = ref neg_infinity in
+      for i = 0 to dim - 1 do
+        let v =
+          match chains with
+          | [ only ] -> Diagnostics.split_r_hat (Chain.marginal only i)
+          | many ->
+              Diagnostics.r_hat
+                (Array.of_list (List.map (fun c -> Chain.marginal c i) many))
+        in
+        if v > !worst then worst := v
+      done;
+      (name, !worst))
+    groups
 
 let dataset result = Model.dataset result.model

@@ -2,11 +2,17 @@
     Monte Carlo on a tomography dataset and collect their chains.
 
     The paper runs both samplers and, when categorising, keeps the highest
-    flag either assigns — so both are enabled by default. *)
+    flag either assigns — so both are enabled by default.
+
+    Sampling work is organised as independent tasks (one per sampler per
+    chain), each owning a generator split off the caller's stream before
+    anything executes.  [jobs > 1] fans the tasks out over that many OCaml
+    domains; because the streams are pre-split and results land in fixed
+    slots, the output is bit-for-bit identical for every [jobs] value. *)
 
 type config = {
-  n_samples : int;       (** Retained draws per sampler. *)
-  burn_in : int;         (** Adaptation iterations discarded per sampler. *)
+  n_samples : int;       (** Retained draws per sampler chain. *)
+  burn_in : int;         (** Adaptation iterations discarded per chain. *)
   thin : int;
   prior : Prior.t;
   node_priors : (Because_bgp.Asn.t * Prior.t) list;
@@ -16,16 +22,25 @@ type config = {
   run_mh : bool;
   run_hmc : bool;
   max_restarts : int;
-      (** Automatic restarts (fresh RNG split each) granted to a sampler
-          whose chain diverges or raises on a non-finite log-density. *)
+      (** Automatic restarts (fresh RNG split each) granted to a chain
+          whose run diverges or raises on a non-finite log-density. *)
+  n_chains : int;
+      (** Independent chains per enabled sampler.  1 (the default)
+          reproduces the single-chain behaviour exactly; more chains feed
+          the cross-chain {!r_hat} diagnostic. *)
+  jobs : int;
+      (** Worker domains the sampler tasks are spread over.  1 (the
+          default) runs everything on the calling domain.  Any value
+          produces bit-for-bit identical results. *)
 }
 
 val default_config : config
 (** 1000 samples after 500 burn-in, no thinning, {!Prior.default}, 12
-    leapfrog steps, both samplers, 2 restarts. *)
+    leapfrog steps, both samplers, 2 restarts, 1 chain each, 1 job. *)
 
 type sampler_run = {
-  name : string;
+  name : string;          (** ["MH"] or ["HMC"]. *)
+  chain_index : int;      (** 0 .. n_chains-1 within that sampler. *)
   chain : Because_mcmc.Chain.t;
   acceptance : float;
 }
@@ -33,24 +48,36 @@ type sampler_run = {
 type result = {
   model : Model.t;
   runs : sampler_run list;
-      (** One entry per enabled sampler that produced a healthy chain; a
-          sampler exhausting its restarts is dropped (see [warnings]). *)
+      (** One entry per sampler chain that produced a healthy run, in
+          deterministic (sampler, chain) order; a chain exhausting its
+          restarts is dropped (see [warnings]). *)
   warnings : string list;
-      (** Human-readable notes on diverged attempts and disabled samplers;
+      (** Human-readable notes on diverged attempts and disabled chains;
           [\[\]] on a clean run. *)
 }
 
 val run :
   rng:Because_stats.Rng.t -> ?config:config -> Tomography.t -> result
-(** Never raises on sampler divergence: each enabled sampler gets
-    [1 + max_restarts] attempts (each from a fresh RNG split, so a healthy
-    first attempt consumes exactly one split as before) and is skipped with
-    a warning if none yields an all-finite chain.  [runs] can therefore be
-    empty; downstream consumers must treat that as "no posterior" rather
-    than call {!combined_chain}. *)
+(** Never raises on sampler divergence: each chain gets [1 + max_restarts]
+    attempts and is skipped with a warning if none yields an all-finite
+    chain.  [runs] can therefore be empty; downstream consumers must treat
+    that as "no posterior" rather than call {!combined_chain}.
+
+    Determinism: the per-task generators are split off [rng] in fixed task
+    order before any sampling starts, so the result — chains, acceptance
+    rates and warnings alike — does not depend on [config.jobs].  With the
+    default single-chain config a healthy run consumes exactly one
+    [Rng.split] per enabled sampler, as the sequential implementation always
+    did. *)
 
 val combined_chain : result -> Because_mcmc.Chain.t
-(** All retained draws across samplers appended (used for point estimates
-    where sampler identity does not matter, e.g. pinpointing). *)
+(** All retained draws across samplers and chains concatenated in one
+    allocation (used for point estimates where sampler identity does not
+    matter, e.g. pinpointing). *)
+
+val r_hat : result -> (string * float) list
+(** Worst-coordinate potential scale reduction per sampler: across-chain
+    R̂ when the sampler ran [n_chains ≥ 2], split-R̂ on the single chain
+    otherwise.  Values ≲ 1.05 indicate convergence; we flag > 1.1. *)
 
 val dataset : result -> Tomography.t

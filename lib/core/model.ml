@@ -96,6 +96,54 @@ let grad_log_posterior t p =
   done;
   g
 
+(* Stateful evaluator for single-site samplers.  Keeps, per path j, the
+   running sufficient statistic S_j = Σ ln q_i and the resulting log
+   probability term, plus per-node ln q_i.  A proposal p_i → v then shifts
+   every path through i by the same dlq = ln(1−v) − ln(1−p_i), so a delta
+   costs O(paths_through i) with O(1) work per path instead of re-summing
+   both the old and the new point over each path.  Rejections touch
+   nothing; accepts pay one [path_term] per affected path to refresh the
+   term cache. *)
+let make_cache t p0 =
+  let n_paths = Tomography.n_paths t.data in
+  let point = Array.map clamp p0 in
+  let lq = Array.map (fun v -> Float.log1p (-.v)) point in
+  let s = Array.make n_paths 0.0 in
+  let term = Array.make n_paths 0.0 in
+  for j = 0 to n_paths - 1 do
+    let acc = ref 0.0 in
+    Array.iter (fun i -> acc := !acc +. lq.(i)) (Tomography.path t.data j);
+    s.(j) <- !acc;
+    term.(j) <- path_term t (Tomography.label t.data j) !acc
+  done;
+  let cached_delta i v =
+    let v = clamp v in
+    let dlq = Float.log1p (-.v) -. lq.(i) in
+    let acc =
+      ref (Prior.log_pdf t.priors.(i) v -. Prior.log_pdf t.priors.(i) point.(i))
+    in
+    Array.iter
+      (fun j ->
+        acc :=
+          !acc
+          +. path_term t (Tomography.label t.data j) (s.(j) +. dlq)
+          -. term.(j))
+      (Tomography.paths_through t.data i);
+    !acc
+  in
+  let cached_commit i v =
+    let v = clamp v in
+    let dlq = Float.log1p (-.v) -. lq.(i) in
+    point.(i) <- v;
+    lq.(i) <- Float.log1p (-.v);
+    Array.iter
+      (fun j ->
+        s.(j) <- s.(j) +. dlq;
+        term.(j) <- path_term t (Tomography.label t.data j) s.(j))
+      (Tomography.paths_through t.data i)
+  in
+  { Target.cached_delta; cached_commit }
+
 let delta_log_posterior t p i v =
   let v = clamp v in
   let prior_delta =
@@ -112,9 +160,11 @@ let delta_log_posterior t p i v =
     (Tomography.paths_through t.data i);
   !acc
 
-let target t =
+let target ?(cached = true) t =
+  let cache = if cached then Some (make_cache t) else None in
   Target.create
     ~grad:(grad_log_posterior t)
     ~delta:(delta_log_posterior t)
+    ?cache
     ~dim:(Tomography.n_nodes t.data)
     ~support:Target.Unit_interval (log_posterior t)

@@ -45,10 +45,24 @@ val grad_log_posterior : t -> float array -> float array
 
 val delta_log_posterior : t -> float array -> int -> float -> float
 (** [delta_log_posterior m p i v] = log posterior with [p.(i) = v] minus the
-    log posterior at [p], computed from only the paths through node [i]. *)
+    log posterior at [p], computed from only the paths through node [i].
+    Stateless: re-sums Sⱼ over every affected path at both points.  Kept as
+    the reference implementation the cached protocol is tested against. *)
 
-val target : t -> Because_mcmc.Target.t
-(** Package as an MCMC target on the unit box with gradient and delta. *)
+val make_cache : t -> float array -> Because_mcmc.Target.cache
+(** [make_cache m p0] builds the incremental evaluator positioned at [p0]:
+    per-path running sums Sⱼ = Σ ln qᵢ and per-path log-probability terms,
+    so a single-site delta costs O(1) per affected path
+    ([log1p(−v) − log1p(−pᵢ)] shifts every Sⱼ alike) and a rejection costs
+    nothing.  Agrees with {!delta_log_posterior} to ≲1e-9 (property
+    tested). *)
+
+val target : ?cached:bool -> t -> Because_mcmc.Target.t
+(** Package as an MCMC target on the unit box with gradient, delta and
+    (unless [~cached:false]) the incremental cache protocol.
+    [~cached:false] is the reference configuration: samplers then fall back
+    to the stateless [delta_log_posterior] path — used by the equivalence
+    tests and the paired bench measurements. *)
 
 val path_log_prob : t -> float array -> int -> float
 (** Log probability of a single observation under [p] (exposed for tests). *)

@@ -31,6 +31,20 @@ let thin t k =
   let n = (Array.length t + k - 1) / k in
   Array.init n (fun i -> t.(i * k))
 
-let append a b =
-  if dim a <> dim b then invalid_arg "Chain.append: dimension mismatch";
-  Array.append a b
+let concat chains =
+  match chains with
+  | [] -> invalid_arg "Chain.concat: empty list"
+  | first :: rest ->
+      let d = dim first in
+      List.iteri
+        (fun k c ->
+          if dim c <> d then
+            invalid_arg
+              (Printf.sprintf
+                 "Chain.concat: dimension mismatch (chain %d has dim %d, \
+                  chain 0 has %d)"
+                 (k + 1) (dim c) d))
+        rest;
+      Array.concat chains
+
+let append a b = concat [ a; b ]

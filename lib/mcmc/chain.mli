@@ -25,5 +25,10 @@ val map_draws : t -> (float array -> 'a) -> 'a array
 val thin : t -> int -> t
 (** [thin t k] keeps every k-th draw. *)
 
+val concat : t list -> t
+(** Concatenate chains of equal dimension in one allocation (linear in the
+    total draw count, unlike a repeated-{!append} fold).
+    @raise Invalid_argument on an empty list or a dimension mismatch. *)
+
 val append : t -> t -> t
 (** Concatenate two chains of equal dimension. *)

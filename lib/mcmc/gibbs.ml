@@ -19,13 +19,21 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ~n_samples ~burn_in target =
     Array.init grid (fun k -> (float_of_int k +. 0.5) /. float_of_int grid)
   in
   let log_weights = Array.make grid 0.0 in
+  (* Prefer the stateful protocol: every grid point is evaluated relative to
+     the same cached sufficient statistics, and the chosen value is committed
+     once per coordinate.  Fall back to the stateless delta, then to a full
+     recompute. *)
+  let cache = Option.map (fun mk -> mk current) target.Target.make_cache in
   let delta =
-    match target.Target.log_density_delta with
-    | Some d -> d
-    | None ->
-        fun p i v ->
-          let p' = Target.with_coordinate p i v in
-          target.Target.log_density p' -. target.Target.log_density p
+    match cache with
+    | Some c -> fun _ i v -> c.Target.cached_delta i v
+    | None -> (
+        match target.Target.log_density_delta with
+        | Some d -> d
+        | None ->
+            fun p i v ->
+              let p' = Target.with_coordinate p i v in
+              target.Target.log_density p' -. target.Target.log_density p)
   in
   let resample_coordinate i =
     (* Conditional density on the grid, relative to the current value —
@@ -41,7 +49,9 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ~n_samples ~burn_in target =
     (* Jitter within the chosen cell to avoid a lattice-valued chain. *)
     let width = 1.0 /. float_of_int grid in
     let v = points.(cell) +. ((Rng.float rng -. 0.5) *. width) in
-    current.(i) <- Float.max 1e-9 (Float.min (1.0 -. 1e-9) v)
+    let v = Float.max 1e-9 (Float.min (1.0 -. 1e-9) v) in
+    (match cache with Some c -> c.Target.cached_commit i v | None -> ());
+    current.(i) <- v
   in
   let kept = Array.make n_samples [||] in
   let kept_count = ref 0 in

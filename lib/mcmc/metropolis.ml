@@ -60,12 +60,23 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ~n_samples
     | Target.Unit_interval -> clamp_unit (reflect_unit v')
     | Target.Unbounded -> v'
   in
+  (* Prefer the stateful protocol: deltas are O(1) per affected observation
+     and rejections are free.  Fall back to the stateless delta, then to a
+     full recompute. *)
+  let cache = Option.map (fun mk -> mk current) target.Target.make_cache in
   let delta_at i v' =
-    match target.Target.log_density_delta with
-    | Some delta -> delta current i v'
-    | None ->
-        let p' = Target.with_coordinate current i v' in
-        target.Target.log_density p' -. !log_post
+    match cache with
+    | Some c -> c.Target.cached_delta i v'
+    | None -> (
+        match target.Target.log_density_delta with
+        | Some delta -> delta current i v'
+        | None ->
+            let p' = Target.with_coordinate current i v' in
+            target.Target.log_density p' -. !log_post)
+  in
+  let commit i v' =
+    (match cache with Some c -> c.Target.cached_commit i v' | None -> ());
+    current.(i) <- v'
   in
   let sweep_idx = ref 0 in
   let total_sweeps = burn_in + (n_samples * thin) in
@@ -77,7 +88,7 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ~n_samples
       let accept = d >= 0.0 || Rng.float rng < Float.exp d in
       if not in_burn_in then incr proposed_post;
       if accept then begin
-        current.(i) <- v';
+        commit i v';
         log_post := !log_post +. d;
         if in_burn_in then accept_window.(i) <- accept_window.(i) + 1
         else incr accepted_post
@@ -125,6 +136,7 @@ let run_vector ~rng ?init ?(initial_step = 0.05) ?(thin = 1) ~n_samples
   let accept_window = ref 0 in
   let window = 25 in
   let sweep_idx = ref 0 in
+  let total_sweeps = burn_in + (n_samples * thin) in
   while !kept_count < n_samples do
     let in_burn_in = !sweep_idx < burn_in in
     let proposal =
@@ -157,7 +169,10 @@ let run_vector ~rng ?init ?(initial_step = 0.05) ?(thin = 1) ~n_samples
         incr kept_count
       end
     end;
-    incr sweep_idx
+    incr sweep_idx;
+    (* Defensive: the loop is bounded by construction, but guard anyway. *)
+    if !sweep_idx > total_sweeps + thin then
+      kept_count := n_samples
   done;
   let acceptance =
     if !proposed_post = 0 then 0.0

@@ -3,10 +3,12 @@
     Two proposal schemes are provided:
 
     - {!run_single_site}: a sweep updates one coordinate at a time with a
-      reflected Gaussian random walk.  When the target supplies
-      [log_density_delta] a sweep over N coordinates costs only the paths
-      touched, which is what makes 500+-dimensional tomography posteriors
-      practical.
+      reflected Gaussian random walk.  When the target supplies a stateful
+      cache ([Target.make_cache]) the sampler drives it — deltas reuse the
+      cached per-path sufficient statistics and accepted moves are committed
+      incrementally; otherwise it falls back to [log_density_delta], and
+      finally to full recomputation.  This is what makes 500+-dimensional
+      tomography posteriors practical.
     - {!run_vector}: a classic full-vector Gaussian random walk, useful for
       low-dimensional or generic targets.
 

@@ -1,17 +1,48 @@
 type support = Unit_interval | Unbounded
 
+type cache = {
+  cached_delta : int -> float -> float;
+  cached_commit : int -> float -> unit;
+}
+
 type t = {
   dim : int;
   support : support;
   log_density : float array -> float;
   grad_log_density : (float array -> float array) option;
   log_density_delta : (float array -> int -> float -> float) option;
+  make_cache : (float array -> cache) option;
 }
 
-let create ?grad ?delta ~dim ~support log_density =
+let create ?grad ?delta ?cache ~dim ~support log_density =
   if dim <= 0 then invalid_arg "Target.create: dim must be positive";
   { dim; support; log_density; grad_log_density = grad;
-    log_density_delta = delta }
+    log_density_delta = delta; make_cache = cache }
+
+(* Generic cache built from the stateless pieces: keeps its own copy of the
+   point and evaluates deltas with [log_density_delta] (or a full recompute).
+   Correct for any target, fast only when a real [delta] exists — model
+   implementations should supply a bespoke [?cache] instead. *)
+let default_cache t p0 =
+  let point = Array.copy p0 in
+  let lp = ref (t.log_density point) in
+  let delta =
+    match t.log_density_delta with
+    | Some d -> fun i v -> d point i v
+    | None ->
+        fun i v ->
+          let p' = Array.copy point in
+          p'.(i) <- v;
+          t.log_density p' -. !lp
+  in
+  let commit i v =
+    lp := !lp +. delta i v;
+    point.(i) <- v
+  in
+  { cached_delta = delta; cached_commit = commit }
+
+let cache_at t p0 =
+  match t.make_cache with Some mk -> mk p0 | None -> default_cache t p0
 
 let with_coordinate p i v =
   let p' = Array.copy p in

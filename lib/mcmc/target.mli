@@ -10,6 +10,22 @@ type support =
   | Unit_interval  (** Every coordinate lives on (0, 1), e.g. damping proportions. *)
   | Unbounded      (** Coordinates on ℝ. *)
 
+type cache = {
+  cached_delta : int -> float -> float;
+      (** [cached_delta i v] = log density with coordinate [i] set to [v]
+          minus the log density at the cache's current point. *)
+  cached_commit : int -> float -> unit;
+      (** [cached_commit i v] accepts the proposal: moves the cache's current
+          point to coordinate [i] = [v] and updates the sufficient
+          statistics.  Rejections need no call — they are free. *)
+}
+(** Stateful single-site evaluation protocol.  A cache owns a private copy
+    of the current point plus whatever per-observation sufficient statistics
+    make [cached_delta] O(observations-through-i) with O(1) work per
+    observation (for the tomography likelihood: the per-path running sums
+    Sⱼ = Σ ln qᵢ).  Single-site samplers drive it as
+    [delta → (accept? commit : nothing)]. *)
+
 type t = {
   dim : int;
   support : support;
@@ -20,16 +36,28 @@ type t = {
       (** Gradient of [log_density]; required by {!Hmc}. *)
   log_density_delta : (float array -> int -> float -> float) option;
       (** [delta p i v] = log_density with coordinate [i] set to [v] minus
-          log_density at [p].  Enables O(paths-through-i) single-site MH. *)
+          log_density at [p].  Enables O(paths-through-i) single-site MH.
+          Stateless reference implementation; kept alongside [make_cache]
+          so the cached fast path can always be cross-checked. *)
+  make_cache : (float array -> cache) option;
+      (** [make_cache p0] builds a stateful evaluator positioned at [p0].
+          When present, {!Metropolis.run_single_site} and {!Gibbs.run}
+          prefer it over [log_density_delta]. *)
 }
 
 val create :
   ?grad:(float array -> float array) ->
   ?delta:(float array -> int -> float -> float) ->
+  ?cache:(float array -> cache) ->
   dim:int ->
   support:support ->
   (float array -> float) ->
   t
+
+val cache_at : t -> float array -> cache
+(** The target's own cache when it has one, else a generic fallback that
+    tracks the point and answers deltas via [log_density_delta] (or a full
+    recompute).  Always safe; only as fast as the pieces it wraps. *)
 
 val with_coordinate : float array -> int -> float -> float array
 (** Functional single-coordinate update (copies). *)

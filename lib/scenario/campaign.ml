@@ -268,6 +268,16 @@ let run_multi world params ~intervals =
 let run world params =
   List.hd (run_multi world params ~intervals:[ params.update_interval ])
 
+let with_jobs ?n_chains params jobs =
+  let infer_config =
+    { params.infer_config with
+      Because.Infer.jobs;
+      n_chains =
+        Option.value n_chains
+          ~default:params.infer_config.Because.Infer.n_chains }
+  in
+  { params with infer_config }
+
 let horizon params =
   let s =
     Schedule.of_durations ~lead_in:params.lead_in

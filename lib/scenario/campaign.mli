@@ -66,6 +66,12 @@ type outcome = {
 
 val run : World.t -> params -> outcome
 
+val with_jobs : ?n_chains:int -> params -> int -> params
+(** [with_jobs params jobs] spreads each interval's inference over [jobs]
+    worker domains (and optionally [n_chains] independent chains per
+    sampler) by rewriting [params.infer_config].  Campaign outcomes are
+    bit-for-bit independent of [jobs] — only wall-clock changes. *)
+
 val run_multi : World.t -> params -> intervals:float list -> outcome list
 (** One simulation carrying several oscillating prefixes per site — the
     paper's actual setup (March: 1/2/3-minute prefixes together, April:

@@ -19,6 +19,10 @@ let split t =
   let s = int64 t in
   { state = mix s }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: n must be non-negative";
+  Array.init n (fun _ -> split t)
+
 let float t =
   (* 53 high bits scaled to [0,1). *)
   let bits = Int64.shift_right_logical (int64 t) 11 in

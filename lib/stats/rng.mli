@@ -21,6 +21,12 @@ val split : t -> t
     advances [t].  Used to give subsystems their own streams so that adding
     draws in one subsystem does not perturb another. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent child generators in one go —
+    element [k] equals the k-th successive {!split}.  Pre-splitting a
+    stream per task is what makes parallel execution order-independent:
+    every worker owns its generator before any work starts. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -187,6 +187,62 @@ let qcheck_delta_matches_full =
       let full = Model.log_posterior model p' -. Model.log_posterior model p in
       Float.abs (delta -. full) < 1e-8)
 
+let qcheck_cache_matches_stateless =
+  QCheck.Test.make
+    ~name:"cached delta tracks the stateless recompute through commits"
+    ~count:40 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 400) in
+      let data = random_dataset rng ~nodes:8 ~paths:15 in
+      let epsilon = if seed mod 2 = 0 then 0.0 else 0.05 in
+      let model = Model.create ~false_negative_rate:epsilon data in
+      let n = Tomography.n_nodes data in
+      let p = Array.init n (fun _ -> 0.05 +. (0.9 *. Rng.float rng)) in
+      let cache = Model.make_cache model p in
+      let ok = ref true in
+      (* Random walk of proposals: every cached delta must match the
+         stateless reference to 1e-9, and accepted commits must keep the
+         sufficient statistics in sync with the evolving point. *)
+      for _ = 1 to 60 do
+        let i = Rng.int rng n in
+        let v = 0.05 +. (0.9 *. Rng.float rng) in
+        let cached = cache.Because_mcmc.Target.cached_delta i v in
+        let reference = Model.delta_log_posterior model p i v in
+        if Float.abs (cached -. reference) > 1e-9 then ok := false;
+        if Rng.bool rng then begin
+          cache.Because_mcmc.Target.cached_commit i v;
+          p.(i) <- v
+        end
+      done;
+      !ok)
+
+let test_cached_target_statistically_equivalent () =
+  (* The cached and stateless targets describe the same posterior: two MH
+     runs from the same seed must land on the same marginal means (they are
+     not bit-identical — the incremental S_j differs from a re-sum in the
+     last bits, which is enough to flip an occasional accept). *)
+  let rng = Rng.create 31 in
+  let data = random_dataset rng ~nodes:6 ~paths:40 in
+  let model = Model.create data in
+  let sample target =
+    let r =
+      Because_mcmc.Metropolis.run_single_site ~rng:(Rng.create 77)
+        ~n_samples:2000 ~burn_in:500 target
+    in
+    r.Because_mcmc.Metropolis.chain
+  in
+  let cached = sample (Model.target model) in
+  let stateless = sample (Model.target ~cached:false model) in
+  for i = 0 to Tomography.n_nodes data - 1 do
+    let mean c =
+      Because_stats.Summary.mean (Because_mcmc.Chain.marginal c i)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d means agree (%.3f vs %.3f)" i (mean cached)
+         (mean stateless))
+      true
+      (Float.abs (mean cached -. mean stateless) < 0.06)
+  done
+
 let qcheck_gradient_matches_fd =
   QCheck.Test.make ~name:"analytic gradient matches finite differences"
     ~count:30 QCheck.small_int (fun seed ->
@@ -246,6 +302,9 @@ let suite =
       Alcotest.test_case "epsilon validation" `Quick test_epsilon_invalid;
       QCheck_alcotest.to_alcotest qcheck_likelihood_is_log_probability;
       QCheck_alcotest.to_alcotest qcheck_delta_matches_full;
+      QCheck_alcotest.to_alcotest qcheck_cache_matches_stateless;
+      Alcotest.test_case "cached target statistically equivalent" `Slow
+        test_cached_target_statistically_equivalent;
       QCheck_alcotest.to_alcotest qcheck_gradient_matches_fd;
       QCheck_alcotest.to_alcotest qcheck_likelihood_monotone_on_positive;
     ] )

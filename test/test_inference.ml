@@ -81,6 +81,106 @@ let test_combined_chain_length () =
   Alcotest.(check int) "pooled draws" 1200
     (Because_mcmc.Chain.length (Infer.combined_chain result))
 
+let chains_equal a b =
+  Because_mcmc.Chain.length a = Because_mcmc.Chain.length b
+  && Because_mcmc.Chain.dim a = Because_mcmc.Chain.dim b
+  &&
+  let equal = ref true in
+  for k = 0 to Because_mcmc.Chain.length a - 1 do
+    let da = Because_mcmc.Chain.get a k and db = Because_mcmc.Chain.get b k in
+    Array.iteri (fun i v -> if not (Float.equal v db.(i)) then equal := false) da
+  done;
+  !equal
+
+let multi_chain_config = { small_config with Infer.n_chains = 2 }
+
+let test_jobs_bit_identical () =
+  (* The whole point of pre-split per-task generators: fanning the sampler
+     tasks over 4 domains must reproduce the sequential run bit for bit —
+     same chains, same acceptance rates, same warnings, same order. *)
+  let data = Tomography.of_observations identifiable_observations in
+  let run jobs =
+    Infer.run ~rng:(Rng.create 21)
+      ~config:{ multi_chain_config with Infer.jobs }
+      data
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check int) "same run count" (List.length seq.Infer.runs)
+    (List.length par.Infer.runs);
+  List.iter2
+    (fun (a : Infer.sampler_run) (b : Infer.sampler_run) ->
+      Alcotest.(check string) "same sampler" a.Infer.name b.Infer.name;
+      Alcotest.(check int) "same chain index" a.Infer.chain_index
+        b.Infer.chain_index;
+      Alcotest.(check (float 0.0)) "same acceptance" a.Infer.acceptance
+        b.Infer.acceptance;
+      Alcotest.(check bool) "bit-identical chain" true
+        (chains_equal a.Infer.chain b.Infer.chain))
+    seq.Infer.runs par.Infer.runs;
+  Alcotest.(check (list string)) "same warnings" seq.Infer.warnings
+    par.Infer.warnings
+
+let test_single_chain_stream_unchanged () =
+  (* n_chains = 1 must reproduce what the historical sequential code drew
+     from the same seed: one split per sampler, nothing else. *)
+  let data = Tomography.of_observations identifiable_observations in
+  let rng = Rng.create 33 in
+  let result = Infer.run ~rng ~config:small_config data in
+  let expected_mh = Rng.split (Rng.create 33) in
+  let r =
+    Because_mcmc.Metropolis.run_single_site ~rng:expected_mh
+      ~thin:small_config.Infer.thin ~n_samples:small_config.Infer.n_samples
+      ~burn_in:small_config.Infer.burn_in
+      (Because.Model.target
+         (Because.Model.create ~prior:small_config.Infer.prior data))
+  in
+  let mh =
+    List.find (fun (x : Infer.sampler_run) -> x.Infer.name = "MH")
+      result.Infer.runs
+  in
+  Alcotest.(check bool) "MH chain matches a hand-split run" true
+    (chains_equal mh.Infer.chain r.Because_mcmc.Metropolis.chain)
+
+let test_multi_chain_runs () =
+  let data = Tomography.of_observations identifiable_observations in
+  let result = Infer.run ~rng:(Rng.create 21) ~config:multi_chain_config data in
+  Alcotest.(check (list string)) "two chains per sampler"
+    [ "MH"; "MH"; "HMC"; "HMC" ]
+    (List.map (fun (r : Infer.sampler_run) -> r.Infer.name) result.Infer.runs);
+  Alcotest.(check (list int)) "chain indices" [ 0; 1; 0; 1 ]
+    (List.map
+       (fun (r : Infer.sampler_run) -> r.Infer.chain_index)
+       result.Infer.runs);
+  Alcotest.(check int) "pooled draws" (600 * 4)
+    (Because_mcmc.Chain.length (Infer.combined_chain result))
+
+let test_rhat_diagnostic () =
+  let data = Tomography.of_observations identifiable_observations in
+  let result = Infer.run ~rng:(Rng.create 21) ~config:multi_chain_config data in
+  let rhats = Infer.r_hat result in
+  Alcotest.(check (list string)) "one entry per sampler" [ "MH"; "HMC" ]
+    (List.map fst rhats);
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s converged (R-hat %.3f)" name r)
+        true
+        (Float.is_finite r && r < 1.2))
+    rhats
+
+let test_infer_rejects_bad_parallel_config () =
+  let data = Tomography.of_observations identifiable_observations in
+  let rejects config =
+    try
+      ignore (Infer.run ~rng:(Rng.create 1) ~config data);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "jobs = 0" true
+    (rejects { small_config with Infer.jobs = 0 });
+  Alcotest.(check bool) "n_chains = 0" true
+    (rejects { small_config with Infer.n_chains = 0 })
+
 let test_certainty () =
   let result = run_identifiable () in
   let marginals = Posterior.combined result in
@@ -299,6 +399,14 @@ let suite =
       Alcotest.test_case "MH and HMC agree" `Slow test_mh_hmc_agree;
       Alcotest.test_case "config validation" `Quick test_infer_config_validation;
       Alcotest.test_case "combined chain" `Slow test_combined_chain_length;
+      Alcotest.test_case "jobs=4 bit-identical to jobs=1" `Slow
+        test_jobs_bit_identical;
+      Alcotest.test_case "single-chain RNG stream unchanged" `Slow
+        test_single_chain_stream_unchanged;
+      Alcotest.test_case "multi-chain runs" `Slow test_multi_chain_runs;
+      Alcotest.test_case "R-hat across chains" `Slow test_rhat_diagnostic;
+      Alcotest.test_case "parallel config validation" `Quick
+        test_infer_rejects_bad_parallel_config;
       Alcotest.test_case "certainty definition" `Slow test_certainty;
       Alcotest.test_case "categorise by mean (Table 1)" `Quick test_categorize_mean;
       Alcotest.test_case "categorise by HDPI" `Quick test_categorize_hdpi;

@@ -186,6 +186,58 @@ let test_chain_ops () =
   let sums = Chain.map_draws chain (fun d -> d.(0) +. d.(1)) in
   Alcotest.(check (array (float 0.0))) "map_draws" [| 3.0; 7.0; 11.0 |] sums
 
+let test_chain_concat () =
+  let a = Chain.of_samples [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Chain.of_samples [| [| 5.0; 6.0 |] |] in
+  let c = Chain.concat [ a; b; a ] in
+  Alcotest.(check int) "length" 5 (Chain.length c);
+  Alcotest.(check (array (float 0.0))) "order preserved"
+    [| 1.0; 3.0; 5.0; 1.0; 3.0 |]
+    (Chain.marginal c 0);
+  (match Chain.concat [] with
+  | _ -> Alcotest.fail "empty list accepted"
+  | exception Invalid_argument _ -> ());
+  let odd = Chain.of_samples [| [| 1.0 |] |] in
+  match Chain.concat [ a; odd ] with
+  | _ -> Alcotest.fail "dimension mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+(* The stateful cache protocol: a generic cache built by [Target.cache_at]
+   must drive the single-site sampler to the exact same chain as the
+   stateless path — the protocol changes bookkeeping, not arithmetic. *)
+let test_cache_protocol_preserves_sampler () =
+  let cached_beta =
+    { beta_target with Target.make_cache = Some (Target.cache_at beta_target) }
+  in
+  let sample target =
+    Metropolis.run_single_site ~rng:(Rng.create 211) ~n_samples:500
+      ~burn_in:200 target
+  in
+  let plain = sample beta_target and cached = sample cached_beta in
+  Alcotest.(check (float 0.0)) "same acceptance"
+    plain.Metropolis.acceptance cached.Metropolis.acceptance;
+  for k = 0 to Chain.length plain.Metropolis.chain - 1 do
+    Alcotest.(check (array (float 0.0)))
+      (Printf.sprintf "draw %d" k)
+      (Chain.get plain.Metropolis.chain k)
+      (Chain.get cached.Metropolis.chain k)
+  done
+
+let test_cache_at_tracks_commits () =
+  let c = Target.cache_at gaussian_target [| 0.0; 0.0 |] in
+  (* delta of moving coordinate 0 to 1.0 from (0,0): −½(1−1)² + ½(0−1)² … for
+     the gaussian target with mu=(1,−2), sigma=(1,0.5):
+     lp(1,0) − lp(0,0) = 0 − (−0.5) + const-in-other-coord = 0.5 *)
+  Alcotest.(check (float 1e-9)) "first delta" 0.5
+    (c.Target.cached_delta 0 1.0);
+  c.Target.cached_commit 0 1.0;
+  (* from (1,0): moving coordinate 0 back to 0 costs −0.5 *)
+  Alcotest.(check (float 1e-9)) "post-commit delta" (-0.5)
+    (c.Target.cached_delta 0 0.0);
+  (* rejections are free: the uncommitted probe above left the state at (1,0) *)
+  Alcotest.(check (float 1e-9)) "state unchanged by probes" (-0.5)
+    (c.Target.cached_delta 0 0.0)
+
 (* Diagnostics *)
 
 let test_autocorrelation () =
@@ -298,6 +350,11 @@ let suite =
       Alcotest.test_case "reflect_unit" `Quick test_reflect_unit;
       QCheck_alcotest.to_alcotest qcheck_reflect_in_unit;
       Alcotest.test_case "chain operations" `Quick test_chain_ops;
+      Alcotest.test_case "chain concat" `Quick test_chain_concat;
+      Alcotest.test_case "cache protocol preserves the sampler" `Quick
+        test_cache_protocol_preserves_sampler;
+      Alcotest.test_case "cache_at tracks commits" `Quick
+        test_cache_at_tracks_commits;
       Alcotest.test_case "autocorrelation" `Quick test_autocorrelation;
       Alcotest.test_case "effective sample size" `Quick test_ess;
       Alcotest.test_case "r-hat" `Quick test_rhat;

@@ -35,6 +35,24 @@ let test_split_independent () =
   Array.iteri (fun i c -> if Int64.equal c p1.(i) then incr equal_count) c1;
   Alcotest.(check bool) "child differs from parent" true (!equal_count < 2)
 
+let test_split_n () =
+  (* split_n is exactly n successive splits — the contract parallel Infer
+     relies on for order-independent per-task streams. *)
+  let a = Rng.create 17 and b = Rng.create 17 in
+  let children = Rng.split_n a 4 in
+  Array.iter
+    (fun child ->
+      Alcotest.(check int64) "same as successive splits"
+        (Rng.int64 (Rng.split b))
+        (Rng.int64 child))
+    children;
+  (* parent streams advanced identically *)
+  Alcotest.(check int64) "parent state matches" (Rng.int64 b) (Rng.int64 a);
+  Alcotest.(check int) "empty split" 0 (Array.length (Rng.split_n a 0));
+  match Rng.split_n a (-1) with
+  | _ -> Alcotest.fail "negative n accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_float_range () =
   let rng = Rng.create 5 in
   for _ = 1 to 10_000 do
@@ -119,6 +137,7 @@ let suite =
       Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
       Alcotest.test_case "copy" `Quick test_copy_independent;
       Alcotest.test_case "split independence" `Quick test_split_independent;
+      Alcotest.test_case "split_n = successive splits" `Quick test_split_n;
       Alcotest.test_case "float range" `Quick test_float_range;
       Alcotest.test_case "float mean" `Quick test_float_mean;
       Alcotest.test_case "int bounds" `Quick test_int_bounds;
