@@ -1,0 +1,418 @@
+(* The pre-flattening router hot path, kept verbatim as a measurement
+   baseline for the sim bench: tuple-keyed polymorphic Hashtbls, list AS
+   paths (O(n) length/equality), and per-update policy recomputation.
+   Not used by the simulator — the flattened Because_bgp.Router is. *)
+
+open Because_bgp
+
+type neighbor = {
+  neighbor_asn : Asn.t;
+  relationship : Policy.relationship;
+  mrai : float;
+}
+
+type config = {
+  asn : Asn.t;
+  neighbors : neighbor list;
+  rfd_scope : Policy.rfd_scope;
+  rfd_params : Rfd_params.t;
+}
+
+type best =
+  | Origin of Update.aggregator option
+  | Via of {
+      from_asn : Asn.t;
+      relationship : Policy.relationship;
+      as_path : Asn.t list;
+      aggregator : Update.aggregator option;
+    }
+
+type action =
+  | Send of { to_asn : Asn.t; update : Update.t }
+  | Set_reuse_timer of { neighbor : Asn.t; prefix : Prefix.t; at : float }
+  | Set_mrai_timer of { neighbor : Asn.t; prefix : Prefix.t; at : float }
+  | Feed of Update.t
+
+type rib_in_entry = {
+  in_path : Asn.t list;
+  in_aggregator : Update.aggregator option;
+}
+
+type mrai_state = {
+  mutable gate_until : float;  (* announcements blocked before this time *)
+  mutable pending : bool;      (* a flush timer is armed *)
+}
+
+type t = {
+  cfg : config;
+  neighbor_of : (Asn.t, neighbor) Hashtbl.t;
+  rib_in : (Asn.t * Prefix.t, rib_in_entry) Hashtbl.t;
+  rfd : (Asn.t * Prefix.t, Rfd.t) Hashtbl.t;
+  originated : (Prefix.t, Update.aggregator option) Hashtbl.t;
+  loc_rib : (Prefix.t, best) Hashtbl.t;
+  adj_out : (Asn.t * Prefix.t, Update.t) Hashtbl.t;  (* last update sent *)
+  mrai : (Asn.t * Prefix.t, mrai_state) Hashtbl.t;
+  last_feed : (Prefix.t, Update.t) Hashtbl.t;
+}
+
+let create cfg =
+  let neighbor_of = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Asn.equal n.neighbor_asn cfg.asn then
+        invalid_arg "Router.create: self-neighboring";
+      if Hashtbl.mem neighbor_of n.neighbor_asn then
+        invalid_arg "Router.create: duplicate neighbor";
+      Hashtbl.replace neighbor_of n.neighbor_asn n)
+    cfg.neighbors;
+  {
+    cfg;
+    neighbor_of;
+    rib_in = Hashtbl.create 64;
+    rfd = Hashtbl.create 16;
+    originated = Hashtbl.create 4;
+    loc_rib = Hashtbl.create 16;
+    adj_out = Hashtbl.create 64;
+    mrai = Hashtbl.create 64;
+    last_feed = Hashtbl.create 16;
+  }
+
+let asn t = t.cfg.asn
+let config t = t.cfg
+
+let neighbor_exn t asn_ =
+  match Hashtbl.find_opt t.neighbor_of asn_ with
+  | Some n -> n
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Router %s: %s is not a neighbor"
+           (Asn.to_string t.cfg.asn) (Asn.to_string asn_))
+
+let session_damps t neighbor =
+  Policy.rfd_applies t.cfg.rfd_scope ~neighbor:neighbor.neighbor_asn
+    ~relationship:neighbor.relationship
+
+let rfd_state t ~neighbor ~prefix = Hashtbl.find_opt t.rfd (neighbor, prefix)
+
+let rfd_state_ensure t neighbor prefix =
+  let key = (neighbor, prefix) in
+  match Hashtbl.find_opt t.rfd key with
+  | Some s -> s
+  | None ->
+      let s = Rfd.create t.cfg.rfd_params in
+      Hashtbl.replace t.rfd key s;
+      s
+
+let is_suppressing t ~now =
+  Hashtbl.fold (fun _ s acc -> acc || Rfd.suppressed s ~now) t.rfd false
+
+let best_route t prefix = Hashtbl.find_opt t.loc_rib prefix
+
+(* ------------------------------------------------------------------ *)
+(* Decision process                                                     *)
+
+let path_length = List.length
+
+let best_equal a b =
+  match (a, b) with
+  | Origin x, Origin y -> Update.aggregator_equal x y
+  | Via x, Via y ->
+      Asn.equal x.from_asn y.from_asn
+      && List.length x.as_path = List.length y.as_path
+      && List.for_all2 Asn.equal x.as_path y.as_path
+      && Update.aggregator_equal x.aggregator y.aggregator
+  | Origin _, Via _ | Via _, Origin _ -> false
+
+let usable t ~now neighbor prefix =
+  match Hashtbl.find_opt t.rib_in (neighbor.neighbor_asn, prefix) with
+  | None -> None
+  | Some entry -> (
+      match rfd_state t ~neighbor:neighbor.neighbor_asn ~prefix with
+      | Some s when Rfd.suppressed s ~now -> None
+      | Some _ | None -> Some entry)
+
+let decide t ~now prefix =
+  match Hashtbl.find_opt t.originated prefix with
+  | Some aggregator -> Some (Origin aggregator)
+  | None ->
+      let better cand incumbent =
+        match incumbent with
+        | None -> true
+        | Some (Via inc) ->
+            let c_pref = Policy.local_pref cand.relationship in
+            let i_pref = Policy.local_pref inc.relationship in
+            if c_pref <> i_pref then c_pref > i_pref
+            else begin
+              let c_len =
+                path_length
+                  (match
+                     Hashtbl.find_opt t.rib_in (cand.neighbor_asn, prefix)
+                   with
+                  | Some e -> e.in_path
+                  | None -> [])
+              in
+              let i_len = path_length inc.as_path in
+              if c_len <> i_len then c_len < i_len
+              else Asn.compare cand.neighbor_asn inc.from_asn < 0
+            end
+        | Some (Origin _) -> false
+      in
+      List.fold_left
+        (fun acc n ->
+          match usable t ~now n prefix with
+          | None -> acc
+          | Some entry ->
+              if better n acc then
+                Some
+                  (Via
+                     {
+                       from_asn = n.neighbor_asn;
+                       relationship = n.relationship;
+                       as_path = entry.in_path;
+                       aggregator = entry.in_aggregator;
+                     })
+              else acc)
+        None t.cfg.neighbors
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                               *)
+
+let export_update t prefix = function
+  | Origin aggregator ->
+      Update.Announce { prefix; as_path = [ t.cfg.asn ]; aggregator }
+  | Via { as_path; aggregator; _ } ->
+      Update.Announce { prefix; as_path = t.cfg.asn :: as_path; aggregator }
+
+(* The desired adj-out state towards neighbor [m] for [prefix], or None when
+   nothing should be advertised. *)
+let desired_towards t prefix best m =
+  match best with
+  | None -> None
+  | Some (Origin _ as b) -> Some (export_update t prefix b)
+  | Some (Via v as b) ->
+      if Asn.equal v.from_asn m.neighbor_asn then None (* split horizon *)
+      else if
+        Policy.export_ok ~learned_from:(Some v.relationship)
+          ~towards:m.relationship
+      then Some (export_update t prefix b)
+      else None
+
+let mrai_state_of t key =
+  match Hashtbl.find_opt t.mrai key with
+  | Some s -> s
+  | None ->
+      let s = { gate_until = 0.0; pending = false } in
+      Hashtbl.replace t.mrai key s;
+      s
+
+(* Push the desired state towards [m], respecting MRAI for announcements.
+   Returns actions. *)
+let sync_neighbor t ~now prefix best m =
+  let key = (m.neighbor_asn, prefix) in
+  let previously = Hashtbl.find_opt t.adj_out key in
+  let desired = desired_towards t prefix best m in
+  let already_withdrawn =
+    match previously with
+    | None -> true
+    | Some (Update.Withdraw _) -> true
+    | Some (Update.Announce _) -> false
+  in
+  match desired with
+  | None ->
+      if already_withdrawn then []
+      else begin
+        (* Withdrawals bypass MRAI (RFC 4271 §9.2.1.1). *)
+        let w = Update.Withdraw { prefix } in
+        Hashtbl.replace t.adj_out key w;
+        [ Send { to_asn = m.neighbor_asn; update = w } ]
+      end
+  | Some u ->
+      let same =
+        match previously with Some p -> Update.equal p u | None -> false
+      in
+      if same then []
+      else begin
+        let ms = mrai_state_of t key in
+        if m.mrai <= 0.0 || now >= ms.gate_until then begin
+          ms.gate_until <- now +. m.mrai;
+          Hashtbl.replace t.adj_out key u;
+          [ Send { to_asn = m.neighbor_asn; update = u } ]
+        end
+        else if ms.pending then []
+        else begin
+          ms.pending <- true;
+          [ Set_mrai_timer
+              { neighbor = m.neighbor_asn; prefix; at = ms.gate_until } ]
+        end
+      end
+
+let feed_action t prefix best =
+  let observation =
+    match best with
+    | Some b -> export_update t prefix b
+    | None -> Update.Withdraw { prefix }
+  in
+  let same =
+    match Hashtbl.find_opt t.last_feed prefix with
+    | Some prev -> Update.equal prev observation
+    | None ->
+        (* A withdraw for a never-announced prefix is not an observation. *)
+        not (Update.is_announce observation)
+  in
+  if same then []
+  else begin
+    Hashtbl.replace t.last_feed prefix observation;
+    [ Feed observation ]
+  end
+
+let reconsider t ~now prefix =
+  let old_best = Hashtbl.find_opt t.loc_rib prefix in
+  let new_best = decide t ~now prefix in
+  let changed =
+    match (old_best, new_best) with
+    | None, None -> false
+    | Some a, Some b -> not (best_equal a b)
+    | None, Some _ | Some _, None -> true
+  in
+  if not changed then []
+  else begin
+    (match new_best with
+    | Some b -> Hashtbl.replace t.loc_rib prefix b
+    | None -> Hashtbl.remove t.loc_rib prefix);
+    let exports =
+      List.concat_map (sync_neighbor t ~now prefix new_best) t.cfg.neighbors
+    in
+    exports @ feed_action t prefix new_best
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+
+let classify_rfd_event existing update =
+  match (update, existing) with
+  | Update.Withdraw _, Some _ -> Some Rfd.Withdrawal
+  | Update.Withdraw _, None -> None (* spurious withdrawal: no penalty *)
+  | Update.Announce _, None -> Some Rfd.Readvertisement
+  | Update.Announce a, Some (old : rib_in_entry) ->
+      let same_path =
+        List.length a.as_path = List.length old.in_path
+        && List.for_all2 Asn.equal a.as_path old.in_path
+      in
+      let same_aggregator =
+        Update.aggregator_equal a.aggregator old.in_aggregator
+      in
+      if same_path && same_aggregator then None (* exact duplicate *)
+      else Some Rfd.Attribute_change
+
+let handle_update t ~now ~from update =
+  let nb = neighbor_exn t from in
+  let prefix = Update.prefix update in
+  let key = (from, prefix) in
+  let existing = Hashtbl.find_opt t.rib_in key in
+  (* Loop prevention: an announcement containing our own ASN is rejected,
+     which for RIB purposes equals a withdrawal of that session's route. *)
+  let update =
+    if Update.path_contains t.cfg.asn update then Update.Withdraw { prefix }
+    else update
+  in
+  let timer_actions =
+    if session_damps t nb then begin
+      match classify_rfd_event existing update with
+      | None -> []
+      | Some event ->
+          let state = rfd_state_ensure t from prefix in
+          let was = Rfd.suppressed state ~now in
+          Rfd.record state ~now event;
+          let is_now = Rfd.suppressed state ~now in
+          if is_now && not was then begin
+            match Rfd.reuse_eta state ~now with
+            | Some at -> [ Set_reuse_timer { neighbor = from; prefix; at } ]
+            | None -> []
+          end
+          else []
+    end
+    else []
+  in
+  (match update with
+  | Update.Withdraw _ -> Hashtbl.remove t.rib_in key
+  | Update.Announce a ->
+      Hashtbl.replace t.rib_in key
+        { in_path = a.as_path; in_aggregator = a.aggregator });
+  timer_actions @ reconsider t ~now prefix
+
+let originate t ~now ?aggregator prefix =
+  Hashtbl.replace t.originated prefix aggregator;
+  reconsider t ~now prefix
+
+let withdraw_origin t ~now prefix =
+  Hashtbl.remove t.originated prefix;
+  reconsider t ~now prefix
+
+let handle_reuse_check t ~now ~neighbor ~prefix =
+  match rfd_state t ~neighbor ~prefix with
+  | None -> []
+  | Some state ->
+      if Rfd.suppressed state ~now then begin
+        (* Penalty grew since the timer was set: re-arm. *)
+        match Rfd.reuse_eta state ~now with
+        | Some at when at > now -> [ Set_reuse_timer { neighbor; prefix; at } ]
+        | Some _ | None -> []
+      end
+      else reconsider t ~now prefix
+
+let handle_session_down t ~now ~neighbor =
+  let (_ : neighbor) = neighbor_exn t neighbor in
+  (* Routes learned on the session are gone: clear the adj-RIB-in ... *)
+  let affected =
+    Hashtbl.fold
+      (fun (from, prefix) _ acc ->
+        if Asn.equal from neighbor then prefix :: acc else acc)
+      t.rib_in []
+    |> List.sort_uniq Prefix.compare
+  in
+  List.iter (fun prefix -> Hashtbl.remove t.rib_in (neighbor, prefix)) affected;
+  (* ... and forget what we advertised over it, together with its MRAI
+     state — a re-established session starts from an empty adj-RIB-out. *)
+  let sent =
+    Hashtbl.fold
+      (fun (to_asn, prefix) _ acc ->
+        if Asn.equal to_asn neighbor then prefix :: acc else acc)
+      t.adj_out []
+  in
+  List.iter (fun prefix -> Hashtbl.remove t.adj_out (neighbor, prefix)) sent;
+  let gated =
+    Hashtbl.fold
+      (fun (to_asn, prefix) _ acc ->
+        if Asn.equal to_asn neighbor then prefix :: acc else acc)
+      t.mrai []
+  in
+  List.iter (fun prefix -> Hashtbl.remove t.mrai (neighbor, prefix)) gated;
+  (* Path re-exploration: every prefix routed via the dead session is
+     reconsidered, producing withdrawals or failover announcements
+     downstream. *)
+  List.concat_map (reconsider t ~now) affected
+
+let handle_session_up t ~now ~neighbor =
+  let nb = neighbor_exn t neighbor in
+  (* The peer's RIB is empty after the reset: re-advertise the current
+     loc-RIB from scratch, subject to the usual export policy. *)
+  let prefixes =
+    Hashtbl.fold (fun prefix _ acc -> prefix :: acc) t.loc_rib []
+    |> List.sort_uniq Prefix.compare
+  in
+  List.concat_map
+    (fun prefix ->
+      Hashtbl.remove t.adj_out (neighbor, prefix);
+      Hashtbl.remove t.mrai (neighbor, prefix);
+      let best = Hashtbl.find_opt t.loc_rib prefix in
+      sync_neighbor t ~now prefix best nb)
+    prefixes
+
+let handle_mrai_expiry t ~now ~neighbor ~prefix =
+  let nb = neighbor_exn t neighbor in
+  let key = (neighbor, prefix) in
+  let ms = mrai_state_of t key in
+  ms.pending <- false;
+  ms.gate_until <- Float.min ms.gate_until now;
+  let best = Hashtbl.find_opt t.loc_rib prefix in
+  sync_neighbor t ~now prefix best nb

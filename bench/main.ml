@@ -29,6 +29,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("ablations", "design-choice ablations", Ablations.all);
     ("faults", "fault-injection severity sweep", Faults.run);
     ("kernels", "Bechamel kernel micro-benchmarks", Kernels.run);
+    ("sim", "simulator throughput and router hot path", Sim.run);
   ]
 
 let () =

@@ -28,6 +28,16 @@ let jobs_arg =
            pre-split RNG streams, so the output is bit-for-bit identical \
            for any value — only wall-clock time changes.")
 
+let sim_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sim-jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the BGP simulation itself: prefixes are \
+           partitioned into N shards simulated in parallel.  1 (the \
+           default) preserves the sequential event stream bit-for-bit; on \
+           a fault-free campaign every value yields the identical outcome.")
+
 let chains_arg =
   Arg.(
     value & opt int 1
@@ -227,10 +237,10 @@ let print_campaign_summary world outcome =
   Format.printf "against planted deployment: %a@." Because.Evaluate.pp m
 
 let campaign_cmd =
-  let run seed sizes interval cycles severity jobs chains =
+  let run seed sizes interval cycles severity jobs chains sim_jobs =
     let world = world_of ~seed sizes in
     let base =
-      Sc.Campaign.with_jobs ~n_chains:chains
+      Sc.Campaign.with_jobs ~n_chains:chains ~sim_jobs
         { (Sc.Campaign.default_params ~update_interval:(interval *. 60.0))
           with Sc.Campaign.cycles }
         jobs
@@ -252,20 +262,20 @@ let campaign_cmd =
        ~doc:"Run one measurement campaign end to end on a simulated world.")
     Term.(
       const run $ seed_arg $ world_size_args $ interval_arg $ cycles_arg
-      $ faults_arg $ jobs_arg $ chains_arg)
+      $ faults_arg $ jobs_arg $ chains_arg $ sim_jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                                *)
 
 let sweep_cmd =
-  let run seed sizes cycles jobs =
+  let run seed sizes cycles jobs sim_jobs =
     let world = world_of ~seed sizes in
     let outcomes =
       List.map
         (fun minutes ->
           Printf.printf "[interval %.0f min]\n%!" minutes;
           Sc.Campaign.run world
-            (Sc.Campaign.with_jobs
+            (Sc.Campaign.with_jobs ~sim_jobs
                { (Sc.Campaign.default_params
                     ~update_interval:(minutes *. 60.0))
                  with Sc.Campaign.cycles }
@@ -288,7 +298,9 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run campaigns at all six update intervals (Fig. 12).")
-    Term.(const run $ seed_arg $ world_size_args $ cycles_arg $ jobs_arg)
+    Term.(
+      const run $ seed_arg $ world_size_args $ cycles_arg $ jobs_arg
+      $ sim_jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* infer                                                                *)

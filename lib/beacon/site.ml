@@ -40,7 +40,7 @@ let state_when events keep =
     (fun acc (time, action) -> if keep time then Some action else acc)
     None events
 
-let install ?(outages = []) t net =
+let install ?(outages = []) t script =
   List.iter
     (fun bp ->
       let events = Schedule.events bp.schedule in
@@ -49,26 +49,26 @@ let install ?(outages = []) t net =
           if not (in_window outages time) then
             match action with
             | Schedule.Announce ->
-                Because_sim.Network.schedule_announce net ~time
-                  ~origin:t.origin bp.prefix
+                Because_sim.Script.announce script ~time ~origin:t.origin
+                  bp.prefix
             | Schedule.Withdraw ->
-                Because_sim.Network.schedule_withdraw net ~time
-                  ~origin:t.origin bp.prefix)
+                Because_sim.Script.withdraw script ~time ~origin:t.origin
+                  bp.prefix)
         events;
       List.iter
         (fun (lo, hi) ->
           (* The site fails: whatever it had announced is withdrawn. *)
           (match state_when events (fun time -> time < lo) with
           | Some Schedule.Announce ->
-              Because_sim.Network.schedule_withdraw net ~time:lo
-                ~origin:t.origin bp.prefix
+              Because_sim.Script.withdraw script ~time:lo ~origin:t.origin
+                bp.prefix
           | Some Schedule.Withdraw | None -> ());
           (* On recovery, restore the state the schedule prescribes now
              (events inside the window were lost). *)
           match state_when events (fun time -> time <= hi) with
           | Some Schedule.Announce ->
-              Because_sim.Network.schedule_announce net ~time:hi
-                ~origin:t.origin bp.prefix
+              Because_sim.Script.announce script ~time:hi ~origin:t.origin
+                bp.prefix
           | Some Schedule.Withdraw | None -> ())
         outages)
     t.prefixes

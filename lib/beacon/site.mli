@@ -26,8 +26,9 @@ val make :
     schedule. *)
 
 val install :
-  ?outages:(float * float) list -> t -> Because_sim.Network.t -> unit
-(** Schedule every Beacon event of the site into the network.
+  ?outages:(float * float) list -> t -> Because_sim.Script.t -> unit
+(** Record every Beacon event of the site into the simulation script
+    (replayed into one or many networks by {!Because_sim.Sharded}).
 
     [outages] are site-failure windows [(from, until)]: scheduled events
     falling inside a window are skipped (Burst phases are lost), announced

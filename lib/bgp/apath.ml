@@ -1,0 +1,35 @@
+type t = { nodes : Asn.t list; length : int; hash : int }
+
+let empty = { nodes = []; length = 0; hash = 17 }
+
+let of_list nodes =
+  let rec go h n = function
+    | [] -> (h land max_int, n)
+    | a :: rest -> go ((h * 31) + Asn.to_int a) (n + 1) rest
+  in
+  let hash, length = go 17 0 nodes in
+  { nodes; length; hash }
+
+let nodes t = t.nodes
+let length t = t.length
+let hash t = t.hash
+let is_empty t = t.length = 0
+
+let rec nodes_equal a b =
+  match (a, b) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> Asn.equal x y && nodes_equal xs ys
+  | [], _ :: _ | _ :: _, [] -> false
+
+(* Hash and length disagree on almost every unequal pair, so the node walk
+   runs only on (near-certain) equality. *)
+let equal a b =
+  a.hash = b.hash && a.length = b.length
+  && (a.nodes == b.nodes || nodes_equal a.nodes b.nodes)
+
+let contains asn t = List.exists (Asn.equal asn) t.nodes
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.pp_print_string f " ")
+    Asn.pp fmt t.nodes

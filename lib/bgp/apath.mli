@@ -1,0 +1,26 @@
+(** Interned AS paths.
+
+    Updates carry their AS path as a plain list on the wire; the router
+    interns each received path once into this record — one traversal
+    computing the length and a multiplicative hash — so that the decision
+    process compares path lengths in O(1) and path equality (the hot
+    comparison in duplicate detection and best-route stability checks) in
+    O(1) for the almost-sure unequal case. *)
+
+type t
+
+val empty : t
+val of_list : Asn.t list -> t
+
+val nodes : t -> Asn.t list
+(** The original list, neighbor first; shared, not copied. *)
+
+val length : t -> int
+val hash : t -> int
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+(** Hash and length first, node walk only on a match. *)
+
+val contains : Asn.t -> t -> bool
+val pp : Format.formatter -> t -> unit

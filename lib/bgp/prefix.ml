@@ -47,7 +47,15 @@ let compare a b =
   | c -> c
 
 let equal a b = compare a b = 0
-let hash = Hashtbl.hash
+
+(* Monomorphic: the network bits already are well-spread, so mixing in the
+   length is enough for the router's per-neighbor tables. *)
+(* Real prefix populations are /24-heavy, so the low network bits are almost
+   always zero; Hashtbl masks the hash with [size - 1], so the distinguishing
+   bits must be folded down into the low bits. *)
+let hash t =
+  let h = (Int32.to_int t.network * 0x9E3779B1) + t.length in
+  (h lxor (h lsr 16)) land max_int
 let length t = t.length
 let network t = t.network
 

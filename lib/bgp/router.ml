@@ -16,7 +16,7 @@ type best =
   | Via of {
       from_asn : Asn.t;
       relationship : Policy.relationship;
-      as_path : Asn.t list;
+      as_path : Apath.t;
       aggregator : Update.aggregator option;
     }
 
@@ -27,7 +27,7 @@ type action =
   | Feed of Update.t
 
 type rib_in_entry = {
-  in_path : Asn.t list;
+  in_path : Apath.t;
   in_aggregator : Update.aggregator option;
 }
 
@@ -36,136 +36,195 @@ type mrai_state = {
   mutable pending : bool;      (* a flush timer is armed *)
 }
 
+(* Monomorphic prefix-keyed tables: every per-session RIB structure is held
+   per neighbor, so the former polymorphic (Asn.t * Prefix.t) lookups become
+   a dense array index plus one monomorphic prefix hash. *)
+module Ptbl = Hashtbl.Make (struct
+  type t = Prefix.t
+
+  let equal = Prefix.equal
+  let hash = Prefix.hash
+end)
+
+module Atbl = Hashtbl.Make (struct
+  type t = Asn.t
+
+  let equal = Asn.equal
+  let hash a = Asn.to_int a * 0x9E3779B1 land max_int
+end)
+
+let rel_index = function
+  | Policy.Customer -> 0
+  | Policy.Peer -> 1
+  | Policy.Provider -> 2
+
+(* One neighbor session, flattened: the static config plus every per-session
+   table and the precomputed policy decisions that used to be recomputed per
+   update. *)
+type neighbor_state = {
+  nb : neighbor;
+  local_pref : int;                       (* Policy.local_pref nb.relationship *)
+  damps : bool;                           (* RFD applies on this session *)
+  export_from : bool array;               (* learned relationship -> export ok *)
+  rib_in : rib_in_entry Ptbl.t;
+  rfd : Rfd.t Ptbl.t;
+  adj_out : Update.t Ptbl.t;              (* last update sent *)
+  mrai : mrai_state Ptbl.t;
+}
+
 type t = {
   cfg : config;
-  neighbor_of : (Asn.t, neighbor) Hashtbl.t;
-  rib_in : (Asn.t * Prefix.t, rib_in_entry) Hashtbl.t;
-  rfd : (Asn.t * Prefix.t, Rfd.t) Hashtbl.t;
-  originated : (Prefix.t, Update.aggregator option) Hashtbl.t;
-  loc_rib : (Prefix.t, best) Hashtbl.t;
-  adj_out : (Asn.t * Prefix.t, Update.t) Hashtbl.t;  (* last update sent *)
-  mrai : (Asn.t * Prefix.t, mrai_state) Hashtbl.t;
-  last_feed : (Prefix.t, Update.t) Hashtbl.t;
+  nstates : neighbor_state array;         (* in config order *)
+  index_of : int Atbl.t;                  (* neighbor ASN -> nstates index *)
+  originated : Update.aggregator option Ptbl.t;
+  loc_rib : best Ptbl.t;
+  last_feed : Update.t Ptbl.t;
 }
 
 let create cfg =
-  let neighbor_of = Hashtbl.create 16 in
-  List.iter
-    (fun n ->
-      if Asn.equal n.neighbor_asn cfg.asn then
-        invalid_arg "Router.create: self-neighboring";
-      if Hashtbl.mem neighbor_of n.neighbor_asn then
-        invalid_arg "Router.create: duplicate neighbor";
-      Hashtbl.replace neighbor_of n.neighbor_asn n)
-    cfg.neighbors;
+  let n = List.length cfg.neighbors in
+  let index_of = Atbl.create (2 * max 1 n) in
+  let make_state nb =
+    if Asn.equal nb.neighbor_asn cfg.asn then
+      invalid_arg "Router.create: self-neighboring";
+    if Atbl.mem index_of nb.neighbor_asn then
+      invalid_arg "Router.create: duplicate neighbor";
+    Atbl.replace index_of nb.neighbor_asn (Atbl.length index_of);
+    {
+      nb;
+      local_pref = Policy.local_pref nb.relationship;
+      damps =
+        Policy.rfd_applies cfg.rfd_scope ~neighbor:nb.neighbor_asn
+          ~relationship:nb.relationship;
+      export_from =
+        Array.map
+          (fun learned ->
+            Policy.export_ok ~learned_from:(Some learned)
+              ~towards:nb.relationship)
+          [| Policy.Customer; Policy.Peer; Policy.Provider |];
+      rib_in = Ptbl.create 64;
+      rfd = Ptbl.create 16;
+      adj_out = Ptbl.create 64;
+      mrai = Ptbl.create 64;
+    }
+  in
+  let nstates =
+    (* Fold left so dense ids follow config order. *)
+    List.fold_left (fun acc nb -> make_state nb :: acc) [] cfg.neighbors
+    |> List.rev |> Array.of_list
+  in
   {
     cfg;
-    neighbor_of;
-    rib_in = Hashtbl.create 64;
-    rfd = Hashtbl.create 16;
-    originated = Hashtbl.create 4;
-    loc_rib = Hashtbl.create 16;
-    adj_out = Hashtbl.create 64;
-    mrai = Hashtbl.create 64;
-    last_feed = Hashtbl.create 16;
+    nstates;
+    index_of;
+    originated = Ptbl.create 4;
+    loc_rib = Ptbl.create 16;
+    last_feed = Ptbl.create 16;
   }
 
 let asn t = t.cfg.asn
 let config t = t.cfg
 
-let neighbor_exn t asn_ =
-  match Hashtbl.find_opt t.neighbor_of asn_ with
-  | Some n -> n
+let state_exn t asn_ =
+  match Atbl.find_opt t.index_of asn_ with
+  | Some i -> t.nstates.(i)
   | None ->
       invalid_arg
         (Printf.sprintf "Router %s: %s is not a neighbor"
            (Asn.to_string t.cfg.asn) (Asn.to_string asn_))
 
-let session_damps t neighbor =
-  Policy.rfd_applies t.cfg.rfd_scope ~neighbor:neighbor.neighbor_asn
-    ~relationship:neighbor.relationship
+let rfd_state t ~neighbor ~prefix =
+  match Atbl.find_opt t.index_of neighbor with
+  | None -> None
+  | Some i -> Ptbl.find_opt t.nstates.(i).rfd prefix
 
-let rfd_state t ~neighbor ~prefix = Hashtbl.find_opt t.rfd (neighbor, prefix)
-
-let rfd_state_ensure t neighbor prefix =
-  let key = (neighbor, prefix) in
-  match Hashtbl.find_opt t.rfd key with
+let rfd_state_ensure ns prefix params =
+  match Ptbl.find_opt ns.rfd prefix with
   | Some s -> s
   | None ->
-      let s = Rfd.create t.cfg.rfd_params in
-      Hashtbl.replace t.rfd key s;
+      let s = Rfd.create params in
+      Ptbl.replace ns.rfd prefix s;
       s
 
-let is_suppressing t ~now =
-  Hashtbl.fold (fun _ s acc -> acc || Rfd.suppressed s ~now) t.rfd false
+exception Found_suppressed
 
-let best_route t prefix = Hashtbl.find_opt t.loc_rib prefix
+let is_suppressing t ~now =
+  (* Early exit on the first suppressed entry instead of folding over every
+     RFD record of every session. *)
+  try
+    Array.iter
+      (fun ns ->
+        Ptbl.iter
+          (fun _ s -> if Rfd.suppressed s ~now then raise_notrace Found_suppressed)
+          ns.rfd)
+      t.nstates;
+    false
+  with Found_suppressed -> true
+
+let best_route t prefix = Ptbl.find_opt t.loc_rib prefix
 
 (* ------------------------------------------------------------------ *)
 (* Decision process                                                     *)
-
-let path_length = List.length
 
 let best_equal a b =
   match (a, b) with
   | Origin x, Origin y -> Update.aggregator_equal x y
   | Via x, Via y ->
       Asn.equal x.from_asn y.from_asn
-      && List.length x.as_path = List.length y.as_path
-      && List.for_all2 Asn.equal x.as_path y.as_path
+      && Apath.equal x.as_path y.as_path
       && Update.aggregator_equal x.aggregator y.aggregator
   | Origin _, Via _ | Via _, Origin _ -> false
 
-let usable t ~now neighbor prefix =
-  match Hashtbl.find_opt t.rib_in (neighbor.neighbor_asn, prefix) with
+let usable ns ~now prefix =
+  match Ptbl.find_opt ns.rib_in prefix with
   | None -> None
   | Some entry -> (
-      match rfd_state t ~neighbor:neighbor.neighbor_asn ~prefix with
+      match Ptbl.find_opt ns.rfd prefix with
       | Some s when Rfd.suppressed s ~now -> None
       | Some _ | None -> Some entry)
 
+(* Gao–Rexford selection over the dense neighbor array: highest local-pref,
+   then shortest path (O(1) via the interned length), then lowest ASN. *)
 let decide t ~now prefix =
-  match Hashtbl.find_opt t.originated prefix with
+  match Ptbl.find_opt t.originated prefix with
   | Some aggregator -> Some (Origin aggregator)
   | None ->
-      let better cand incumbent =
-        match incumbent with
-        | None -> true
-        | Some (Via inc) ->
-            let c_pref = Policy.local_pref cand.relationship in
-            let i_pref = Policy.local_pref inc.relationship in
-            if c_pref <> i_pref then c_pref > i_pref
-            else begin
-              let c_len =
-                path_length
-                  (match
-                     Hashtbl.find_opt t.rib_in (cand.neighbor_asn, prefix)
-                   with
-                  | Some e -> e.in_path
-                  | None -> [])
-              in
-              let i_len = path_length inc.as_path in
-              if c_len <> i_len then c_len < i_len
-              else Asn.compare cand.neighbor_asn inc.from_asn < 0
-            end
-        | Some (Origin _) -> false
-      in
-      List.fold_left
-        (fun acc n ->
-          match usable t ~now n prefix with
-          | None -> acc
+      let winner = ref None in
+      let w_pref = ref min_int and w_len = ref max_int in
+      let w_asn = ref Asn.(of_int 0) in
+      Array.iter
+        (fun ns ->
+          match usable ns ~now prefix with
+          | None -> ()
           | Some entry ->
-              if better n acc then
-                Some
-                  (Via
-                     {
-                       from_asn = n.neighbor_asn;
-                       relationship = n.relationship;
-                       as_path = entry.in_path;
-                       aggregator = entry.in_aggregator;
-                     })
-              else acc)
-        None t.cfg.neighbors
+              let pref = ns.local_pref in
+              let len = Apath.length entry.in_path in
+              let better =
+                match !winner with
+                | None -> true
+                | Some _ ->
+                    if pref <> !w_pref then pref > !w_pref
+                    else if len <> !w_len then len < !w_len
+                    else Asn.compare ns.nb.neighbor_asn !w_asn < 0
+              in
+              if better then begin
+                winner := Some (ns, entry);
+                w_pref := pref;
+                w_len := len;
+                w_asn := ns.nb.neighbor_asn
+              end)
+        t.nstates;
+      match !winner with
+      | None -> None
+      | Some (ns, entry) ->
+          Some
+            (Via
+               {
+                 from_asn = ns.nb.neighbor_asn;
+                 relationship = ns.nb.relationship;
+                 as_path = entry.in_path;
+                 aggregator = entry.in_aggregator;
+               })
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                               *)
@@ -174,36 +233,35 @@ let export_update t prefix = function
   | Origin aggregator ->
       Update.Announce { prefix; as_path = [ t.cfg.asn ]; aggregator }
   | Via { as_path; aggregator; _ } ->
-      Update.Announce { prefix; as_path = t.cfg.asn :: as_path; aggregator }
+      Update.Announce
+        { prefix; as_path = t.cfg.asn :: Apath.nodes as_path; aggregator }
 
-(* The desired adj-out state towards neighbor [m] for [prefix], or None when
-   nothing should be advertised. *)
-let desired_towards t prefix best m =
+(* The desired adj-out state towards a neighbor for [prefix], or None when
+   nothing should be advertised.  The valley-free decision is a precomputed
+   per-(learned relationship, neighbor) bit. *)
+let desired_towards t prefix best ns =
   match best with
   | None -> None
   | Some (Origin _ as b) -> Some (export_update t prefix b)
   | Some (Via v as b) ->
-      if Asn.equal v.from_asn m.neighbor_asn then None (* split horizon *)
-      else if
-        Policy.export_ok ~learned_from:(Some v.relationship)
-          ~towards:m.relationship
-      then Some (export_update t prefix b)
+      if Asn.equal v.from_asn ns.nb.neighbor_asn then None (* split horizon *)
+      else if ns.export_from.(rel_index v.relationship) then
+        Some (export_update t prefix b)
       else None
 
-let mrai_state_of t key =
-  match Hashtbl.find_opt t.mrai key with
+let mrai_state_of ns prefix =
+  match Ptbl.find_opt ns.mrai prefix with
   | Some s -> s
   | None ->
       let s = { gate_until = 0.0; pending = false } in
-      Hashtbl.replace t.mrai key s;
+      Ptbl.replace ns.mrai prefix s;
       s
 
-(* Push the desired state towards [m], respecting MRAI for announcements.
-   Returns actions. *)
-let sync_neighbor t ~now prefix best m =
-  let key = (m.neighbor_asn, prefix) in
-  let previously = Hashtbl.find_opt t.adj_out key in
-  let desired = desired_towards t prefix best m in
+(* Push the desired state towards the neighbor, respecting MRAI for
+   announcements.  Returns actions. *)
+let sync_neighbor t ~now prefix best ns =
+  let previously = Ptbl.find_opt ns.adj_out prefix in
+  let desired = desired_towards t prefix best ns in
   let already_withdrawn =
     match previously with
     | None -> true
@@ -216,8 +274,8 @@ let sync_neighbor t ~now prefix best m =
       else begin
         (* Withdrawals bypass MRAI (RFC 4271 §9.2.1.1). *)
         let w = Update.Withdraw { prefix } in
-        Hashtbl.replace t.adj_out key w;
-        [ Send { to_asn = m.neighbor_asn; update = w } ]
+        Ptbl.replace ns.adj_out prefix w;
+        [ Send { to_asn = ns.nb.neighbor_asn; update = w } ]
       end
   | Some u ->
       let same =
@@ -225,17 +283,17 @@ let sync_neighbor t ~now prefix best m =
       in
       if same then []
       else begin
-        let ms = mrai_state_of t key in
-        if m.mrai <= 0.0 || now >= ms.gate_until then begin
-          ms.gate_until <- now +. m.mrai;
-          Hashtbl.replace t.adj_out key u;
-          [ Send { to_asn = m.neighbor_asn; update = u } ]
+        let ms = mrai_state_of ns prefix in
+        if ns.nb.mrai <= 0.0 || now >= ms.gate_until then begin
+          ms.gate_until <- now +. ns.nb.mrai;
+          Ptbl.replace ns.adj_out prefix u;
+          [ Send { to_asn = ns.nb.neighbor_asn; update = u } ]
         end
         else if ms.pending then []
         else begin
           ms.pending <- true;
           [ Set_mrai_timer
-              { neighbor = m.neighbor_asn; prefix; at = ms.gate_until } ]
+              { neighbor = ns.nb.neighbor_asn; prefix; at = ms.gate_until } ]
         end
       end
 
@@ -246,7 +304,7 @@ let feed_action t prefix best =
     | None -> Update.Withdraw { prefix }
   in
   let same =
-    match Hashtbl.find_opt t.last_feed prefix with
+    match Ptbl.find_opt t.last_feed prefix with
     | Some prev -> Update.equal prev observation
     | None ->
         (* A withdraw for a never-announced prefix is not an observation. *)
@@ -254,12 +312,12 @@ let feed_action t prefix best =
   in
   if same then []
   else begin
-    Hashtbl.replace t.last_feed prefix observation;
+    Ptbl.replace t.last_feed prefix observation;
     [ Feed observation ]
   end
 
 let reconsider t ~now prefix =
-  let old_best = Hashtbl.find_opt t.loc_rib prefix in
+  let old_best = Ptbl.find_opt t.loc_rib prefix in
   let new_best = decide t ~now prefix in
   let changed =
     match (old_best, new_best) with
@@ -270,27 +328,25 @@ let reconsider t ~now prefix =
   if not changed then []
   else begin
     (match new_best with
-    | Some b -> Hashtbl.replace t.loc_rib prefix b
-    | None -> Hashtbl.remove t.loc_rib prefix);
-    let exports =
-      List.concat_map (sync_neighbor t ~now prefix new_best) t.cfg.neighbors
-    in
-    exports @ feed_action t prefix new_best
+    | Some b -> Ptbl.replace t.loc_rib prefix b
+    | None -> Ptbl.remove t.loc_rib prefix);
+    let exports = ref [] in
+    for i = Array.length t.nstates - 1 downto 0 do
+      exports := sync_neighbor t ~now prefix new_best t.nstates.(i) @ !exports
+    done;
+    !exports @ feed_action t prefix new_best
   end
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                         *)
 
-let classify_rfd_event existing update =
+let classify_rfd_event existing update interned =
   match (update, existing) with
   | Update.Withdraw _, Some _ -> Some Rfd.Withdrawal
   | Update.Withdraw _, None -> None (* spurious withdrawal: no penalty *)
   | Update.Announce _, None -> Some Rfd.Readvertisement
   | Update.Announce a, Some (old : rib_in_entry) ->
-      let same_path =
-        List.length a.as_path = List.length old.in_path
-        && List.for_all2 Asn.equal a.as_path old.in_path
-      in
+      let same_path = Apath.equal interned old.in_path in
       let same_aggregator =
         Update.aggregator_equal a.aggregator old.in_aggregator
       in
@@ -298,22 +354,28 @@ let classify_rfd_event existing update =
       else Some Rfd.Attribute_change
 
 let handle_update t ~now ~from update =
-  let nb = neighbor_exn t from in
+  let ns = state_exn t from in
   let prefix = Update.prefix update in
-  let key = (from, prefix) in
-  let existing = Hashtbl.find_opt t.rib_in key in
+  let existing = Ptbl.find_opt ns.rib_in prefix in
   (* Loop prevention: an announcement containing our own ASN is rejected,
      which for RIB purposes equals a withdrawal of that session's route. *)
   let update =
     if Update.path_contains t.cfg.asn update then Update.Withdraw { prefix }
     else update
   in
+  (* Intern the received path once: one traversal pre-computes the length
+     and hash every later comparison uses. *)
+  let interned =
+    match update with
+    | Update.Announce a -> Apath.of_list a.as_path
+    | Update.Withdraw _ -> Apath.empty
+  in
   let timer_actions =
-    if session_damps t nb then begin
-      match classify_rfd_event existing update with
+    if ns.damps then begin
+      match classify_rfd_event existing update interned with
       | None -> []
       | Some event ->
-          let state = rfd_state_ensure t from prefix in
+          let state = rfd_state_ensure ns prefix t.cfg.rfd_params in
           let was = Rfd.suppressed state ~now in
           Rfd.record state ~now event;
           let is_now = Rfd.suppressed state ~now in
@@ -327,18 +389,18 @@ let handle_update t ~now ~from update =
     else []
   in
   (match update with
-  | Update.Withdraw _ -> Hashtbl.remove t.rib_in key
+  | Update.Withdraw _ -> Ptbl.remove ns.rib_in prefix
   | Update.Announce a ->
-      Hashtbl.replace t.rib_in key
-        { in_path = a.as_path; in_aggregator = a.aggregator });
+      Ptbl.replace ns.rib_in prefix
+        { in_path = interned; in_aggregator = a.aggregator });
   timer_actions @ reconsider t ~now prefix
 
 let originate t ~now ?aggregator prefix =
-  Hashtbl.replace t.originated prefix aggregator;
+  Ptbl.replace t.originated prefix aggregator;
   reconsider t ~now prefix
 
 let withdraw_origin t ~now prefix =
-  Hashtbl.remove t.originated prefix;
+  Ptbl.remove t.originated prefix;
   reconsider t ~now prefix
 
 let handle_reuse_check t ~now ~neighbor ~prefix =
@@ -354,58 +416,42 @@ let handle_reuse_check t ~now ~neighbor ~prefix =
       else reconsider t ~now prefix
 
 let handle_session_down t ~now ~neighbor =
-  let (_ : neighbor) = neighbor_exn t neighbor in
+  let ns = state_exn t neighbor in
   (* Routes learned on the session are gone: clear the adj-RIB-in ... *)
   let affected =
-    Hashtbl.fold
-      (fun (from, prefix) _ acc ->
-        if Asn.equal from neighbor then prefix :: acc else acc)
-      t.rib_in []
+    Ptbl.fold (fun prefix _ acc -> prefix :: acc) ns.rib_in []
     |> List.sort_uniq Prefix.compare
   in
-  List.iter (fun prefix -> Hashtbl.remove t.rib_in (neighbor, prefix)) affected;
+  Ptbl.reset ns.rib_in;
   (* ... and forget what we advertised over it, together with its MRAI
      state — a re-established session starts from an empty adj-RIB-out. *)
-  let sent =
-    Hashtbl.fold
-      (fun (to_asn, prefix) _ acc ->
-        if Asn.equal to_asn neighbor then prefix :: acc else acc)
-      t.adj_out []
-  in
-  List.iter (fun prefix -> Hashtbl.remove t.adj_out (neighbor, prefix)) sent;
-  let gated =
-    Hashtbl.fold
-      (fun (to_asn, prefix) _ acc ->
-        if Asn.equal to_asn neighbor then prefix :: acc else acc)
-      t.mrai []
-  in
-  List.iter (fun prefix -> Hashtbl.remove t.mrai (neighbor, prefix)) gated;
+  Ptbl.reset ns.adj_out;
+  Ptbl.reset ns.mrai;
   (* Path re-exploration: every prefix routed via the dead session is
      reconsidered, producing withdrawals or failover announcements
      downstream. *)
   List.concat_map (reconsider t ~now) affected
 
 let handle_session_up t ~now ~neighbor =
-  let nb = neighbor_exn t neighbor in
+  let ns = state_exn t neighbor in
   (* The peer's RIB is empty after the reset: re-advertise the current
      loc-RIB from scratch, subject to the usual export policy. *)
   let prefixes =
-    Hashtbl.fold (fun prefix _ acc -> prefix :: acc) t.loc_rib []
+    Ptbl.fold (fun prefix _ acc -> prefix :: acc) t.loc_rib []
     |> List.sort_uniq Prefix.compare
   in
   List.concat_map
     (fun prefix ->
-      Hashtbl.remove t.adj_out (neighbor, prefix);
-      Hashtbl.remove t.mrai (neighbor, prefix);
-      let best = Hashtbl.find_opt t.loc_rib prefix in
-      sync_neighbor t ~now prefix best nb)
+      Ptbl.remove ns.adj_out prefix;
+      Ptbl.remove ns.mrai prefix;
+      let best = Ptbl.find_opt t.loc_rib prefix in
+      sync_neighbor t ~now prefix best ns)
     prefixes
 
 let handle_mrai_expiry t ~now ~neighbor ~prefix =
-  let nb = neighbor_exn t neighbor in
-  let key = (neighbor, prefix) in
-  let ms = mrai_state_of t key in
+  let ns = state_exn t neighbor in
+  let ms = mrai_state_of ns prefix in
   ms.pending <- false;
   ms.gate_until <- Float.min ms.gate_until now;
-  let best = Hashtbl.find_opt t.loc_rib prefix in
-  sync_neighbor t ~now prefix best nb
+  let best = Ptbl.find_opt t.loc_rib prefix in
+  sync_neighbor t ~now prefix best ns

@@ -38,7 +38,7 @@ type best =
   | Via of {
       from_asn : Asn.t;
       relationship : Policy.relationship;
-      as_path : Asn.t list;  (** As received (neighbor first). *)
+      as_path : Apath.t;  (** As received (neighbor first), interned. *)
       aggregator : Update.aggregator option;
     }
 

@@ -38,12 +38,19 @@ let aggregator_equal a b =
       && Float.equal x.sent_at y.sent_at && Bool.equal x.valid y.valid
   | None, Some _ | Some _, None -> false
 
+(* Single early-exit walk instead of two List.length traversals plus
+   for_all2 — this comparison sits on the adj-RIB-out hot path. *)
+let rec path_equal a b =
+  match (a, b) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> Asn.equal x y && path_equal xs ys
+  | [], _ :: _ | _ :: _, [] -> false
+
 let equal a b =
   match (a, b) with
   | Announce x, Announce y ->
       Prefix.equal x.prefix y.prefix
-      && List.length x.as_path = List.length y.as_path
-      && List.for_all2 Asn.equal x.as_path y.as_path
+      && path_equal x.as_path y.as_path
       && aggregator_equal x.aggregator y.aggregator
   | Withdraw x, Withdraw y -> Prefix.equal x.prefix y.prefix
   | Announce _, Withdraw _ | Withdraw _, Announce _ -> false

@@ -8,12 +8,12 @@ type record = {
   update : Update.t;
 }
 
-let of_network ?(gaps_of = fun _ -> []) rng net ~vantages ~noise ~campaign_end
-    =
+let of_feeds ?(gaps_of = fun _ -> []) rng ~feed_of ~vantages ~noise
+    ~campaign_end () =
   let records =
     List.concat_map
       (fun (vp : Vantage.t) ->
-        let feed = Because_sim.Network.feed net vp.Vantage.host_asn in
+        let feed = feed_of vp.Vantage.host_asn in
         let outages =
           Noise.outage_windows rng noise ~campaign_end
           @ gaps_of vp.Vantage.vp_id
@@ -44,6 +44,11 @@ let of_network ?(gaps_of = fun _ -> []) rng net ~vantages ~noise ~campaign_end
       vantages
   in
   List.sort (fun a b -> Float.compare a.export_at b.export_at) records
+
+let of_network ?gaps_of rng net ~vantages ~noise ~campaign_end =
+  of_feeds ?gaps_of rng
+    ~feed_of:(Because_sim.Network.feed net)
+    ~vantages ~noise ~campaign_end ()
 
 let for_prefix_vp records prefix vp_id =
   List.filter

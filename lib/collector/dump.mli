@@ -13,6 +13,27 @@ type record = {
   update : Update.t;
 }
 
+val of_feeds :
+  ?gaps_of:(int -> (float * float) list) ->
+  Because_stats.Rng.t ->
+  feed_of:(Asn.t -> (float * Update.t) list) ->
+  vantages:Vantage.t list ->
+  noise:Noise.params ->
+  campaign_end:float ->
+  unit ->
+  record list
+(** All records across all vantage points, sorted by [export_at].
+    [feed_of] maps a host AS to its chronological full-feed observations
+    (e.g. {!Because_sim.Network.feed} or {!Because_sim.Sharded.feed}).
+
+    [gaps_of vp_id] returns extra collector-outage windows for a vantage
+    point (e.g. from an injected fault plan); records received inside any
+    window — drawn from [noise] or supplied here — are dropped, truncating
+    that feed.  Defaults to no extra gaps.
+
+    Noise draws are made per vantage in list order, then per feed record —
+    identical feeds therefore yield identical dumps for a given [rng]. *)
+
 val of_network :
   ?gaps_of:(int -> (float * float) list) ->
   Because_stats.Rng.t ->
@@ -21,12 +42,7 @@ val of_network :
   noise:Noise.params ->
   campaign_end:float ->
   record list
-(** All records across all vantage points, sorted by [export_at].
-
-    [gaps_of vp_id] returns extra collector-outage windows for a vantage
-    point (e.g. from an injected fault plan); records received inside any
-    window — drawn from [noise] or supplied here — are dropped, truncating
-    that feed.  Defaults to no extra gaps. *)
+(** [of_feeds] over a finished simulation's monitored feeds. *)
 
 val for_prefix_vp : record list -> Prefix.t -> int -> record list
 (** Records of one (prefix, vantage point) pair, chronological. *)

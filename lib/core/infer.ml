@@ -91,33 +91,10 @@ let run_with_restarts ~rng ~max_restarts ~name ~chain_index sample =
   in
   attempt 0 []
 
-(* Work-stealing over a fixed task array: worker domains grab the next index
-   off a shared atomic counter and write into disjoint result slots, so the
-   output order — and, thanks to per-task pre-split generators, the output
-   *values* — are identical for every [jobs]. *)
-let run_tasks ~jobs tasks =
-  let n = Array.length tasks in
-  let results = Array.make n None in
-  let workers = min jobs n in
-  if workers <= 1 then
-    Array.iteri (fun i task -> results.(i) <- Some (task ())) tasks
-  else begin
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (tasks.(i) ());
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains
-  end;
-  Array.map Option.get results
+(* Work-stealing over a fixed task array (shared with the simulator's shard
+   driver): result order — and, thanks to per-task pre-split generators, the
+   output *values* — are identical for every [jobs]. *)
+let run_tasks ~jobs tasks = Because_stats.Parallel.run_tasks ~jobs tasks
 
 let run ~rng ?(config = default_config) data =
   if not (config.run_mh || config.run_hmc) then

@@ -1,17 +1,18 @@
 open Because_bgp
 module Network = Because_sim.Network
+module Script = Because_sim.Script
 
-let install plan net =
+let install plan script =
   List.iter
     (fun spec ->
       match spec with
       | Plan.Session_reset { a; b; at } ->
-          Network.schedule_session_reset net ~time:at ~a ~b
+          Script.session_reset script ~time:at ~a ~b
       | Plan.Link_flap { a; b; down_at; duration } ->
-          Network.schedule_link_down net ~time:down_at ~a ~b;
-          Network.schedule_link_up net ~time:(down_at +. duration) ~a ~b
+          Script.link_down script ~time:down_at ~a ~b;
+          Script.link_up script ~time:(down_at +. duration) ~a ~b
       | Plan.Session_impairment { a; b; loss; duplication } ->
-          Network.set_link_impairment net ~a ~b ~loss ~duplication
+          Script.impair script ~a ~b ~loss ~duplication
       | Plan.Site_outage _ | Plan.Collector_outage _ ->
           (* Collection-layer faults: applied by the campaign when
              installing sites and exporting dumps. *)
@@ -58,15 +59,15 @@ let plan_events plan =
           [])
     (Plan.specs plan)
 
-let log ~plan net =
+let log_of ~plan events =
   let network_events =
-    List.map
-      (fun (time, ev) -> (time, of_network_event ev))
-      (Network.fault_log net)
+    List.map (fun (time, ev) -> (time, of_network_event ev)) events
   in
   List.stable_sort
     (fun (ta, _) (tb, _) -> Float.compare ta tb)
     (network_events @ plan_events plan)
+
+let log ~plan net = log_of ~plan (Network.fault_log net)
 
 let pp_injected fmt = function
   | Link_down { a; b } ->

@@ -1,17 +1,18 @@
 (** Install a {!Plan} into a running simulation and collect what happened.
 
     Network-level specs (session resets, link flaps, impairments) are
-    scheduled directly on the {!Because_sim.Network}; collection-layer specs
+    recorded into the {!Because_sim.Script}; collection-layer specs
     (site and collector outages) are no-ops here — the campaign applies them
     when installing Beacon sites and exporting dumps — but they still appear
     in {!log} so the outcome records every injected fault. *)
 
 open Because_bgp
 
-val install : Plan.t -> Because_sim.Network.t -> unit
-(** Schedule every network-level spec of the plan.  Call once, before
-    [Network.run].  Installing a plan with a positive loss/duplication rate
-    requires the network to carry a fault rng. *)
+val install : Plan.t -> Because_sim.Script.t -> unit
+(** Record every network-level spec of the plan into the simulation script.
+    Call once, before the script is replayed.  Replaying a plan with a
+    positive loss/duplication rate requires the target network to carry a
+    fault rng. *)
 
 (** One realized fault event, merging the network's {!type:Because_sim.Network.fault_event}
     log with the collection-layer windows of the plan. *)
@@ -32,5 +33,12 @@ val log :
   plan:Plan.t -> Because_sim.Network.t -> (float * injected) list
 (** Chronological record of every fault that was injected: the network's
     fault log plus the plan's site/collector outage windows. *)
+
+val log_of :
+  plan:Plan.t ->
+  (float * Because_sim.Network.fault_event) list ->
+  (float * injected) list
+(** As {!log}, from an already-extracted (possibly shard-merged) network
+    fault log. *)
 
 val pp_injected : Format.formatter -> injected -> unit

@@ -3,7 +3,8 @@ module Rng = Because_stats.Rng
 module Dist = Because_stats.Dist
 module Schedule = Because_beacon.Schedule
 module Site = Because_beacon.Site
-module Network = Because_sim.Network
+module Script = Because_sim.Script
+module Sharded = Because_sim.Sharded
 module Dump = Because_collector.Dump
 module Noise = Because_collector.Noise
 module Label = Because_labeling.Label
@@ -27,6 +28,7 @@ type params = {
   background_mean_gap : float;
   faults : Plan.t;
   min_path_support : int;
+  sim_jobs : int;
 }
 
 let default_params ~update_interval =
@@ -51,6 +53,7 @@ let default_params ~update_interval =
     background_mean_gap = 1800.0;
     faults = Plan.empty;
     min_path_support = 1;
+    sim_jobs = 1;
   }
 
 type outcome = {
@@ -74,7 +77,18 @@ type outcome = {
   warnings : string list;
 }
 
-let schedule_background rng world net ~count ~mean_gap ~campaign_end =
+(* A /24 per churn prefix inside 172.16.0.0/12: 12 free network bits, so at
+   most 4096 distinct prefixes before the space would wrap onto itself (the
+   old [k land 0xFFFF] silently escaped the /12 past that point). *)
+let max_background_prefixes = 4096
+
+let schedule_background rng world script ~count ~mean_gap ~campaign_end =
+  if count > max_background_prefixes then
+    invalid_arg
+      (Printf.sprintf
+         "Campaign: background_prefixes %d exceeds the %d /24s of \
+          172.16.0.0/12"
+         count max_background_prefixes);
   if count > 0 then begin
     let graph = World.graph world in
     let origins =
@@ -93,16 +107,15 @@ let schedule_background rng world net ~count ~mean_gap ~campaign_end =
       let prefix =
         (* 172.16.0.0/12 space keeps churn clearly apart from Beacons. *)
         Prefix.make
-          (Int32.logor 0xAC100000l (Int32.of_int (k land 0xFFFF) |> fun v -> Int32.shift_left v 8))
+          (Int32.logor 0xAC100000l (Int32.shift_left (Int32.of_int k) 8))
           24
       in
-      Network.schedule_announce net ~time:0.0 ~origin prefix;
+      Script.announce script ~time:0.0 ~origin prefix;
       let t = ref (Dist.exponential rng ~rate:(1.0 /. mean_gap)) in
       let announced = ref true in
       while !t < campaign_end do
-        if !announced then
-          Network.schedule_withdraw net ~time:!t ~origin prefix
-        else Network.schedule_announce net ~time:!t ~origin prefix;
+        if !announced then Script.withdraw script ~time:!t ~origin prefix
+        else Script.announce script ~time:!t ~origin prefix;
         announced := not !announced;
         t := !t +. Dist.exponential rng ~rate:(1.0 /. mean_gap)
       done
@@ -143,35 +156,42 @@ let run_multi world params ~intervals =
           ~anchor_cycles ~oscillating:schedules ())
       (World.site_origins world)
   in
-  let net =
-    Network.create
-      ~configs:(World.router_configs world)
-      ~delay:(World.delay world)
-      ~monitored:(World.monitored world)
-      ()
+  (* The whole stimulus — fault plan, Beacon schedules, background churn —
+     is recorded into a script in the historical scheduling order, then
+     replayed over [sim_jobs] per-prefix shards.  At [sim_jobs = 1] the
+     replay reproduces the sequential event stream bit-for-bit. *)
+  let script = Script.create () in
+  (* A non-empty fault plan gets its own RNG stream (salt + 4); the empty
+     plan touches nothing, keeping the event stream bit-for-bit the
+     fault-free one. *)
+  let fault_rng =
+    if Plan.is_empty params.faults then None
+    else begin
+      Injector.install params.faults script;
+      Some (World.fresh_rng world ~salt:(salt + 4))
+    end
   in
-  (* A non-empty fault plan gets its own RNG stream (salt + 4) and is
-     installed before the run; the empty plan touches nothing, keeping the
-     event stream bit-for-bit the fault-free one. *)
-  if not (Plan.is_empty params.faults) then begin
-    Network.set_fault_rng net (World.fresh_rng world ~salt:(salt + 4));
-    Injector.install params.faults net
-  end;
   let gaps_of vp_id = Plan.collector_outages params.faults ~vp_id in
   List.iter
     (fun site ->
       let outages =
         Plan.site_outages params.faults ~site_id:site.Site.site_id
       in
-      Site.install ~outages site net)
+      Site.install ~outages site script)
     sites;
-  schedule_background churn_rng world net ~count:params.background_prefixes
+  schedule_background churn_rng world script ~count:params.background_prefixes
     ~mean_gap:params.background_mean_gap ~campaign_end;
-  Network.run net ~until:campaign_end;
-  let fault_log = Injector.log ~plan:params.faults net in
+  let sim =
+    Sharded.run ?fault_rng ~jobs:params.sim_jobs
+      ~configs:(World.router_configs world)
+      ~delay:(World.delay world)
+      ~monitored:(World.monitored world)
+      ~until:campaign_end script
+  in
+  let fault_log = Injector.log_of ~plan:params.faults sim.Sharded.fault_log in
   let records =
-    Dump.of_network ~gaps_of noise_rng net ~vantages:(World.vantages world)
-      ~noise:params.noise ~campaign_end
+    Dump.of_feeds ~gaps_of noise_rng ~feed_of:(Sharded.feed sim)
+      ~vantages:(World.vantages world) ~noise:params.noise ~campaign_end ()
   in
   let anchors =
     List.fold_left
@@ -181,10 +201,9 @@ let run_multi world params ~intervals =
         | None -> anc)
       Prefix.Set.empty sites
   in
-  let deliveries = (Network.stats net).Network.deliveries in
+  let deliveries = sim.Sharded.stats.Because_sim.Network.deliveries in
   List.mapi
-    (fun k interval ->
-      let schedule = List.nth schedules k in
+    (fun k (interval, schedule) ->
       let infer_rng = World.fresh_rng world ~salt:(salt + 3 + k) in
       let oscillating =
         List.fold_left
@@ -263,12 +282,12 @@ let run_multi world params ~intervals =
         insufficient;
         warnings;
       })
-    intervals
+    (List.combine intervals schedules)
 
 let run world params =
   List.hd (run_multi world params ~intervals:[ params.update_interval ])
 
-let with_jobs ?n_chains params jobs =
+let with_jobs ?n_chains ?sim_jobs params jobs =
   let infer_config =
     { params.infer_config with
       Because.Infer.jobs;
@@ -276,7 +295,9 @@ let with_jobs ?n_chains params jobs =
         Option.value n_chains
           ~default:params.infer_config.Because.Infer.n_chains }
   in
-  { params with infer_config }
+  { params with
+    infer_config;
+    sim_jobs = Option.value sim_jobs ~default:params.sim_jobs }
 
 let horizon params =
   let s =

@@ -29,6 +29,12 @@ type params = {
       (** Minimum observations crossing an AS before its posterior is
           trusted; below it the AS is demoted to C3 and listed in
           [outcome.insufficient].  Default 1 (no demotion). *)
+  sim_jobs : int;
+      (** Worker domains for the BGP simulation itself: the campaign's
+          prefixes are partitioned into [sim_jobs] shards run in parallel
+          ({!Because_sim.Sharded}).  At 1 — the default — the historical
+          sequential event stream is preserved bit-for-bit; on a fault-free
+          campaign every value of [sim_jobs] yields the identical outcome. *)
 }
 
 val default_params : update_interval:float -> params
@@ -66,11 +72,12 @@ type outcome = {
 
 val run : World.t -> params -> outcome
 
-val with_jobs : ?n_chains:int -> params -> int -> params
+val with_jobs : ?n_chains:int -> ?sim_jobs:int -> params -> int -> params
 (** [with_jobs params jobs] spreads each interval's inference over [jobs]
     worker domains (and optionally [n_chains] independent chains per
-    sampler) by rewriting [params.infer_config].  Campaign outcomes are
-    bit-for-bit independent of [jobs] — only wall-clock changes. *)
+    sampler) by rewriting [params.infer_config]; [sim_jobs] additionally
+    shards the simulation itself.  Campaign outcomes are bit-for-bit
+    independent of [jobs] — only wall-clock changes. *)
 
 val run_multi : World.t -> params -> intervals:float list -> outcome list
 (** One simulation carrying several oscillating prefixes per site — the

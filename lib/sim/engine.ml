@@ -1,18 +1,20 @@
-type 'a t = { heap : 'a Heap.t; mutable clock : float }
+type 'a t = { heap : 'a Heap.t; mutable clock : float; mutable processed : int }
 
-let create () = { heap = Heap.create (); clock = 0.0 }
+let create () = { heap = Heap.create (); clock = 0.0; processed = 0 }
 let now t = t.clock
 
 let schedule t ~time payload =
   Heap.push t.heap ~time:(Float.max time t.clock) payload
 
 let pending t = Heap.size t.heap
+let processed t = t.processed
 
 let step t ~handler =
   match Heap.pop t.heap with
   | None -> false
   | Some (time, payload) ->
       t.clock <- time;
+      t.processed <- t.processed + 1;
       handler ~now:time payload;
       true
 

@@ -12,6 +12,9 @@ val schedule : 'a t -> time:float -> 'a -> unit
 
 val pending : 'a t -> int
 
+val processed : 'a t -> int
+(** Total events handled so far — the simulator's throughput denominator. *)
+
 val run : 'a t -> until:float -> handler:(now:float -> 'a -> unit) -> unit
 (** Process events in time order until the queue drains or the next event
     would exceed [until].  The handler may schedule further events. *)

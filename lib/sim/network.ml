@@ -457,6 +457,7 @@ let session_established t ~a ~b =
 let run t ~until = Engine.run t.engine ~until ~handler:(handle t)
 let now t = Engine.now t.engine
 let stats t = t.stats
+let events_processed t = Engine.processed t.engine
 
 let fault_log t = List.rev t.fault_log
 

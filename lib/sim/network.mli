@@ -110,6 +110,10 @@ val now : t -> float
 val router : t -> Asn.t -> Router.t
 val stats : t -> stats
 
+val events_processed : t -> int
+(** Total simulator events handled — the throughput denominator reported by
+    the [sim] bench. *)
+
 val fault_log : t -> (float * fault_event) list
 (** Every fault-layer transition, chronological. *)
 

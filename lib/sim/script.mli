@@ -1,0 +1,53 @@
+(** Recorded simulation input.
+
+    A script is the full external stimulus of a campaign — beacon
+    announce/withdraw schedules, background churn, and the fault plan's
+    link/session events — recorded {e before} any network exists.  Recording
+    rather than scheduling directly is what makes the per-prefix sharded
+    driver ({!Sharded}) possible: the same script can be replayed into one
+    network (bit-for-bit the historical event stream) or filtered by prefix
+    into many shard networks.
+
+    Replay order is recording order, so a single-network replay produces
+    exactly the heap insertion order of the pre-script code path. *)
+
+open Because_bgp
+
+type op =
+  | Announce of { time : float; origin : Asn.t; prefix : Prefix.t }
+  | Withdraw of { time : float; origin : Asn.t; prefix : Prefix.t }
+  | Session_reset of { time : float; a : Asn.t; b : Asn.t }
+  | Link_down of { time : float; a : Asn.t; b : Asn.t }
+  | Link_up of { time : float; a : Asn.t; b : Asn.t }
+  | Impair of { a : Asn.t; b : Asn.t; loss : float; duplication : float }
+
+type t
+
+val create : unit -> t
+
+val announce : t -> time:float -> origin:Asn.t -> Prefix.t -> unit
+val withdraw : t -> time:float -> origin:Asn.t -> Prefix.t -> unit
+val session_reset : t -> time:float -> a:Asn.t -> b:Asn.t -> unit
+val link_down : t -> time:float -> a:Asn.t -> b:Asn.t -> unit
+val link_up : t -> time:float -> a:Asn.t -> b:Asn.t -> unit
+val impair : t -> a:Asn.t -> b:Asn.t -> loss:float -> duplication:float -> unit
+
+val ops : t -> op list
+(** In recording order. *)
+
+val n_prefixes : t -> int
+
+val prefixes : t -> Prefix.t list
+(** Every prefix an origin event touches, in first-touch order. *)
+
+val rank : t -> Prefix.t -> int option
+(** First-touch position of a prefix — the shard partitioning key and the
+    cross-shard merge tiebreak. *)
+
+val has_faults : t -> bool
+(** True when any link/session event or non-zero impairment is recorded. *)
+
+val install : ?keep:(Prefix.t -> bool) -> t -> Network.t -> unit
+(** Replay the script into a network in recording order.  [keep] filters
+    origin (announce/withdraw) events by prefix; link/session/impairment
+    events are prefix-agnostic and always replayed. *)

@@ -1,0 +1,137 @@
+open Because_bgp
+module Rng = Because_stats.Rng
+module Parallel = Because_stats.Parallel
+
+type result = {
+  feeds : (Asn.t * (float * Update.t) list) list;
+  stats : Network.stats;
+  fault_log : (float * Network.fault_event) list;
+  events : int;
+  shards : int;
+}
+
+let feed result asn =
+  match List.assoc_opt asn result.feeds with Some l -> l | None -> []
+
+let collect net monitored =
+  Asn.Set.fold (fun asn acc -> (asn, Network.feed net asn) :: acc) monitored []
+  |> List.rev
+
+let is_origin_fault = function
+  | Network.Fault_update_lost _ | Network.Fault_update_duplicated _ -> true
+  | Network.Fault_link_down _ | Network.Fault_link_up _
+  | Network.Fault_session_reset _ | Network.Fault_session_down _
+  | Network.Fault_session_up _ -> false
+
+(* Merge per-shard fault logs.  Link/session transitions replay identically
+   in every shard (the session layer is prefix-agnostic), so shard 0 speaks
+   for all of them; update loss/duplication is per-shard traffic and is kept
+   from every shard.  A stable sort on time then interleaves them
+   chronologically with shard order breaking ties. *)
+let merge_fault_logs logs =
+  let per_shard =
+    List.mapi
+      (fun i log -> if i = 0 then log else List.filter (fun (_, ev) -> is_origin_fault ev) log)
+      logs
+  in
+  List.stable_sort
+    (fun (ta, _) (tb, _) -> Float.compare ta tb)
+    (List.concat per_shard)
+
+let merge_stats (per_shard : Network.stats list) : Network.stats =
+  match per_shard with
+  | [] -> invalid_arg "Sharded: no shards"
+  | first :: _ ->
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 per_shard in
+      {
+        Network.deliveries = sum (fun s -> s.Network.deliveries);
+        announcements = sum (fun s -> s.Network.announcements);
+        withdrawals = sum (fun s -> s.Network.withdrawals);
+        lost = sum (fun s -> s.Network.lost);
+        duplicated = sum (fun s -> s.Network.duplicated);
+        (* Identical in every shard: count once. *)
+        session_drops = first.Network.session_drops;
+        session_recoveries = first.Network.session_recoveries;
+      }
+
+(* Merge per-shard feeds of one vantage.  Entries of a given prefix all live
+   in one shard, in their sequential relative order; the cross-prefix
+   interleave is reconstructed by time with the prefix's first-touch rank
+   breaking ties — exactly the sequential heap's FIFO order for the
+   lineage-aligned cascades that produce cross-prefix time ties. *)
+let merge_feeds rank_of shard_feeds asn =
+  let entries =
+    List.concat_map
+      (fun feeds -> match List.assoc_opt asn feeds with Some l -> l | None -> [])
+      shard_feeds
+  in
+  List.stable_sort
+    (fun (ta, ua) (tb, ub) ->
+      match Float.compare ta tb with
+      | 0 -> Int.compare (rank_of (Update.prefix ua)) (rank_of (Update.prefix ub))
+      | c -> c)
+    entries
+
+let run ?fault_rng ~jobs ~configs ~delay ~monitored ~until script =
+  if jobs < 1 then invalid_arg "Sharded.run: jobs must be positive";
+  let n_prefixes = Script.n_prefixes script in
+  let shards = max 1 (min jobs n_prefixes) in
+  if shards = 1 then begin
+    (* Single-shard path: one network, full script in recording order — the
+       event stream is bit-for-bit the historical sequential one. *)
+    let net = Network.create ?fault_rng ~configs ~delay ~monitored () in
+    Script.install script net;
+    Network.run net ~until;
+    {
+      feeds = collect net monitored;
+      stats = Network.stats net;
+      fault_log = Network.fault_log net;
+      events = Network.events_processed net;
+      shards = 1;
+    }
+  end
+  else begin
+    let rngs =
+      match fault_rng with
+      | Some rng -> Array.map Option.some (Rng.split_n rng shards)
+      | None -> Array.make shards None
+    in
+    let shard_of prefix =
+      match Script.rank script prefix with
+      | Some r -> r mod shards
+      | None -> 0
+    in
+    let tasks =
+      Array.init shards (fun shard ->
+          fun () ->
+            let net =
+              Network.create ?fault_rng:rngs.(shard) ~configs ~delay ~monitored
+                ()
+            in
+            Script.install ~keep:(fun p -> shard_of p = shard) script net;
+            Network.run net ~until;
+            ( collect net monitored,
+              Network.stats net,
+              Network.fault_log net,
+              Network.events_processed net ))
+    in
+    let results = Parallel.run_tasks ~jobs tasks in
+    let shard_feeds = Array.to_list (Array.map (fun (f, _, _, _) -> f) results) in
+    let rank_of prefix =
+      match Script.rank script prefix with Some r -> r | None -> max_int
+    in
+    {
+      feeds =
+        Asn.Set.fold
+          (fun asn acc -> (asn, merge_feeds rank_of shard_feeds asn) :: acc)
+          monitored []
+        |> List.rev;
+      stats =
+        merge_stats (Array.to_list (Array.map (fun (_, s, _, _) -> s) results));
+      fault_log =
+        merge_fault_logs
+          (Array.to_list (Array.map (fun (_, _, l, _) -> l) results));
+      events = Array.fold_left (fun acc (_, _, _, e) -> acc + e) 0 results;
+      shards;
+    }
+  end

@@ -1,0 +1,49 @@
+(** Per-prefix sharded, domain-parallel simulation driver.
+
+    BGP prefixes never interact inside the simulator: every router table
+    (adj-RIB-in, RFD state, loc-RIB, adj-RIB-out, MRAI gates, feed
+    de-duplication) is keyed by prefix, and the session layer is
+    prefix-agnostic — link and session faults evolve identically whatever
+    traffic crosses them.  A campaign therefore decomposes exactly: partition
+    the prefix set of a {!Script} into shards, build one {!Network} per shard
+    from the shared immutable router configs and delay function, replay the
+    full fault plan into each shard, run the shards on the shared domain
+    pool, and merge.
+
+    With no faults and no impairments the merged result is bit-for-bit
+    identical to the sequential run for any [jobs] (property-tested); with
+    faults, per-shard loss/duplication draws come from pre-split RNG streams
+    so the outcome is deterministic for a given [jobs]. *)
+
+open Because_bgp
+
+type result = {
+  feeds : (Asn.t * (float * Update.t) list) list;
+      (** Chronological per-vantage observations, every monitored AS
+          present. *)
+  stats : Network.stats;
+      (** Traffic counters summed over shards; session transition counters
+          counted once (identical in every shard). *)
+  fault_log : (float * Network.fault_event) list;
+      (** Chronological; link/session transitions de-duplicated across
+          shards, update loss/duplication kept per shard. *)
+  events : int;  (** Total simulator events processed, summed over shards. *)
+  shards : int;  (** Number of shards actually run. *)
+}
+
+val feed : result -> Asn.t -> (float * Update.t) list
+
+val run :
+  ?fault_rng:Because_stats.Rng.t ->
+  jobs:int ->
+  configs:Router.config list ->
+  delay:(from_asn:Asn.t -> to_asn:Asn.t -> float) ->
+  monitored:Asn.Set.t ->
+  until:float ->
+  Script.t ->
+  result
+(** Replay [script] and run to [until] over [min jobs n_prefixes] shards.
+    [jobs = 1] replays into a single network in recording order, preserving
+    the historical sequential event stream exactly.  [fault_rng] is split
+    into one independent stream per shard.  Raises [Invalid_argument] if
+    [jobs < 1]. *)

@@ -1,0 +1,32 @@
+(* Work-stealing task pool over OCaml 5 domains.
+
+   Extracted from the inference driver so every subsystem that fans work out
+   over domains (MCMC chains, per-prefix simulation shards, ...) shares one
+   audited implementation.  Workers grab the next index off a shared atomic
+   counter and write into disjoint result slots, so the output order is that
+   of the task array regardless of [jobs]. *)
+
+let run_tasks ~jobs tasks =
+  if jobs < 1 then invalid_arg "Parallel.run_tasks: jobs must be positive";
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let workers = min jobs n in
+  if workers <= 1 then
+    Array.iteri (fun i task -> results.(i) <- Some (task ())) tasks
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (tasks.(i) ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  Array.map Option.get results

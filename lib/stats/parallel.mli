@@ -1,0 +1,13 @@
+(** Work-stealing task pool over OCaml 5 domains.
+
+    The shared fan-out primitive: inference spreads MCMC chains over it and
+    the simulator spreads per-prefix shards over it.  Tasks must be
+    independent (each owns its mutable state; shared inputs are read-only)
+    and are executed at most [jobs] at a time on [jobs - 1] spawned domains
+    plus the caller. *)
+
+val run_tasks : jobs:int -> (unit -> 'a) array -> 'a array
+(** [run_tasks ~jobs tasks] runs every task and returns their results in
+    task-array order — the order (and, when tasks draw from pre-split RNG
+    streams, the values) are identical for every [jobs].  Raises
+    [Invalid_argument] if [jobs < 1]. *)

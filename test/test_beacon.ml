@@ -110,7 +110,9 @@ let test_site_install () =
     Site.make ~site_id:0 ~origin:(asn 65003) ~anchor_period:7200.0
       ~anchor_cycles:1 ~oscillating:[ two_phase () ] ()
   in
-  Site.install site net;
+  let script = Because_sim.Script.create () in
+  Site.install site script;
+  Because_sim.Script.install script net;
   Because_sim.Network.run net ~until:(Site.end_time site +. 10.0);
   let feed = Because_sim.Network.feed net (asn 2) in
   Alcotest.(check bool) "events observed" true (List.length feed > 10)

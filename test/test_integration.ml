@@ -50,7 +50,9 @@ let run_micro_world ~damper_scope =
     Site.make ~site_id:0 ~origin:(asn 65001) ~anchor_period:7200.0
       ~anchor_cycles:3 ~oscillating:[ schedule ] ()
   in
-  Site.install site net;
+  let script = Because_sim.Script.create () in
+  Site.install site script;
+  Because_sim.Script.install script net;
   let campaign_end = Schedule.end_time schedule +. 7200.0 in
   Network.run net ~until:campaign_end;
   let vp = Vantage.make ~vp_id:0 ~host_asn:(asn 4) ~project:Because_collector.Project.Isolario in

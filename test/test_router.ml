@@ -276,9 +276,175 @@ let test_unknown_neighbor_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Property: the flattened hot path (dense neighbor ids, interned paths,
+   precomputed export bits) pins to a naive reference on random inputs.  *)
+
+module Rng = Because_stats.Rng
+
+(* Reference Gao–Rexford selection over a mirror adj-RIB-in kept as an
+   assoc list: highest local-pref, shortest path, lowest neighbor ASN. *)
+let reference_best neighbors rib =
+  List.fold_left
+    (fun acc (n : Router.neighbor) ->
+      match List.assoc_opt n.Router.neighbor_asn rib with
+      | None -> acc
+      | Some path ->
+          let pref = Policy.local_pref n.Router.relationship in
+          let len = List.length path in
+          let better =
+            match acc with
+            | None -> true
+            | Some (_, i_pref, i_len, i_asn) ->
+                if pref <> i_pref then pref > i_pref
+                else if len <> i_len then len < i_len
+                else Asn.compare n.Router.neighbor_asn i_asn < 0
+          in
+          if better then Some ((n, path), pref, len, n.Router.neighbor_asn)
+          else acc)
+    None neighbors
+  |> Option.map (fun (winner, _, _, _) -> winner)
+
+let qcheck_decide_matches_reference =
+  QCheck.Test.make ~name:"flattened decide/export pins to reference"
+    ~count:200 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let n_neighbors = 2 + Rng.int rng 6 in
+      let rels = [| Policy.Customer; Policy.Peer; Policy.Provider |] in
+      let neighbors =
+        List.init n_neighbors (fun i ->
+            { Router.neighbor_asn = asn (10 + i);
+              relationship = rels.(Rng.int rng 3);
+              mrai = 0.0 })
+      in
+      let r = Router.create (config 2 neighbors) in
+      let rib = ref [] in
+      for step = 1 to 40 do
+        let n = List.nth neighbors (Rng.int rng n_neighbors) in
+        let from = n.Router.neighbor_asn in
+        let now = float_of_int step in
+        let update =
+          if Rng.float rng < 0.3 then Update.Withdraw { prefix }
+          else begin
+            let len = 1 + Rng.int rng 4 in
+            let path =
+              from :: List.init len (fun i -> asn (100 + Rng.int rng 20 + i))
+            in
+            Update.Announce { prefix; as_path = path; aggregator = None }
+          end
+        in
+        let actions = Router.handle_update r ~now ~from update in
+        (rib :=
+           match update with
+           | Update.Withdraw _ -> List.remove_assoc from !rib
+           | Update.Announce { as_path; _ } ->
+               (from, as_path) :: List.remove_assoc from !rib);
+        (* 1. Best route must match the reference selection. *)
+        (match (Router.best_route r prefix, reference_best neighbors !rib) with
+        | None, None -> ()
+        | Some (Router.Via v), Some (n, path) ->
+            if not (Asn.equal v.from_asn n.Router.neighbor_asn) then
+              Alcotest.failf "seed %d step %d: best via %a, reference %a" seed
+                step Asn.pp v.from_asn Asn.pp n.Router.neighbor_asn;
+            Alcotest.(check (list int))
+              "best path" (List.map Asn.to_int path)
+              (List.map Asn.to_int (Apath.nodes v.as_path))
+        | Some (Router.Origin _), _ ->
+            Alcotest.fail "origin without originate"
+        | Some (Router.Via _), None | None, Some _ ->
+            Alcotest.failf "seed %d step %d: best-route presence mismatch"
+              seed step);
+        (* 2. Every Send must satisfy valley-free export and split horizon
+           (the precomputed per-(relationship, neighbor) bits). *)
+        List.iter
+          (fun (to_, u) ->
+            match (Router.best_route r prefix, u) with
+            | Some (Router.Via v), Update.Announce _ ->
+                let towards =
+                  List.find
+                    (fun (m : Router.neighbor) ->
+                      Asn.to_int m.Router.neighbor_asn = to_)
+                    neighbors
+                in
+                if Asn.to_int v.from_asn = to_ then
+                  Alcotest.failf "seed %d step %d: split horizon violated"
+                    seed step;
+                if
+                  not
+                    (Policy.export_ok
+                       ~learned_from:(Some v.relationship)
+                       ~towards:towards.Router.relationship)
+                then
+                  Alcotest.failf "seed %d step %d: valley-free violated" seed
+                    step
+            | _ -> ())
+          (sends actions)
+      done;
+      true)
+
+let qcheck_session_down_equals_withdrawals =
+  QCheck.Test.make
+    ~name:"session down == withdrawing every route of that session" ~count:100
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 77) in
+      let neighbors =
+        [ neighbor 10 Policy.Customer; neighbor 11 Policy.Peer;
+          neighbor 12 Policy.Provider ]
+      in
+      let prefixes =
+        [ Prefix.of_string "10.0.0.0/24"; Prefix.of_string "10.0.1.0/24";
+          Prefix.of_string "10.0.2.0/24" ]
+      in
+      (* One random update sequence, replayed into both routers. *)
+      let updates =
+        List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun (n : Router.neighbor) ->
+                if Rng.float rng < 0.7 then
+                  Some
+                    ( n.Router.neighbor_asn,
+                      Update.Announce
+                        { prefix = p;
+                          as_path =
+                            [ n.Router.neighbor_asn;
+                              asn (100 + Rng.int rng 5) ];
+                          aggregator = None } )
+                else None)
+              neighbors)
+          prefixes
+      in
+      let r_down = Router.create (config 2 neighbors) in
+      let r_wdr = Router.create (config 2 neighbors) in
+      List.iter
+        (fun (from, u) ->
+          ignore (Router.handle_update r_down ~now:1.0 ~from u);
+          ignore (Router.handle_update r_wdr ~now:1.0 ~from u))
+        updates;
+      (* Tear down AS10's session on one router and explicitly withdraw its
+         routes on the other: loc-RIBs must agree on every prefix. *)
+      ignore (Router.handle_session_down r_down ~now:2.0 ~neighbor:(asn 10));
+      List.iter
+        (fun p ->
+          ignore
+            (Router.handle_update r_wdr ~now:2.0 ~from:(asn 10)
+               (Update.Withdraw { prefix = p })))
+        prefixes;
+      List.for_all
+        (fun p ->
+          match (Router.best_route r_down p, Router.best_route r_wdr p) with
+          | None, None -> true
+          | Some (Router.Via a), Some (Router.Via b) ->
+              Asn.equal a.from_asn b.from_asn
+              && Apath.equal a.as_path b.as_path
+          | _ -> false)
+        prefixes)
+
 let suite =
   ( "router",
     [
+      QCheck_alcotest.to_alcotest qcheck_decide_matches_reference;
+      QCheck_alcotest.to_alcotest qcheck_session_down_equals_withdrawals;
       Alcotest.test_case "propagation" `Quick test_propagation;
       Alcotest.test_case "withdrawal propagates" `Quick test_withdrawal_propagates;
       Alcotest.test_case "spurious withdrawal silent" `Quick

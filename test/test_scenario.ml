@@ -304,6 +304,55 @@ let test_seed_robustness () =
         (m.Because.Evaluate.recall >= 0.25))
     [ 7; 99; 1234 ]
 
+let test_sim_jobs_equivalence () =
+  (* A fault-free campaign must be bit-for-bit independent of sim_jobs:
+     identical dump records (times, vantage, update) and identical labels.
+     Background churn is on so beacon and churn prefixes shard together. *)
+  let w = Lazy.force world in
+  let p = Sc.Campaign.default_params ~update_interval:60.0 in
+  let p =
+    { p with
+      Sc.Campaign.cycles = 2;
+      run_inference = false;
+      background_prefixes = 5 }
+  in
+  let fingerprint sim_jobs =
+    let o = Sc.Campaign.run w { p with Sc.Campaign.sim_jobs } in
+    ( List.map
+        (fun (r : Because_collector.Dump.record) ->
+          ( r.Because_collector.Dump.received_at,
+            r.Because_collector.Dump.export_at,
+            r.Because_collector.Dump.vp.Because_collector.Vantage.vp_id,
+            Format.asprintf "%a" Update.pp r.Because_collector.Dump.update ))
+        o.Sc.Campaign.records,
+      List.map
+        (fun (lp : Because_labeling.Label.labeled_path) ->
+          (List.map Asn.to_int lp.path, lp.rfd))
+        o.Sc.Campaign.labeled,
+      o.Sc.Campaign.deliveries )
+  in
+  let seq = fingerprint 1 in
+  List.iter
+    (fun sim_jobs ->
+      let shd = fingerprint sim_jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "sim_jobs %d outcome identical" sim_jobs)
+        true (seq = shd))
+    [ 3; 8 ]
+
+let test_background_prefix_space () =
+  let w = Lazy.force world in
+  let p = Sc.Campaign.default_params ~update_interval:60.0 in
+  let p =
+    { p with
+      Sc.Campaign.cycles = 2;
+      run_inference = false;
+      background_prefixes = 4097 }
+  in
+  Alcotest.(check bool) "overflowing churn count rejected" true
+    (try ignore (Sc.Campaign.run w p); false
+     with Invalid_argument _ -> true)
+
 let test_site_of_prefix () =
   let o = Lazy.force fast_campaign in
   let some_osc = Prefix.Set.min_elt o.Sc.Campaign.oscillating in
@@ -336,5 +385,8 @@ let suite =
       Alcotest.test_case "seed robustness" `Slow test_seed_robustness;
       Alcotest.test_case "campaign determinism" `Slow test_campaign_deterministic;
       Alcotest.test_case "propagation samples" `Slow test_propagation_samples;
+      Alcotest.test_case "sim_jobs equivalence" `Slow test_sim_jobs_equivalence;
+      Alcotest.test_case "background prefix space" `Quick
+        test_background_prefix_space;
       Alcotest.test_case "site of prefix" `Slow test_site_of_prefix;
     ] )
