@@ -68,10 +68,11 @@ let tests () =
   in
   let mh_cached = mh_sweep target "MH run 50 draws (cached)" in
   let mh_uncached = mh_sweep target_uncached "MH run 50 draws (uncached)" in
-  let infer_jobs jobs name =
+  let infer_jobs ?(telemetry = Because_telemetry.Registry.disabled) jobs name
+      =
     let config =
       { Because.Infer.default_config with
-        n_samples = 100; burn_in = 100; n_chains = 2; jobs }
+        n_samples = 100; burn_in = 100; n_chains = 2; jobs; telemetry }
     in
     Bechamel.Test.make ~name
       (Bechamel.Staged.stage (fun () ->
@@ -79,6 +80,14 @@ let tests () =
   in
   let infer_seq = infer_jobs 1 "inference 4 chains (jobs=1)" in
   let infer_par = infer_jobs 4 "inference 4 chains (jobs=4)" in
+  (* One live registry reused across iterations: spans overwrite their ring
+     and counters just keep summing, so steady-state record cost — not
+     registry construction — is what gets measured. *)
+  let infer_tel =
+    infer_jobs
+      ~telemetry:(Because_telemetry.Registry.create ())
+      1 "inference 4 chains (jobs=1, telemetry)"
+  in
   let hmc_traj =
     Bechamel.Test.make ~name:"HMC run (10 draws)"
       (Bechamel.Staged.stage (fun () ->
@@ -119,7 +128,8 @@ let tests () =
                 })))
   in
   [ likelihood; gradient; delta_uncached; delta_cached; mh_uncached;
-    mh_cached; infer_seq; infer_par; hmc_traj; rfd_engine; heap; topology ]
+    mh_cached; infer_seq; infer_par; infer_tel; hmc_traj; rfd_engine; heap;
+    topology ]
 
 let estimate analysed =
   (* One test per Benchmark.all call, so the table has exactly one entry. *)
@@ -179,6 +189,16 @@ let speedup rows ~slow ~fast ~label =
       Printf.printf "%-32s %11.2fx\n" label (s.ns_per_run /. f.ns_per_run)
   | _ -> ()
 
+let overhead rows ~off ~on ~label =
+  match
+    ( List.find_opt (fun r -> r.name = off) rows,
+      List.find_opt (fun r -> r.name = on) rows )
+  with
+  | Some o, Some n when o.ns_per_run > 0.0 ->
+      Printf.printf "%-32s %+10.2f%%\n" label
+        (((n.ns_per_run /. o.ns_per_run) -. 1.0) *. 100.0)
+  | _ -> ()
+
 let run () =
   Ctx.section "Kernel micro-benchmarks (Bechamel)";
   let cfg =
@@ -215,5 +235,8 @@ let run () =
     ~fast:"single-site delta (cached)" ~label:"single-site delta speedup";
   speedup rows ~slow:"inference 4 chains (jobs=1)"
     ~fast:"inference 4 chains (jobs=4)" ~label:"inference jobs=4 speedup";
+  overhead rows ~off:"inference 4 chains (jobs=1)"
+    ~on:"inference 4 chains (jobs=1, telemetry)"
+    ~label:"inference telemetry overhead";
   write_json "BENCH_kernels.json" rows;
   Printf.printf "wrote BENCH_kernels.json (%d kernels)\n" (List.length rows)

@@ -84,10 +84,11 @@ let build_script world (p : Sc.Campaign.params) ~churn_prefixes =
   done;
   (script, campaign_end)
 
-let time_run world ~jobs ~until script =
+let time_run world ~jobs ?(telemetry = Because_telemetry.Registry.disabled)
+    ~until script =
   let t0 = Unix.gettimeofday () in
   let r =
-    Sharded.run ~jobs
+    Sharded.run ~telemetry ~jobs
       ~configs:(Sc.World.router_configs world)
       ~delay:(Sc.World.delay world)
       ~monitored:(Sc.World.monitored world)
@@ -252,6 +253,30 @@ let run () =
       Printf.printf "%-32s %11.2fx\n" "sim jobs=4 speedup"
         (b.events_per_sec /. a.events_per_sec)
   | _ -> ());
+  (* The same jobs=1 replay with a live registry: the end-of-run flush is
+     the only added work, so the delta is the whole telemetry cost. *)
+  let telemetry_row =
+    let reg = Because_telemetry.Registry.create () in
+    let r, seconds =
+      time_run world ~jobs:1 ~telemetry:reg ~until:campaign_end script
+    in
+    let events_per_sec = float_of_int r.Sharded.events /. seconds in
+    Printf.printf "jobs=1 +telemetry: %d events in %.2f s (%.0f events/s)\n%!"
+      r.Sharded.events seconds events_per_sec;
+    Throughput
+      {
+        name = "campaign sim (jobs=1, telemetry)";
+        jobs = 1;
+        events = r.Sharded.events;
+        seconds;
+        events_per_sec;
+      }
+  in
+  (match (throughput, telemetry_row) with
+  | Throughput off :: _, Throughput on when on.events_per_sec > 0.0 ->
+      Printf.printf "%-32s %+10.2f%%\n" "sim telemetry overhead"
+        (((off.events_per_sec /. on.events_per_sec) -. 1.0) *. 100.0)
+  | _ -> ());
   Ctx.section "Router hot path (flattened vs baseline)";
   let cfg =
     Bechamel.Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5)
@@ -280,6 +305,6 @@ let run () =
       Printf.printf "%-32s %11.2fx\n" "router flattening speedup"
         (base.ns_per_update /. flat.ns_per_update)
   | _ -> ());
-  let rows = throughput @ hot_rows in
+  let rows = throughput @ [ telemetry_row ] @ hot_rows in
   write_json "BENCH_sim.json" rows;
   Printf.printf "wrote BENCH_sim.json (%d rows)\n" (List.length rows)

@@ -46,6 +46,77 @@ let chains_arg =
           "Independent chains per sampler; 2+ enables the cross-chain \
            R-hat convergence diagnostic.")
 
+let telemetry_arg =
+  Arg.(
+    value & flag
+    & info [ "telemetry" ]
+        ~doc:
+          "Collect run telemetry and print the summary table (phase \
+           wall-times, simulator and sampler counters, per-chain \
+           acceptance and R-hat gauges) plus the run manifest.  Telemetry \
+           never touches the RNG streams, so results are bit-for-bit \
+           identical with or without it.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the final metrics snapshot to FILE: Prometheus text \
+           exposition format when FILE ends in .prom, JSON (with the run \
+           manifest) otherwise.  Implies telemetry collection.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write recorded spans to FILE as Chrome trace_event JSON — load \
+           it in chrome://tracing or Perfetto; each simulation shard \
+           domain gets its own lane.  Implies telemetry collection.")
+
+(* The registry is created iff some telemetry output was requested; every
+   instrumented layer otherwise sees the shared disabled registry and pays
+   one predictable branch per record site. *)
+let registry_of ~telemetry ~metrics_out ~trace_out =
+  if telemetry || metrics_out <> None || trace_out <> None then
+    Because_telemetry.Registry.create ()
+  else Because_telemetry.Registry.disabled
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc contents;
+      Out_channel.output_char oc '\n')
+
+let emit_telemetry ~seed ~manifest_params ~telemetry ~metrics_out ~trace_out
+    reg =
+  if Because_telemetry.Registry.is_enabled reg then begin
+    let module Tel = Because_telemetry in
+    let snap = Tel.Registry.snapshot reg in
+    let manifest = Tel.Manifest.make ~seed ~params:manifest_params () in
+    Option.iter
+      (fun path ->
+        let body =
+          if Filename.check_suffix path ".prom" then
+            Tel.Export.to_prometheus snap
+          else Tel.Export.to_json ~manifest snap
+        in
+        write_file path body;
+        Printf.printf "metrics written to %s\n" path)
+      metrics_out;
+    Option.iter
+      (fun path ->
+        write_file path (Tel.Export.to_chrome_trace snap);
+        Printf.printf "trace written to %s\n" path)
+      trace_out;
+    if telemetry then begin
+      Format.printf "%a@." Tel.Telemetry.pp_summary snap;
+      Format.printf "%a@." Tel.Manifest.pp manifest
+    end
+  end
+
 let world_size_args =
   let transit =
     Arg.(value & opt int 80 & info [ "transit" ] ~doc:"Transit AS count.")
@@ -225,6 +296,13 @@ let print_campaign_summary world outcome =
     (List.length rfd_paths)
     (Asn.Set.cardinal (Sc.Campaign.universe outcome))
     outcome.Sc.Campaign.deliveries;
+  Printf.printf "events processed: %d" outcome.Sc.Campaign.events;
+  let shard_events = outcome.Sc.Campaign.shard_events in
+  if Array.length shard_events > 1 then begin
+    Printf.printf " over %d shards:" (Array.length shard_events);
+    Array.iter (Printf.printf " %d") shard_events
+  end;
+  print_newline ();
   let flagged = Sc.Campaign.because_damping outcome in
   Printf.printf "BeCAUSe flags %d damping ASs:" (Asn.Set.cardinal flagged);
   Asn.Set.iter (fun a -> Printf.printf " %s" (Asn.to_string a)) flagged;
@@ -237,12 +315,14 @@ let print_campaign_summary world outcome =
   Format.printf "against planted deployment: %a@." Because.Evaluate.pp m
 
 let campaign_cmd =
-  let run seed sizes interval cycles severity jobs chains sim_jobs =
+  let run seed sizes interval cycles severity jobs chains sim_jobs telemetry
+      metrics_out trace_out =
     let world = world_of ~seed sizes in
+    let reg = registry_of ~telemetry ~metrics_out ~trace_out in
     let base =
       Sc.Campaign.with_jobs ~n_chains:chains ~sim_jobs
         { (Sc.Campaign.default_params ~update_interval:(interval *. 60.0))
-          with Sc.Campaign.cycles }
+          with Sc.Campaign.cycles; telemetry = reg }
         jobs
     in
     let params =
@@ -255,14 +335,32 @@ let campaign_cmd =
     in
     let outcome = Sc.Campaign.run world params in
     print_fault_summary outcome;
-    print_campaign_summary world outcome
+    print_campaign_summary world outcome;
+    let transit, stub, vantage = sizes in
+    emit_telemetry ~seed
+      ~manifest_params:
+        [ ("command", "campaign");
+          ("interval_min", string_of_float interval);
+          ("cycles", string_of_int cycles);
+          ("transit", string_of_int transit);
+          ("stub", string_of_int stub);
+          ("vantage_hosts", string_of_int vantage);
+          ("jobs", string_of_int jobs);
+          ("chains", string_of_int chains);
+          ("sim_jobs", string_of_int sim_jobs);
+          ( "faults",
+            match severity with
+            | None -> "none"
+            | Some _ -> "drawn" ) ]
+      ~telemetry ~metrics_out ~trace_out reg
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run one measurement campaign end to end on a simulated world.")
     Term.(
       const run $ seed_arg $ world_size_args $ interval_arg $ cycles_arg
-      $ faults_arg $ jobs_arg $ chains_arg $ sim_jobs_arg)
+      $ faults_arg $ jobs_arg $ chains_arg $ sim_jobs_arg $ telemetry_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                                *)

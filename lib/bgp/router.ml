@@ -72,6 +72,21 @@ type neighbor_state = {
   mrai : mrai_state Ptbl.t;
 }
 
+(* Always-on tallies for the rare RFD state transitions; a couple of int
+   writes per suppression keeps them off the telemetry fast-path budget. *)
+type stats = {
+  mutable rfd_suppressions : int;
+  mutable rfd_releases : int;
+}
+
+type table_sizes = {
+  rib_in_entries : int;
+  rfd_states : int;
+  adj_out_entries : int;
+  mrai_states : int;
+  loc_rib_entries : int;
+}
+
 type t = {
   cfg : config;
   nstates : neighbor_state array;         (* in config order *)
@@ -79,6 +94,7 @@ type t = {
   originated : Update.aggregator option Ptbl.t;
   loc_rib : best Ptbl.t;
   last_feed : Update.t Ptbl.t;
+  stats : stats;
 }
 
 let create cfg =
@@ -120,10 +136,24 @@ let create cfg =
     originated = Ptbl.create 4;
     loc_rib = Ptbl.create 16;
     last_feed = Ptbl.create 16;
+    stats = { rfd_suppressions = 0; rfd_releases = 0 };
   }
 
 let asn t = t.cfg.asn
 let config t = t.cfg
+let stats t = t.stats
+
+let table_sizes t =
+  let per_neighbor f =
+    Array.fold_left (fun acc ns -> acc + f ns) 0 t.nstates
+  in
+  {
+    rib_in_entries = per_neighbor (fun ns -> Ptbl.length ns.rib_in);
+    rfd_states = per_neighbor (fun ns -> Ptbl.length ns.rfd);
+    adj_out_entries = per_neighbor (fun ns -> Ptbl.length ns.adj_out);
+    mrai_states = per_neighbor (fun ns -> Ptbl.length ns.mrai);
+    loc_rib_entries = Ptbl.length t.loc_rib;
+  }
 
 let state_exn t asn_ =
   match Atbl.find_opt t.index_of asn_ with
@@ -380,6 +410,7 @@ let handle_update t ~now ~from update =
           Rfd.record state ~now event;
           let is_now = Rfd.suppressed state ~now in
           if is_now && not was then begin
+            t.stats.rfd_suppressions <- t.stats.rfd_suppressions + 1;
             match Rfd.reuse_eta state ~now with
             | Some at -> [ Set_reuse_timer { neighbor = from; prefix; at } ]
             | None -> []
@@ -413,7 +444,10 @@ let handle_reuse_check t ~now ~neighbor ~prefix =
         | Some at when at > now -> [ Set_reuse_timer { neighbor; prefix; at } ]
         | Some _ | None -> []
       end
-      else reconsider t ~now prefix
+      else begin
+        t.stats.rfd_releases <- t.stats.rfd_releases + 1;
+        reconsider t ~now prefix
+      end
 
 let handle_session_down t ~now ~neighbor =
   let ns = state_exn t neighbor in

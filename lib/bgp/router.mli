@@ -56,9 +56,33 @@ type action =
 
 type t
 
+type stats = {
+  mutable rfd_suppressions : int;
+      (** Transitions into suppression (a reuse timer was armed). *)
+  mutable rfd_releases : int;
+      (** Reuse checks that found the penalty decayed and re-ran best-path
+          selection — the release side of the RFD cycle. *)
+}
+
+type table_sizes = {
+  rib_in_entries : int;   (** Entries across every neighbor's adj-RIB-in. *)
+  rfd_states : int;       (** Live RFD penalty states across neighbors. *)
+  adj_out_entries : int;  (** Entries across every neighbor's adj-RIB-out. *)
+  mrai_states : int;      (** MRAI gate states across neighbors. *)
+  loc_rib_entries : int;
+}
+
 val create : config -> t
 val asn : t -> Asn.t
 val config : t -> config
+
+val stats : t -> stats
+(** Always-on RFD transition tallies (shared mutable record; read after the
+    run, or copy). *)
+
+val table_sizes : t -> table_sizes
+(** Current cache-table entry counts — the telemetry memory gauges.  Walks
+    the neighbor array; call at snapshot time, not per event. *)
 
 val handle_update : t -> now:float -> from:Asn.t -> Update.t -> action list
 (** Process one update received from a configured neighbor.  Raises

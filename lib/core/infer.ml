@@ -3,6 +3,8 @@ module Metropolis = Because_mcmc.Metropolis
 module Hmc = Because_mcmc.Hmc
 module Diagnostics = Because_mcmc.Diagnostics
 module Rng = Because_stats.Rng
+module Target = Because_mcmc.Target
+module Tel = Because_telemetry.Registry
 
 type config = {
   n_samples : int;
@@ -17,6 +19,7 @@ type config = {
   max_restarts : int;
   n_chains : int;
   jobs : int;
+  telemetry : Tel.t;
 }
 
 let default_config =
@@ -33,6 +36,7 @@ let default_config =
     max_restarts = 2;
     n_chains = 1;
     jobs = 1;
+    telemetry = Tel.disabled;
   }
 
 type sampler_run = {
@@ -96,6 +100,72 @@ let run_with_restarts ~rng ~max_restarts ~name ~chain_index sample =
    output *values* — are identical for every [jobs]. *)
 let run_tasks ~jobs tasks = Because_stats.Parallel.run_tasks ~jobs tasks
 
+let r_hat result =
+  let groups =
+    List.fold_left
+      (fun acc run ->
+        match List.assoc_opt run.name acc with
+        | Some chains ->
+            (run.name, run.chain :: chains)
+            :: List.remove_assoc run.name acc
+        | None -> (run.name, [ run.chain ]) :: acc)
+      [] result.runs
+  in
+  List.rev_map
+    (fun (name, chains_rev) ->
+      let chains = List.rev chains_rev in
+      let dim = Chain.dim (List.hd chains) in
+      let worst = ref neg_infinity in
+      for i = 0 to dim - 1 do
+        let v =
+          match chains with
+          | [ only ] -> Diagnostics.split_r_hat (Chain.marginal only i)
+          | many ->
+              Diagnostics.r_hat
+                (Array.of_list (List.map (fun c -> Chain.marginal c i) many))
+        in
+        if v > !worst then worst := v
+      done;
+      (name, !worst))
+    groups
+
+(* Runs inside the worker domain, so the counters land in that domain's
+   telemetry shard without contention.  Work counters are exact replays of
+   the sampler's loop structure — sweeps and per-sweep evaluation counts are
+   fixed by the config, not by the chain's trajectory. *)
+let flush_chain_telemetry reg config ~target ~name ~chain_index outcome =
+  let run_opt, warnings = outcome in
+  let sweeps = config.burn_in + (config.n_samples * config.thin) in
+  Tel.Counter.add (Tel.Counter.v reg "mcmc.sweeps") sweeps;
+  let dim = target.Target.dim in
+  (if name = "MH" then
+     let counter_name =
+       if target.Target.make_cache <> None then "mcmc.mh.deltas_cached"
+       else if target.Target.log_density_delta <> None then
+         "mcmc.mh.deltas_stateless"
+       else "mcmc.mh.deltas_full"
+     in
+     Tel.Counter.add (Tel.Counter.v reg counter_name) (dim * sweeps)
+   else
+     Tel.Counter.add
+       (Tel.Counter.v reg "mcmc.hmc.grad_evals")
+       (config.leapfrog_steps * sweeps));
+  match run_opt with
+  | Some r ->
+      Tel.Gauge.set
+        (Tel.Gauge.v reg
+           (Printf.sprintf "mcmc.%s.chain%d.acceptance" name chain_index))
+        r.acceptance;
+      (* Each warning of a healthy run is one diverged attempt = one
+         restart. *)
+      Tel.Counter.add (Tel.Counter.v reg "mcmc.restarts")
+        (List.length warnings)
+  | None ->
+      (* A dropped chain logs one warning per attempt plus a "disabled"
+         note; restarts are the attempts beyond the first. *)
+      Tel.Counter.add (Tel.Counter.v reg "mcmc.restarts")
+        (max 0 (List.length warnings - 2))
+
 let run ~rng ?(config = default_config) data =
   if not (config.run_mh || config.run_hmc) then
     invalid_arg "Infer.run: at least one sampler must be enabled";
@@ -147,8 +217,17 @@ let run ~rng ?(config = default_config) data =
     List.mapi
       (fun idx (name, chain_index, sample) ->
         fun () ->
-          run_with_restarts ~rng:task_rngs.(idx)
-            ~max_restarts:config.max_restarts ~name ~chain_index sample)
+          Tel.Span.with_ config.telemetry
+            ~name:(Printf.sprintf "infer.%s.chain%d" name chain_index)
+            (fun () ->
+              let outcome =
+                run_with_restarts ~rng:task_rngs.(idx)
+                  ~max_restarts:config.max_restarts ~name ~chain_index sample
+              in
+              if Tel.is_enabled config.telemetry then
+                flush_chain_telemetry config.telemetry config ~target ~name
+                  ~chain_index outcome;
+              outcome))
       specs
   in
   let outcomes = run_tasks ~jobs:config.jobs (Array.of_list tasks) in
@@ -156,40 +235,17 @@ let run ~rng ?(config = default_config) data =
     List.filter_map fst (Array.to_list outcomes)
   in
   let warnings = List.concat_map snd (Array.to_list outcomes) in
-  { model; runs; warnings }
+  let result = { model; runs; warnings } in
+  if Tel.is_enabled config.telemetry && runs <> [] then
+    List.iter
+      (fun (name, v) ->
+        Tel.Gauge.set (Tel.Gauge.v config.telemetry ("mcmc.rhat." ^ name)) v)
+      (r_hat result);
+  result
 
 let combined_chain result =
   match result.runs with
   | [] -> invalid_arg "Infer.combined_chain: no sampler runs"
   | runs -> Chain.concat (List.map (fun run -> run.chain) runs)
-
-let r_hat result =
-  let groups =
-    List.fold_left
-      (fun acc run ->
-        match List.assoc_opt run.name acc with
-        | Some chains ->
-            (run.name, run.chain :: chains)
-            :: List.remove_assoc run.name acc
-        | None -> (run.name, [ run.chain ]) :: acc)
-      [] result.runs
-  in
-  List.rev_map
-    (fun (name, chains_rev) ->
-      let chains = List.rev chains_rev in
-      let dim = Chain.dim (List.hd chains) in
-      let worst = ref neg_infinity in
-      for i = 0 to dim - 1 do
-        let v =
-          match chains with
-          | [ only ] -> Diagnostics.split_r_hat (Chain.marginal only i)
-          | many ->
-              Diagnostics.r_hat
-                (Array.of_list (List.map (fun c -> Chain.marginal c i) many))
-        in
-        if v > !worst then worst := v
-      done;
-      (name, !worst))
-    groups
 
 let dataset result = Model.dataset result.model

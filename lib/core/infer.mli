@@ -32,11 +32,20 @@ type config = {
       (** Worker domains the sampler tasks are spread over.  1 (the
           default) runs everything on the calling domain.  Any value
           produces bit-for-bit identical results. *)
+  telemetry : Because_telemetry.Registry.t;
+      (** Observability sink.  Disabled (the default) costs one branch per
+          record site and changes nothing; enabled, each chain task records
+          a span, per-chain acceptance gauges, sampler work counters
+          ([mcmc.sweeps], [mcmc.mh.deltas_*], [mcmc.hmc.grad_evals],
+          [mcmc.restarts]) and — after the result is assembled — worst-case
+          [mcmc.rhat.<sampler>] gauges.  Telemetry never touches the RNG
+          streams, so results are identical either way. *)
 }
 
 val default_config : config
 (** 1000 samples after 500 burn-in, no thinning, {!Prior.default}, 12
-    leapfrog steps, both samplers, 2 restarts, 1 chain each, 1 job. *)
+    leapfrog steps, both samplers, 2 restarts, 1 chain each, 1 job,
+    telemetry disabled. *)
 
 type sampler_run = {
   name : string;          (** ["MH"] or ["HMC"]. *)

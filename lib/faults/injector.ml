@@ -69,6 +69,42 @@ let log_of ~plan events =
 
 let log ~plan net = log_of ~plan (Network.fault_log net)
 
+(* Flush the planned and realized fault counts into a telemetry registry.
+   Called once per campaign, after the simulation: the planned side comes
+   from the plan, the realized side from the merged fault log. *)
+let flush_telemetry reg ~plan ~log =
+  let module Tel = Because_telemetry.Registry in
+  if Tel.is_enabled reg then begin
+    let c name n = Tel.Counter.add (Tel.Counter.v reg name) n in
+    c "faults.planned.session_resets" (Plan.count `Session_reset plan);
+    c "faults.planned.link_flaps" (Plan.count `Link_flap plan);
+    c "faults.planned.site_outages" (Plan.count `Site_outage plan);
+    c "faults.planned.collector_outages" (Plan.count `Collector_outage plan);
+    c "faults.planned.impairments" (Plan.count `Session_impairment plan);
+    let realized name p =
+      c name (List.length (List.filter (fun (_, ev) -> p ev) log))
+    in
+    realized "faults.realized.session_resets" (function
+      | Session_reset _ -> true
+      | _ -> false);
+    realized "faults.realized.link_transitions" (function
+      | Link_down _ | Link_up _ -> true
+      | _ -> false);
+    realized "faults.realized.session_transitions" (function
+      | Session_down _ | Session_up _ -> true
+      | _ -> false);
+    realized "faults.realized.updates_lost" (function
+      | Update_lost _ -> true
+      | _ -> false);
+    realized "faults.realized.updates_duplicated" (function
+      | Update_duplicated _ -> true
+      | _ -> false);
+    realized "faults.realized.outage_transitions" (function
+      | Site_down _ | Site_restored _ | Collector_down _
+      | Collector_restored _ -> true
+      | _ -> false)
+  end
+
 let pp_injected fmt = function
   | Link_down { a; b } ->
       Format.fprintf fmt "link down %a--%a" Asn.pp a Asn.pp b

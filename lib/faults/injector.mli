@@ -41,4 +41,12 @@ val log_of :
 (** As {!log}, from an already-extracted (possibly shard-merged) network
     fault log. *)
 
+val flush_telemetry :
+  Because_telemetry.Registry.t ->
+  plan:Plan.t ->
+  log:(float * injected) list ->
+  unit
+(** Record [faults.planned.*] (per spec kind) and [faults.realized.*] (per
+    realized event kind) counters.  A no-op on a disabled registry. *)
+
 val pp_injected : Format.formatter -> injected -> unit

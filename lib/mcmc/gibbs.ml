@@ -35,6 +35,12 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ~n_samples ~burn_in target =
               let p' = Target.with_coordinate p i v in
               target.Target.log_density p' -. target.Target.log_density p)
   in
+  (* Grid cell containing a value — the movement criterion below compares
+     cells, not jittered values, so intra-cell jitter does not count as a
+     state change. *)
+  let cell_of v =
+    max 0 (min (grid - 1) (int_of_float (v *. float_of_int grid)))
+  in
   let resample_coordinate i =
     (* Conditional density on the grid, relative to the current value —
        the per-point delta makes the grid sweep O(grid · paths-through-i). *)
@@ -45,21 +51,26 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ~n_samples ~burn_in target =
     let weights =
       Array.map (fun lw -> Float.exp (lw -. log_norm)) log_weights
     in
+    let old_cell = cell_of current.(i) in
     let cell = Dist.categorical rng weights in
     (* Jitter within the chosen cell to avoid a lattice-valued chain. *)
     let width = 1.0 /. float_of_int grid in
     let v = points.(cell) +. ((Rng.float rng -. 0.5) *. width) in
     let v = Float.max 1e-9 (Float.min (1.0 -. 1e-9) v) in
     (match cache with Some c -> c.Target.cached_commit i v | None -> ());
-    current.(i) <- v
+    current.(i) <- v;
+    cell <> old_cell
   in
   let kept = Array.make n_samples [||] in
   let kept_count = ref 0 in
   let sweep_idx = ref 0 in
+  let moved_sweeps = ref 0 in
   while !kept_count < n_samples do
+    let moved = ref false in
     for i = 0 to dim - 1 do
-      resample_coordinate i
+      if resample_coordinate i then moved := true
     done;
+    if !moved then incr moved_sweeps;
     if !sweep_idx >= burn_in then begin
       let post = !sweep_idx - burn_in in
       if post mod thin = 0 && !kept_count < n_samples then begin
@@ -69,4 +80,8 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ~n_samples ~burn_in target =
     end;
     incr sweep_idx
   done;
-  { chain = Chain.of_samples kept; acceptance = 1.0; grid }
+  let acceptance =
+    if !sweep_idx = 0 then 0.0
+    else float_of_int !moved_sweeps /. float_of_int !sweep_idx
+  in
+  { chain = Chain.of_samples kept; acceptance; grid }

@@ -15,7 +15,16 @@
 
 type result = {
   chain : Chain.t;
-  acceptance : float;  (** Always 1: Gibbs proposals are never rejected. *)
+  acceptance : float;
+      (** Fraction of sweeps (burn-in included) in which at least one
+          coordinate landed in a different grid cell than it occupied
+          before the sweep.  Gibbs proposals are never {e rejected} in the
+          Metropolis–Hastings sense, so this measures mobility — how often
+          a full conditional sweep actually moved the state — and is the
+          comparable "did the chain move" number next to MH/HMC acceptance
+          rates.  Intra-cell jitter does not count as movement.  1.0 means
+          every sweep moved; values near 0 flag a chain frozen on the
+          grid. *)
   grid : int;
 }
 

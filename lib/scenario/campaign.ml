@@ -11,6 +11,7 @@ module Label = Because_labeling.Label
 module Combine = Because_heuristics.Combine
 module Plan = Because_faults.Plan
 module Injector = Because_faults.Injector
+module Tel = Because_telemetry.Registry
 
 type params = {
   update_interval : float;
@@ -29,6 +30,7 @@ type params = {
   faults : Plan.t;
   min_path_support : int;
   sim_jobs : int;
+  telemetry : Tel.t;
 }
 
 let default_params ~update_interval =
@@ -54,6 +56,7 @@ let default_params ~update_interval =
     faults = Plan.empty;
     min_path_support = 1;
     sim_jobs = 1;
+    telemetry = Tel.disabled;
   }
 
 type outcome = {
@@ -71,10 +74,13 @@ type outcome = {
   promotions : Because.Pinpoint.promotion list;
   heuristic_verdicts : Combine.verdict list;
   deliveries : int;
+  events : int;
+  shard_events : int array;
   campaign_end : float;
   fault_log : (float * Injector.injected) list;
   insufficient : Asn.t list;
   warnings : string list;
+  telemetry : Because_telemetry.Snapshot.t option;
 }
 
 (* A /24 per churn prefix inside 172.16.0.0/12: 12 free network bits, so at
@@ -161,37 +167,49 @@ let run_multi world params ~intervals =
      replayed over [sim_jobs] per-prefix shards.  At [sim_jobs = 1] the
      replay reproduces the sequential event stream bit-for-bit. *)
   let script = Script.create () in
+  let gaps_of vp_id = Plan.collector_outages params.faults ~vp_id in
   (* A non-empty fault plan gets its own RNG stream (salt + 4); the empty
      plan touches nothing, keeping the event stream bit-for-bit the
      fault-free one. *)
   let fault_rng =
-    if Plan.is_empty params.faults then None
-    else begin
-      Injector.install params.faults script;
-      Some (World.fresh_rng world ~salt:(salt + 4))
-    end
+    Tel.Span.with_ params.telemetry ~name:"campaign.stimulus" (fun () ->
+        let fault_rng =
+          if Plan.is_empty params.faults then None
+          else begin
+            Injector.install params.faults script;
+            Some (World.fresh_rng world ~salt:(salt + 4))
+          end
+        in
+        List.iter
+          (fun site ->
+            let outages =
+              Plan.site_outages params.faults ~site_id:site.Site.site_id
+            in
+            Site.install ~outages site script)
+          sites;
+        schedule_background churn_rng world script
+          ~count:params.background_prefixes
+          ~mean_gap:params.background_mean_gap ~campaign_end;
+        fault_rng)
   in
-  let gaps_of vp_id = Plan.collector_outages params.faults ~vp_id in
-  List.iter
-    (fun site ->
-      let outages =
-        Plan.site_outages params.faults ~site_id:site.Site.site_id
-      in
-      Site.install ~outages site script)
-    sites;
-  schedule_background churn_rng world script ~count:params.background_prefixes
-    ~mean_gap:params.background_mean_gap ~campaign_end;
   let sim =
-    Sharded.run ?fault_rng ~jobs:params.sim_jobs
-      ~configs:(World.router_configs world)
-      ~delay:(World.delay world)
-      ~monitored:(World.monitored world)
-      ~until:campaign_end script
+    Tel.Span.with_ params.telemetry ~name:"campaign.sim" (fun () ->
+        Sharded.run ?fault_rng ~telemetry:params.telemetry
+          ~jobs:params.sim_jobs
+          ~configs:(World.router_configs world)
+          ~delay:(World.delay world)
+          ~monitored:(World.monitored world)
+          ~until:campaign_end script)
   in
   let fault_log = Injector.log_of ~plan:params.faults sim.Sharded.fault_log in
+  if Tel.is_enabled params.telemetry then
+    Injector.flush_telemetry params.telemetry ~plan:params.faults
+      ~log:fault_log;
   let records =
-    Dump.of_feeds ~gaps_of noise_rng ~feed_of:(Sharded.feed sim)
-      ~vantages:(World.vantages world) ~noise:params.noise ~campaign_end ()
+    Tel.Span.with_ params.telemetry ~name:"campaign.collect" (fun () ->
+        Dump.of_feeds ~gaps_of noise_rng ~feed_of:(Sharded.feed sim)
+          ~vantages:(World.vantages world) ~noise:params.noise ~campaign_end
+          ())
   in
   let anchors =
     List.fold_left
@@ -202,7 +220,8 @@ let run_multi world params ~intervals =
       Prefix.Set.empty sites
   in
   let deliveries = sim.Sharded.stats.Because_sim.Network.deliveries in
-  List.mapi
+  let outcomes =
+    List.mapi
     (fun k (interval, schedule) ->
       let infer_rng = World.fresh_rng world ~salt:(salt + 3 + k) in
       let oscillating =
@@ -218,9 +237,10 @@ let run_multi world params ~intervals =
         if Prefix.Set.mem prefix oscillating then windows else []
       in
       let labeled =
-        Label.label_all ~min_r_delta:params.min_r_delta
-          ~match_threshold:params.match_threshold ~gaps_of ~records
-          ~windows_of ()
+        Tel.Span.with_ params.telemetry ~name:"campaign.label" (fun () ->
+            Label.label_all ~min_r_delta:params.min_r_delta
+              ~match_threshold:params.match_threshold ~gaps_of ~records
+              ~windows_of ())
       in
       let observations = Label.observations labeled in
       let result =
@@ -228,9 +248,11 @@ let run_multi world params ~intervals =
           let data = Because.Tomography.of_observations observations in
           let config =
             { params.infer_config with
-              Because.Infer.node_priors = World.node_priors world }
+              Because.Infer.node_priors = World.node_priors world;
+              telemetry = params.telemetry }
           in
-          Some (Because.Infer.run ~rng:infer_rng ~config data)
+          Tel.Span.with_ params.telemetry ~name:"campaign.infer" (fun () ->
+              Some (Because.Infer.run ~rng:infer_rng ~config data))
         end
         else None
       in
@@ -238,29 +260,33 @@ let run_multi world params ~intervals =
         match result with
         | None -> ([], [], [], [], [])
         | Some r ->
-            let min_support = params.min_path_support in
-            let step1 = Because.Categorize.assign ~min_support r in
-            let insufficient =
-              Because.Categorize.insufficient r ~min_support
-            in
-            let promos =
-              (* An AS demoted for lack of surviving evidence must stay
-                 "insufficient data", not get promoted back to C4. *)
-              List.filter
-                (fun (p : Because.Pinpoint.promotion) ->
-                  not (List.exists (Asn.equal p.Because.Pinpoint.asn)
-                         insufficient))
-                (Because.Pinpoint.promotions r ~categories:step1)
-            in
-            ( step1,
-              Because.Pinpoint.apply step1 promos,
-              promos,
-              insufficient,
-              r.Because.Infer.warnings )
+            Tel.Span.with_ params.telemetry ~name:"campaign.categorize"
+              (fun () ->
+                let min_support = params.min_path_support in
+                let step1 = Because.Categorize.assign ~min_support r in
+                let insufficient =
+                  Because.Categorize.insufficient r ~min_support
+                in
+                let promos =
+                  (* An AS demoted for lack of surviving evidence must stay
+                     "insufficient data", not get promoted back to C4. *)
+                  List.filter
+                    (fun (p : Because.Pinpoint.promotion) ->
+                      not (List.exists (Asn.equal p.Because.Pinpoint.asn)
+                             insufficient))
+                    (Because.Pinpoint.promotions r ~categories:step1)
+                in
+                ( step1,
+                  Because.Pinpoint.apply step1 promos,
+                  promos,
+                  insufficient,
+                  r.Because.Infer.warnings ))
       in
       let heuristic_verdicts =
         if labeled = [] then []
-        else Combine.evaluate ~records ~labeled ~windows_of ()
+        else
+          Tel.Span.with_ params.telemetry ~name:"campaign.heuristics"
+            (fun () -> Combine.evaluate ~records ~labeled ~windows_of ())
       in
       {
         params = { params with update_interval = interval };
@@ -277,12 +303,22 @@ let run_multi world params ~intervals =
         promotions;
         heuristic_verdicts;
         deliveries;
+        events = sim.Sharded.events;
+        shard_events = sim.Sharded.shard_events;
         campaign_end;
         fault_log;
         insufficient;
         warnings;
+        telemetry = None;
       })
     (List.combine intervals schedules)
+  in
+  (* One snapshot for the whole multi-interval campaign, taken after every
+     phase has flushed; each per-interval outcome carries the same view. *)
+  if Tel.is_enabled params.telemetry then
+    let snap = Tel.snapshot params.telemetry in
+    List.map (fun o -> { o with telemetry = Some snap }) outcomes
+  else outcomes
 
 let run world params =
   List.hd (run_multi world params ~intervals:[ params.update_interval ])

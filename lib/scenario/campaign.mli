@@ -35,6 +35,13 @@ type params = {
           ({!Because_sim.Sharded}).  At 1 — the default — the historical
           sequential event stream is preserved bit-for-bit; on a fault-free
           campaign every value of [sim_jobs] yields the identical outcome. *)
+  telemetry : Because_telemetry.Registry.t;
+      (** Observability sink threaded through every phase: campaign phase
+          spans, simulator traffic/RFD counters and table gauges, fault
+          planned/realized counters, and per-chain sampler metrics.
+          {!Because_telemetry.Registry.disabled} — the default — costs one
+          predictable branch per record site and leaves the outcome
+          bit-for-bit identical (property-tested). *)
 }
 
 val default_params : update_interval:float -> params
@@ -58,6 +65,10 @@ type outcome = {
   promotions : Because.Pinpoint.promotion list;
   heuristic_verdicts : Because_heuristics.Combine.verdict list;
   deliveries : int;          (** Total updates delivered in the simulation. *)
+  events : int;              (** Total simulator events processed. *)
+  shard_events : int array;
+      (** Events processed per simulation shard — the load-balance view;
+          [\[| events |\]] when [sim_jobs = 1]. *)
   campaign_end : float;
   fault_log : (float * Because_faults.Injector.injected) list;
       (** Every injected fault that materialized, chronological: session
@@ -68,6 +79,10 @@ type outcome = {
           observations survived the faults. *)
   warnings : string list;
       (** Sampler-divergence notes propagated from {!Because.Infer}. *)
+  telemetry : Because_telemetry.Snapshot.t option;
+      (** Merged metrics/span snapshot of the whole campaign, [Some] iff
+          [params.telemetry] was enabled.  {!run_multi} outcomes share one
+          snapshot taken after the last interval's inference. *)
 }
 
 val run : World.t -> params -> outcome

@@ -1,13 +1,23 @@
-type 'a t = { heap : 'a Heap.t; mutable clock : float; mutable processed : int }
+type 'a t = {
+  heap : 'a Heap.t;
+  mutable clock : float;
+  mutable processed : int;
+  mutable max_pending : int;
+}
 
-let create () = { heap = Heap.create (); clock = 0.0; processed = 0 }
+let create () =
+  { heap = Heap.create (); clock = 0.0; processed = 0; max_pending = 0 }
+
 let now t = t.clock
 
 let schedule t ~time payload =
-  Heap.push t.heap ~time:(Float.max time t.clock) payload
+  Heap.push t.heap ~time:(Float.max time t.clock) payload;
+  let depth = Heap.size t.heap in
+  if depth > t.max_pending then t.max_pending <- depth
 
 let pending t = Heap.size t.heap
 let processed t = t.processed
+let max_pending t = t.max_pending
 
 let step t ~handler =
   match Heap.pop t.heap with

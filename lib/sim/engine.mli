@@ -15,6 +15,10 @@ val pending : 'a t -> int
 val processed : 'a t -> int
 (** Total events handled so far — the simulator's throughput denominator. *)
 
+val max_pending : 'a t -> int
+(** High-water mark of the event queue — the simulator's peak memory
+    pressure, surfaced as the [sim.shard*.max_queue_depth] gauge. *)
+
 val run : 'a t -> until:float -> handler:(now:float -> 'a -> unit) -> unit
 (** Process events in time order until the queue drains or the next event
     would exceed [until].  The handler may schedule further events. *)

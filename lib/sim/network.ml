@@ -458,6 +458,37 @@ let run t ~until = Engine.run t.engine ~until ~handler:(handle t)
 let now t = Engine.now t.engine
 let stats t = t.stats
 let events_processed t = Engine.processed t.engine
+let max_queue_depth t = Engine.max_pending t.engine
+
+let rfd_stats t =
+  Hashtbl.fold
+    (fun _ r (supp, rel) ->
+      let s = Router.stats r in
+      (supp + s.Router.rfd_suppressions, rel + s.Router.rfd_releases))
+    t.routers (0, 0)
+
+let table_totals t =
+  Hashtbl.fold
+    (fun _ r (acc : Router.table_sizes) ->
+      let ts = Router.table_sizes r in
+      {
+        Router.rib_in_entries =
+          acc.Router.rib_in_entries + ts.Router.rib_in_entries;
+        rfd_states = acc.Router.rfd_states + ts.Router.rfd_states;
+        adj_out_entries =
+          acc.Router.adj_out_entries + ts.Router.adj_out_entries;
+        mrai_states = acc.Router.mrai_states + ts.Router.mrai_states;
+        loc_rib_entries =
+          acc.Router.loc_rib_entries + ts.Router.loc_rib_entries;
+      })
+    t.routers
+    {
+      Router.rib_in_entries = 0;
+      rfd_states = 0;
+      adj_out_entries = 0;
+      mrai_states = 0;
+      loc_rib_entries = 0;
+    }
 
 let fault_log t = List.rev t.fault_log
 

@@ -112,7 +112,18 @@ val stats : t -> stats
 
 val events_processed : t -> int
 (** Total simulator events handled — the throughput denominator reported by
-    the [sim] bench. *)
+    the [sim] bench and surfaced in [Campaign.outcome.events]. *)
+
+val max_queue_depth : t -> int
+(** High-water mark of the event queue over the run so far. *)
+
+val rfd_stats : t -> int * int
+(** [(suppressions, releases)] summed over every router — the network-wide
+    RFD transition tallies.  Walks the router table; call after the run. *)
+
+val table_totals : t -> Router.table_sizes
+(** Router cache-table entry counts summed over every router — the
+    telemetry memory gauges.  Walks every router; call after the run. *)
 
 val fault_log : t -> (float * fault_event) list
 (** Every fault-layer transition, chronological. *)

@@ -1,6 +1,7 @@
 open Because_bgp
 module Rng = Because_stats.Rng
 module Parallel = Because_stats.Parallel
+module Tel = Because_telemetry.Registry
 
 type result = {
   feeds : (Asn.t * (float * Update.t) list) list;
@@ -8,6 +9,7 @@ type result = {
   fault_log : (float * Network.fault_event) list;
   events : int;
   shards : int;
+  shard_events : int array;
 }
 
 let feed result asn =
@@ -72,7 +74,47 @@ let merge_feeds rank_of shard_feeds asn =
       | c -> c)
     entries
 
-let run ?fault_rng ~jobs ~configs ~delay ~monitored ~until script =
+(* Flush one finished shard's simulation counters into the telemetry
+   registry.  Runs inside the worker domain that owned the shard, so every
+   record lands in that domain's own telemetry shard — no atomics, no
+   contention.  The session layer replays identically in every shard, so
+   its counters (like merge_stats) are spoken for by shard 0 alone. *)
+let flush_shard_telemetry reg ~shard net =
+  if Tel.is_enabled reg then begin
+    let c name n = Tel.Counter.add (Tel.Counter.v reg name) n in
+    let g name v = Tel.Gauge.set (Tel.Gauge.v reg name) v in
+    let st = Network.stats net in
+    let events = Network.events_processed net in
+    c "sim.events" events;
+    c "sim.deliveries" st.Network.deliveries;
+    c "sim.announcements" st.Network.announcements;
+    c "sim.withdrawals" st.Network.withdrawals;
+    c "sim.updates_lost" st.Network.lost;
+    c "sim.updates_duplicated" st.Network.duplicated;
+    if shard = 0 then begin
+      c "sim.session_drops" st.Network.session_drops;
+      c "sim.session_recoveries" st.Network.session_recoveries
+    end;
+    let supp, rel = Network.rfd_stats net in
+    c "sim.rfd_suppressions" supp;
+    c "sim.rfd_releases" rel;
+    let ts = Network.table_totals net in
+    g "sim.tables.rib_in" (float_of_int ts.Router.rib_in_entries);
+    g "sim.tables.rfd" (float_of_int ts.Router.rfd_states);
+    g "sim.tables.adj_out" (float_of_int ts.Router.adj_out_entries);
+    g "sim.tables.mrai" (float_of_int ts.Router.mrai_states);
+    g "sim.tables.loc_rib" (float_of_int ts.Router.loc_rib_entries);
+    Tel.Histogram.observe
+      (Tel.Histogram.v reg "sim.shard_events")
+      (float_of_int events);
+    g (Printf.sprintf "sim.shard%d.events" shard) (float_of_int events);
+    g
+      (Printf.sprintf "sim.shard%d.max_queue_depth" shard)
+      (float_of_int (Network.max_queue_depth net))
+  end
+
+let run ?fault_rng ?(telemetry = Tel.disabled) ~jobs ~configs ~delay ~monitored
+    ~until script =
   if jobs < 1 then invalid_arg "Sharded.run: jobs must be positive";
   let n_prefixes = Script.n_prefixes script in
   let shards = max 1 (min jobs n_prefixes) in
@@ -81,13 +123,16 @@ let run ?fault_rng ~jobs ~configs ~delay ~monitored ~until script =
        event stream is bit-for-bit the historical sequential one. *)
     let net = Network.create ?fault_rng ~configs ~delay ~monitored () in
     Script.install script net;
-    Network.run net ~until;
+    Tel.Span.with_ telemetry ~name:"sim.shard0.replay" (fun () ->
+        Network.run net ~until);
+    flush_shard_telemetry telemetry ~shard:0 net;
     {
       feeds = collect net monitored;
       stats = Network.stats net;
       fault_log = Network.fault_log net;
       events = Network.events_processed net;
       shards = 1;
+      shard_events = [| Network.events_processed net |];
     }
   end
   else begin
@@ -109,29 +154,37 @@ let run ?fault_rng ~jobs ~configs ~delay ~monitored ~until script =
                 ()
             in
             Script.install ~keep:(fun p -> shard_of p = shard) script net;
-            Network.run net ~until;
+            Tel.Span.with_ telemetry
+              ~name:(Printf.sprintf "sim.shard%d.replay" shard) (fun () ->
+                Network.run net ~until);
+            flush_shard_telemetry telemetry ~shard net;
             ( collect net monitored,
               Network.stats net,
               Network.fault_log net,
               Network.events_processed net ))
     in
     let results = Parallel.run_tasks ~jobs tasks in
-    let shard_feeds = Array.to_list (Array.map (fun (f, _, _, _) -> f) results) in
-    let rank_of prefix =
-      match Script.rank script prefix with Some r -> r | None -> max_int
-    in
-    {
-      feeds =
-        Asn.Set.fold
-          (fun asn acc -> (asn, merge_feeds rank_of shard_feeds asn) :: acc)
-          monitored []
-        |> List.rev;
-      stats =
-        merge_stats (Array.to_list (Array.map (fun (_, s, _, _) -> s) results));
-      fault_log =
-        merge_fault_logs
-          (Array.to_list (Array.map (fun (_, _, l, _) -> l) results));
-      events = Array.fold_left (fun acc (_, _, _, e) -> acc + e) 0 results;
-      shards;
-    }
+    Tel.Span.with_ telemetry ~name:"sim.merge" (fun () ->
+        let shard_feeds =
+          Array.to_list (Array.map (fun (f, _, _, _) -> f) results)
+        in
+        let rank_of prefix =
+          match Script.rank script prefix with Some r -> r | None -> max_int
+        in
+        {
+          feeds =
+            Asn.Set.fold
+              (fun asn acc -> (asn, merge_feeds rank_of shard_feeds asn) :: acc)
+              monitored []
+            |> List.rev;
+          stats =
+            merge_stats
+              (Array.to_list (Array.map (fun (_, s, _, _) -> s) results));
+          fault_log =
+            merge_fault_logs
+              (Array.to_list (Array.map (fun (_, _, l, _) -> l) results));
+          events = Array.fold_left (fun acc (_, _, _, e) -> acc + e) 0 results;
+          shards;
+          shard_events = Array.map (fun (_, _, _, e) -> e) results;
+        })
   end

@@ -29,12 +29,16 @@ type result = {
           shards, update loss/duplication kept per shard. *)
   events : int;  (** Total simulator events processed, summed over shards. *)
   shards : int;  (** Number of shards actually run. *)
+  shard_events : int array;
+      (** Events processed per shard (length [shards]) — the load-balance
+          view the telemetry shard table and Chrome trace lanes expose. *)
 }
 
 val feed : result -> Asn.t -> (float * Update.t) list
 
 val run :
   ?fault_rng:Because_stats.Rng.t ->
+  ?telemetry:Because_telemetry.Registry.t ->
   jobs:int ->
   configs:Router.config list ->
   delay:(from_asn:Asn.t -> to_asn:Asn.t -> float) ->
@@ -46,4 +50,11 @@ val run :
     [jobs = 1] replays into a single network in recording order, preserving
     the historical sequential event stream exactly.  [fault_rng] is split
     into one independent stream per shard.  Raises [Invalid_argument] if
-    [jobs < 1]. *)
+    [jobs < 1].
+
+    [telemetry] (default {!Because_telemetry.Registry.disabled}) receives,
+    per shard and from inside the worker domain that ran it: a
+    [sim.shard<i>.replay] span, the [sim.*] traffic/RFD counters, table-size
+    gauges and the per-shard event gauge; the cross-shard merge runs under a
+    [sim.merge] span.  Telemetry never touches the RNG streams or event
+    order, so a disabled registry is bit-for-bit free (property-tested). *)

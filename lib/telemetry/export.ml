@@ -1,0 +1,173 @@
+(* Three export formats over one snapshot:
+
+   - JSON: the full snapshot plus optional manifest, for jq-style analysis
+     and the CI smoke job;
+   - Prometheus text exposition format, for scrape-based collection;
+   - Chrome trace_event JSON: complete ("X") events with one pid/tid per
+     domain, so shard imbalance is directly visible as lane length in
+     chrome://tracing or Perfetto. *)
+
+let escape = Manifest.json_escape
+
+(* ------------------------------------------------------------------ *)
+(* JSON snapshot                                                        *)
+
+let to_json ?manifest (s : Snapshot.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"because-telemetry/1\",\n";
+  (match manifest with
+  | Some m ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"manifest\": %s,\n" (Manifest.to_json m))
+  | None -> ());
+  Buffer.add_string buf "  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "\n    \"%s\": %d" (escape name) v))
+    s.Snapshot.counters;
+  Buffer.add_string buf (if s.Snapshot.counters = [] then "},\n" else "\n  },\n");
+  Buffer.add_string buf "  \"gauges\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "\n    \"%s\": %.6g" (escape name) v))
+    s.Snapshot.gauges;
+  Buffer.add_string buf (if s.Snapshot.gauges = [] then "},\n" else "\n  },\n");
+  Buffer.add_string buf "  \"histograms\": {";
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "\n    \"%s\": { \"count\": %d, \"sum\": %.6g, \"buckets\": ["
+           (escape name) h.Snapshot.count h.Snapshot.sum);
+      let first = ref true in
+      Array.iteri
+        (fun k n ->
+          if n > 0 then begin
+            if not !first then Buffer.add_string buf ", ";
+            first := false;
+            let upper = Snapshot.bucket_upper k in
+            let upper_s =
+              if Float.is_integer upper && Float.abs upper < 1e15 then
+                Printf.sprintf "%.0f" upper
+              else if upper = Float.infinity then "\"+Inf\""
+              else Printf.sprintf "%.9g" upper
+            in
+            Buffer.add_string buf (Printf.sprintf "[%s, %d]" upper_s n)
+          end)
+        h.Snapshot.buckets;
+      Buffer.add_string buf "] }")
+    s.Snapshot.hists;
+  Buffer.add_string buf (if s.Snapshot.hists = [] then "},\n" else "\n  },\n");
+  Buffer.add_string buf "  \"spans\": [";
+  List.iteri
+    (fun i (sp : Snapshot.span) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"name\": \"%s\", \"domain\": %d, \"start_ns\": %Ld, \
+            \"dur_ns\": %Ld }"
+           (escape sp.Snapshot.name) sp.Snapshot.domain sp.Snapshot.start_ns
+           sp.Snapshot.dur_ns))
+    s.Snapshot.spans;
+  Buffer.add_string buf (if s.Snapshot.spans = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf
+    (Printf.sprintf "  \"dropped_spans\": %d\n}\n" s.Snapshot.dropped_spans);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition format                                    *)
+
+let prom_name name =
+  let buf = Buffer.create (String.length name + 8) in
+  Buffer.add_string buf "because_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+          Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prom_float v =
+  if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let to_prometheus (s : Snapshot.t) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name ^ "_total" in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n v))
+    s.Snapshot.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" n (prom_float v)))
+    s.Snapshot.gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun k count ->
+          cumulative := !cumulative + count;
+          (* Emit only edges that carry data, plus the mandatory +Inf. *)
+          if count > 0 && k < Snapshot.n_buckets - 1 then
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                 (prom_float (Snapshot.bucket_upper k))
+                 !cumulative))
+        h.Snapshot.buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.Snapshot.count);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %s\n" n (prom_float h.Snapshot.sum));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.Snapshot.count))
+    s.Snapshot.hists;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON                                              *)
+
+let to_chrome_trace (s : Snapshot.t) =
+  let t0 =
+    List.fold_left
+      (fun acc (sp : Snapshot.span) ->
+        if Int64.compare sp.Snapshot.start_ns acc < 0 then sp.Snapshot.start_ns
+        else acc)
+      (match s.Snapshot.spans with
+      | [] -> 0L
+      | sp :: _ -> sp.Snapshot.start_ns)
+      s.Snapshot.spans
+  in
+  let us_of ns = Int64.to_float ns /. 1e3 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [";
+  List.iteri
+    (fun i (sp : Snapshot.span) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"name\": \"%s\", \"cat\": \"because\", \"ph\": \"X\", \
+            \"ts\": %.3f, \"dur\": %.3f, \"pid\": %d, \"tid\": %d}"
+           (escape sp.Snapshot.name)
+           (us_of (Int64.sub sp.Snapshot.start_ns t0))
+           (us_of sp.Snapshot.dur_ns)
+           sp.Snapshot.domain sp.Snapshot.domain))
+    s.Snapshot.spans;
+  Buffer.add_string buf
+    (if s.Snapshot.spans = [] then "], " else "\n], ");
+  Buffer.add_string buf "\"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Snapshot exporters: JSON, Prometheus text format, Chrome trace_event. *)
+
+val to_json : ?manifest:Manifest.t -> Snapshot.t -> string
+(** Schema ["because-telemetry/1"]: counters/gauges as objects, histograms
+    as [(upper-edge, count)] pairs over non-empty buckets, spans with
+    nanosecond start/duration, plus the optional run manifest. *)
+
+val to_prometheus : Snapshot.t -> string
+(** Text exposition format.  Metric names are sanitized to
+    [[a-zA-Z0-9_:]] and prefixed [because_]; counters gain the [_total]
+    suffix; histograms emit cumulative [_bucket{le=...}] lines over the
+    log2 edges plus [_sum]/[_count]. *)
+
+val to_chrome_trace : Snapshot.t -> string
+(** Chrome [trace_event] JSON (complete ["X"] events, microsecond
+    timestamps normalized to the earliest span).  Each domain gets its own
+    pid/tid lane, so shard imbalance shows up directly in
+    [chrome://tracing] or Perfetto. *)
+
+val prom_name : string -> string
+(** The sanitized, prefixed Prometheus base name of a metric. *)

@@ -1,0 +1,76 @@
+(* Run manifest: the facts needed to reproduce the artifact it travels with.
+   Embedded into the JSON metrics export and printed by the CLI summary. *)
+
+type t = {
+  seed : int option;
+  params : (string * string) list;  (* flat key/value, caller-chosen *)
+  ocaml_version : string;
+  os_type : string;
+  word_size : int;
+  argv : string list;
+}
+
+let make ?seed ?(params = []) () =
+  {
+    seed;
+    params;
+    ocaml_version = Sys.ocaml_version;
+    os_type = Sys.os_type;
+    word_size = Sys.word_size;
+    argv = Array.to_list Sys.argv;
+  }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{";
+  (match t.seed with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "\"seed\": %d, " s)
+  | None -> ());
+  Buffer.add_string buf "\"params\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v)))
+    t.params;
+  Buffer.add_string buf "}, ";
+  Buffer.add_string buf
+    (Printf.sprintf "\"ocaml_version\": \"%s\", " (json_escape t.ocaml_version));
+  Buffer.add_string buf
+    (Printf.sprintf "\"os_type\": \"%s\", " (json_escape t.os_type));
+  Buffer.add_string buf (Printf.sprintf "\"word_size\": %d, " t.word_size);
+  Buffer.add_string buf "\"argv\": [";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape a)))
+    t.argv;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let pp fmt t =
+  Format.pp_open_vbox fmt 0;
+  (match t.seed with
+  | Some s -> Format.fprintf fmt "seed: %d@," s
+  | None -> ());
+  List.iter (fun (k, v) -> Format.fprintf fmt "%s: %s@," k v) t.params;
+  Format.fprintf fmt "ocaml: %s (%s, %d-bit)@," t.ocaml_version t.os_type
+    t.word_size;
+  Format.fprintf fmt "argv: %s" (String.concat " " t.argv);
+  Format.pp_close_box fmt ()

@@ -1,0 +1,23 @@
+(** Run manifest: seed, caller-chosen parameters and toolchain versions, so
+    every exported artifact says how to reproduce it. *)
+
+type t = {
+  seed : int option;
+  params : (string * string) list;
+  ocaml_version : string;
+  os_type : string;
+  word_size : int;
+  argv : string list;
+}
+
+val make : ?seed:int -> ?params:(string * string) list -> unit -> t
+(** Captures [Sys.ocaml_version], [Sys.os_type], [Sys.word_size] and
+    [Sys.argv] at call time. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)
+
+val to_json : t -> string
+(** The manifest as one JSON object (no trailing newline). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+(** Per-domain sharded metric registry: counters, gauges, log-bucketed
+    histograms and monotonic-clock spans.
+
+    Recording never takes a lock and never touches an atomic: every domain
+    owns a shard reached through domain-local storage, so recording is safe
+    under {!Because_stats.Parallel} work-stealing (and any other
+    multi-domain schedule).  The registry mutex guards only metric
+    registration and the shard list.  {!snapshot} merges the shards —
+    counters and gauges sum, histogram buckets add elementwise, span rings
+    concatenate.
+
+    The {!disabled} registry short-circuits every operation before touching
+    a shard or the clock: handles are inert, [Span.with_ f] tail-calls [f].
+    Instrumented code pays one branch per record when telemetry is off. *)
+
+type t
+
+val create : ?span_capacity:int -> unit -> t
+(** A fresh live registry.  [span_capacity] (default 4096) bounds the span
+    ring of each domain shard; overflow overwrites the oldest spans and is
+    reported as [Snapshot.dropped_spans]. *)
+
+val disabled : t
+(** The shared no-op registry: every record is a branch-and-return, spans
+    never read the clock, {!snapshot} is {!Snapshot.empty}. *)
+
+val is_enabled : t -> bool
+
+module Counter : sig
+  type handle
+
+  val v : t -> string -> handle
+  (** Intern (or look up) the counter [name].  Cheap enough to call at flush
+      sites; hot loops should hoist the handle. *)
+
+  val add : handle -> int -> unit
+  val incr : handle -> unit
+end
+
+module Gauge : sig
+  type handle
+
+  val v : t -> string -> handle
+
+  val set : handle -> float -> unit
+  (** Last write per domain wins; {!snapshot} sums the per-domain values, so
+      a gauge set from exactly one domain reads back unchanged while
+      per-shard gauges (one writer each) read back as the process total. *)
+end
+
+module Histogram : sig
+  type handle
+
+  val v : t -> string -> handle
+
+  val observe : handle -> float -> unit
+  (** Record one observation into its log2 bucket
+      (see {!Snapshot.bucket_of}). *)
+end
+
+module Span : sig
+  val with_ : t -> name:string -> (unit -> 'a) -> 'a
+  (** Run the body and record its wall time (monotonic clock) into the
+      calling domain's span ring.  Exceptions propagate; the span is
+      recorded either way.  On a disabled registry this is exactly [f ()] —
+      no clock read. *)
+
+  val record : t -> name:string -> start_ns:int64 -> dur_ns:int64 -> unit
+  (** Low-level append for pre-measured intervals.  Must only be called on
+      an enabled registry. *)
+end
+
+val snapshot : t -> Snapshot.t
+(** Merge every domain shard into an immutable view.  Cold path (takes the
+    registry lock); safe to call while other domains keep recording —
+    in-flight increments land in the next snapshot. *)

@@ -1,0 +1,44 @@
+(* Facade: the names instrumented code and the CLI actually use. *)
+
+type registry = Registry.t
+
+let create = Registry.create
+let disabled = Registry.disabled
+let is_enabled = Registry.is_enabled
+let snapshot = Registry.snapshot
+
+let pp_summary fmt (s : Snapshot.t) =
+  let rollup = Snapshot.span_rollup s in
+  if rollup <> [] then begin
+    Format.fprintf fmt "phase wall-times:@.";
+    List.iter
+      (fun (name, n, total) ->
+        Format.fprintf fmt "  %-36s %9.3f s" name
+          (Snapshot.seconds_of_ns total);
+        if n > 1 then Format.fprintf fmt "  (%d spans)" n;
+        Format.fprintf fmt "@.")
+      rollup
+  end;
+  if s.Snapshot.counters <> [] then begin
+    Format.fprintf fmt "counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "  %-36s %12d@." name v)
+      s.Snapshot.counters
+  end;
+  if s.Snapshot.gauges <> [] then begin
+    Format.fprintf fmt "gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "  %-36s %12.4g@." name v)
+      s.Snapshot.gauges
+  end;
+  if s.Snapshot.hists <> [] then begin
+    Format.fprintf fmt "histograms:@.";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf fmt "  %-36s count %d  mean %.4g@." name
+          h.Snapshot.count (Snapshot.hist_mean h))
+      s.Snapshot.hists
+  end;
+  if s.Snapshot.dropped_spans > 0 then
+    Format.fprintf fmt "dropped spans (ring overflow): %d@."
+      s.Snapshot.dropped_spans

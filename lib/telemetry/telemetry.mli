@@ -1,0 +1,14 @@
+(** Convenience facade over {!Registry} plus the human-readable summary. *)
+
+type registry = Registry.t
+
+val create : ?span_capacity:int -> unit -> registry
+val disabled : registry
+(** See {!Registry.disabled}: the shared no-op registry. *)
+
+val is_enabled : registry -> bool
+val snapshot : registry -> Snapshot.t
+
+val pp_summary : Format.formatter -> Snapshot.t -> unit
+(** Phase wall-times (span rollup), counters, gauges and histogram
+    count/mean — the generic part of the CLI's [--telemetry] table. *)
