@@ -68,11 +68,12 @@ let tests () =
   in
   let mh_cached = mh_sweep target "MH run 50 draws (cached)" in
   let mh_uncached = mh_sweep target_uncached "MH run 50 draws (uncached)" in
-  let infer_jobs ?(telemetry = Because_telemetry.Registry.disabled) jobs name
-      =
+  let infer_jobs ?(telemetry = Because_telemetry.Registry.disabled)
+      ?checkpoint jobs name =
     let config =
       { Because.Infer.default_config with
-        n_samples = 100; burn_in = 100; n_chains = 2; jobs; telemetry }
+        n_samples = 100; burn_in = 100; n_chains = 2; jobs; telemetry;
+        checkpoint }
     in
     Bechamel.Test.make ~name
       (Bechamel.Staged.stage (fun () ->
@@ -80,6 +81,19 @@ let tests () =
   in
   let infer_seq = infer_jobs 1 "inference 4 chains (jobs=1)" in
   let infer_par = infer_jobs 4 "inference 4 chains (jobs=4)" in
+  (* Paired with [infer_seq]: the same run with live checkpoint hooks at the
+     default cadence (wall-clock driven, so a bench-length run only pays the
+     per-sweep cadence test plus the end-of-chain save).  The acceptance bar
+     for the recovery subsystem is < 2% overhead on this pair. *)
+  let infer_ckpt =
+    let dir = Filename.temp_file "because-bench-ckpt" ".dir" in
+    Sys.remove dir;
+    let recovery = Sc.Recovery.create ~dir () in
+    Sc.Recovery.attach recovery ~fingerprint:"bench-kernels";
+    infer_jobs
+      ~checkpoint:(Sc.Recovery.chain_hooks recovery ~namespace:"bench.")
+      1 "inference 4 chains (jobs=1, checkpoint)"
+  in
   (* One live registry reused across iterations: spans overwrite their ring
      and counters just keep summing, so steady-state record cost — not
      registry construction — is what gets measured. *)
@@ -128,8 +142,8 @@ let tests () =
                 })))
   in
   [ likelihood; gradient; delta_uncached; delta_cached; mh_uncached;
-    mh_cached; infer_seq; infer_par; infer_tel; hmc_traj; rfd_engine; heap;
-    topology ]
+    mh_cached; infer_seq; infer_par; infer_tel; infer_ckpt; hmc_traj;
+    rfd_engine; heap; topology ]
 
 let estimate analysed =
   (* One test per Benchmark.all call, so the table has exactly one entry. *)
@@ -238,5 +252,8 @@ let run () =
   overhead rows ~off:"inference 4 chains (jobs=1)"
     ~on:"inference 4 chains (jobs=1, telemetry)"
     ~label:"inference telemetry overhead";
+  overhead rows ~off:"inference 4 chains (jobs=1)"
+    ~on:"inference 4 chains (jobs=1, checkpoint)"
+    ~label:"inference checkpoint overhead";
   write_json "BENCH_kernels.json" rows;
   Printf.printf "wrote BENCH_kernels.json (%d kernels)\n" (List.length rows)

@@ -84,17 +84,34 @@ let build_script world (p : Sc.Campaign.params) ~churn_prefixes =
   done;
   (script, campaign_end)
 
+(* Best-of-N replays per row.  A single 3-second replay on a shared runner
+   has a ~±10% noise floor — more than the paired overhead rows are trying
+   to resolve — so each row takes the fastest of [reps] runs, and every
+   replay starts from a compacted heap so no row inherits the major heap its
+   predecessors grew. *)
+(* [make_checkpoint] is a thunk so each rep gets a fresh store — otherwise
+   rep 2 would find rep 1's saved shards and resume instead of simulate. *)
 let time_run world ~jobs ?(telemetry = Because_telemetry.Registry.disabled)
-    ~until script =
-  let t0 = Unix.gettimeofday () in
-  let r =
-    Sharded.run ~telemetry ~jobs
-      ~configs:(Sc.World.router_configs world)
-      ~delay:(Sc.World.delay world)
-      ~monitored:(Sc.World.monitored world)
-      ~until script
-  in
-  (r, Unix.gettimeofday () -. t0)
+    ?make_checkpoint ~until script =
+  let reps = if Ctx.quick then 2 else 3 in
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let checkpoint = Option.map (fun f -> f ()) make_checkpoint in
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Sharded.run ~telemetry ~jobs ?checkpoint
+        ~configs:(Sc.World.router_configs world)
+        ~delay:(Sc.World.delay world)
+        ~monitored:(Sc.World.monitored world)
+        ~until script
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
 
 (* Router hot path: one router with a dozen sessions absorbing a fixed
    randomized stream of announcements and withdrawals over 64 prefixes,
@@ -230,6 +247,9 @@ let run () =
   Printf.printf
     "script: %d prefixes, campaign end %.0f s, %d churn prefixes\n%!"
     (Script.n_prefixes script) campaign_end churn_prefixes;
+  (* One untimed warmup replay so the paired rows below compare steady-state
+     runs instead of charging cold caches to whichever row happens first. *)
+  ignore (time_run world ~jobs:1 ~until:campaign_end script);
   let throughput =
     List.map
       (fun jobs ->
@@ -277,6 +297,38 @@ let run () =
       Printf.printf "%-32s %+10.2f%%\n" "sim telemetry overhead"
         (((off.events_per_sec /. on.events_per_sec) -. 1.0) *. 100.0)
   | _ -> ());
+  (* Paired with the jobs=1 baseline: the same replay saving each completed
+     shard through live checkpoint hooks (the default cadence — one durable
+     write per shard).  The recovery subsystem's acceptance bar is < 2%
+     overhead on this pair. *)
+  let checkpoint_row =
+    let make_checkpoint () =
+      let dir = Filename.temp_file "because-bench-ckpt" ".dir" in
+      Sys.remove dir;
+      let recovery = Sc.Recovery.create ~dir () in
+      Sc.Recovery.attach recovery ~fingerprint:"bench-sim";
+      Sc.Recovery.sim_hooks recovery
+    in
+    let r, seconds =
+      time_run world ~jobs:1 ~make_checkpoint ~until:campaign_end script
+    in
+    let events_per_sec = float_of_int r.Sharded.events /. seconds in
+    Printf.printf "jobs=1 +checkpoint: %d events in %.2f s (%.0f events/s)\n%!"
+      r.Sharded.events seconds events_per_sec;
+    Throughput
+      {
+        name = "campaign sim (jobs=1, checkpoint)";
+        jobs = 1;
+        events = r.Sharded.events;
+        seconds;
+        events_per_sec;
+      }
+  in
+  (match (throughput, checkpoint_row) with
+  | Throughput off :: _, Throughput on when on.events_per_sec > 0.0 ->
+      Printf.printf "%-32s %+10.2f%%\n" "sim checkpoint overhead"
+        (((off.events_per_sec /. on.events_per_sec) -. 1.0) *. 100.0)
+  | _ -> ());
   Ctx.section "Router hot path (flattened vs baseline)";
   let cfg =
     Bechamel.Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5)
@@ -305,6 +357,6 @@ let run () =
       Printf.printf "%-32s %11.2fx\n" "router flattening speedup"
         (base.ns_per_update /. flat.ns_per_update)
   | _ -> ());
-  let rows = throughput @ [ telemetry_row ] @ hot_rows in
+  let rows = throughput @ [ telemetry_row; checkpoint_row ] @ hot_rows in
   write_json "BENCH_sim.json" rows;
   Printf.printf "wrote BENCH_sim.json (%d rows)\n" (List.length rows)

@@ -12,6 +12,7 @@ open Because_bgp
 open Cmdliner
 module Sc = Because_scenario
 module Rng = Because_stats.Rng
+module Supervise = Because_recover.Supervise
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -76,6 +77,58 @@ let trace_out_arg =
           "Write recorded spans to FILE as Chrome trace_event JSON — load \
            it in chrome://tracing or Perfetto; each simulation shard \
            domain gets its own lane.  Implies telemetry collection.")
+
+let checkpoint_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write durable, CRC-checksummed progress snapshots (finished \
+           simulation shards, per-chain sampler state, the telemetry \
+           snapshot) under DIR.  A later run with $(b,--resume) picks up \
+           from them and produces the bit-for-bit identical outcome.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the snapshots in $(b,--checkpoint-dir) instead of \
+           clearing them: completed simulation shards are skipped and \
+           partial chains continue mid-stream.  Snapshots from a different \
+           campaign configuration are detected by fingerprint, quarantined \
+           and ignored.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every-sweeps" ] ~docv:"N"
+        ~doc:
+          "Snapshot each chain every N completed sweeps (in addition to \
+           the default 30-second wall-clock cadence and the always-taken \
+           final-sweep snapshot).")
+
+let chain_deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "chain-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget per sampler chain.  A chain that exceeds it \
+           is terminated cooperatively; the campaign completes with a \
+           degraded (heuristic-only) localization and exit code 3.")
+
+let sweep_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sweep-budget" ] ~docv:"N"
+        ~doc:
+          "Sweep-count budget per sampler chain; enforced exactly, so \
+           budget-limited runs are reproducible.  Exceeding it degrades \
+           the campaign (exit code 3) rather than failing it.")
 
 (* The registry is created iff some telemetry output was requested; every
    instrumented layer otherwise sees the shared disabled registry and pays
@@ -316,7 +369,16 @@ let print_campaign_summary world outcome =
 
 let campaign_cmd =
   let run seed sizes interval cycles severity jobs chains sim_jobs telemetry
-      metrics_out trace_out =
+      metrics_out trace_out checkpoint_dir resume checkpoint_every
+      chain_deadline sweep_budget =
+    if resume && checkpoint_dir = None then
+      failwith "--resume requires --checkpoint-dir";
+    let recovery =
+      Option.map
+        (fun dir ->
+          Sc.Recovery.create ~dir ~resume ?every_sweeps:checkpoint_every ())
+        checkpoint_dir
+    in
     let world = world_of ~seed sizes in
     let reg = registry_of ~telemetry ~metrics_out ~trace_out in
     let base =
@@ -324,6 +386,14 @@ let campaign_cmd =
         { (Sc.Campaign.default_params ~update_interval:(interval *. 60.0))
           with Sc.Campaign.cycles; telemetry = reg }
         jobs
+    in
+    let base =
+      { base with
+        Sc.Campaign.infer_config =
+          { base.Sc.Campaign.infer_config with
+            Because.Infer.supervise =
+              { Supervise.deadline_s = chain_deadline;
+                max_sweeps = sweep_budget } } }
     in
     let params =
       match severity with
@@ -333,9 +403,25 @@ let campaign_cmd =
           Format.printf "fault plan:@.%a@." Because_faults.Plan.pp plan;
           { base with Sc.Campaign.faults = plan; min_path_support = 2 }
     in
-    let outcome = Sc.Campaign.run world params in
+    let outcome = Sc.Campaign.run ?recovery world params in
+    (* Recovery bookkeeping goes to stderr: stdout must be byte-for-byte
+       identical between a clean run and an interrupted-then-resumed one
+       (the CI resume-smoke job diffs them). *)
+    Option.iter
+      (fun r ->
+        List.iter (Printf.eprintf "recovery: %s\n") (Sc.Recovery.warnings r);
+        Printf.eprintf
+          "recovery: %d snapshots restored, %d fallbacks, %d saved under %s\n%!"
+          (Sc.Recovery.restores r) (Sc.Recovery.fallbacks r)
+          (Sc.Recovery.saves r) (Sc.Recovery.dir r))
+      recovery;
     print_fault_summary outcome;
     print_campaign_summary world outcome;
+    List.iter
+      (Printf.printf "degraded: %s\n")
+      (Supervise.status_reasons outcome.Sc.Campaign.status);
+    Printf.printf "status: %s\n"
+      (Supervise.status_label outcome.Sc.Campaign.status);
     let transit, stub, vantage = sizes in
     emit_telemetry ~seed
       ~manifest_params:
@@ -352,7 +438,11 @@ let campaign_cmd =
             match severity with
             | None -> "none"
             | Some _ -> "drawn" ) ]
-      ~telemetry ~metrics_out ~trace_out reg
+      ~telemetry ~metrics_out ~trace_out reg;
+    (* Exit-code contract: 0 healthy, 3 degraded, 4 insufficient (hard
+       failures exit 1 via the top-level handler). *)
+    let code = Supervise.exit_code outcome.Sc.Campaign.status in
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -360,7 +450,8 @@ let campaign_cmd =
     Term.(
       const run $ seed_arg $ world_size_args $ interval_arg $ cycles_arg
       $ faults_arg $ jobs_arg $ chains_arg $ sim_jobs_arg $ telemetry_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ metrics_out_arg $ trace_out_arg $ checkpoint_dir_arg $ resume_arg
+      $ checkpoint_every_arg $ chain_deadline_arg $ sweep_budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                                *)
@@ -643,10 +734,17 @@ let () =
     "BeCAUSe: Bayesian computation for autonomous systems — locating Route \
      Flap Damping (IMC 2020 reproduction)"
   in
+  (* ~catch:false so hard failures reach our handler and exit 1, keeping
+     the documented contract (0 ok, 3 degraded, 4 insufficient, 1 hard
+     failure) instead of cmdliner's internal-error code. *)
   exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "because" ~doc)
-          [
-            topology_cmd; rfd_trace_cmd; campaign_cmd; sweep_cmd; infer_cmd;
-            export_dump_cmd; label_dump_cmd; rov_cmd;
-          ]))
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group (Cmd.info "because" ~doc)
+            [
+              topology_cmd; rfd_trace_cmd; campaign_cmd; sweep_cmd; infer_cmd;
+              export_dump_cmd; label_dump_cmd; rov_cmd;
+            ])
+     with e ->
+       Printf.eprintf "because: fatal: %s\n" (Printexc.to_string e);
+       1)

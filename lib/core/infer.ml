@@ -5,6 +5,9 @@ module Diagnostics = Because_mcmc.Diagnostics
 module Rng = Because_stats.Rng
 module Target = Because_mcmc.Target
 module Tel = Because_telemetry.Registry
+module Supervise = Because_recover.Supervise
+module Chain_ckpt = Because_recover.Chain_ckpt
+module Sampler_state = Because_recover.Sampler_state
 
 type config = {
   n_samples : int;
@@ -17,9 +20,12 @@ type config = {
   run_mh : bool;
   run_hmc : bool;
   max_restarts : int;
+  retry_backoff_s : float;
   n_chains : int;
   jobs : int;
   telemetry : Tel.t;
+  supervise : Supervise.budget;
+  checkpoint : Chain_ckpt.hooks option;
 }
 
 let default_config =
@@ -34,9 +40,12 @@ let default_config =
     run_mh = true;
     run_hmc = true;
     max_restarts = 2;
+    retry_backoff_s = 0.01;
     n_chains = 1;
     jobs = 1;
     telemetry = Tel.disabled;
+    supervise = Supervise.unlimited;
+    checkpoint = None;
   }
 
 type sampler_run = {
@@ -50,6 +59,7 @@ type result = {
   model : Model.t;
   runs : sampler_run list;
   warnings : string list;
+  aborted : string list;
 }
 
 let chain_healthy chain =
@@ -65,21 +75,69 @@ let chain_healthy chain =
    single-chain configuration a healthy run consumes exactly the one
    [Rng.split] per sampler the sequential code always did; retries split
    fresh streams off the task generator only after a failure, never touching
-   any other task's stream. *)
-let run_with_restarts ~rng ~max_restarts ~name ~chain_index sample =
-  let rec attempt k warnings =
+   any other task's stream.
+
+   Resume replays the split discipline exactly: a snapshot taken during
+   attempt [k] records the [k] warnings of the earlier failed attempts, so
+   the resumed process consumes the same [k] splits off the task generator
+   before continuing — later retries therefore see the very streams the
+   uninterrupted run would have given them, and even a
+   fail-after-resume trajectory stays bit-for-bit identical. *)
+let run_with_restarts ~config ~rng ~name ~chain_index sample =
+  let max_restarts = config.max_restarts in
+  let key = Printf.sprintf "%s.chain%d" name chain_index in
+  let final_sweep = config.burn_in + (config.n_samples * config.thin) in
+  let saved =
+    match config.checkpoint with
+    | None -> None
+    | Some hooks -> hooks.Chain_ckpt.load ~key
+  in
+  (* [warnings] accumulates newest-first, so its length is always the
+     current attempt index — also the invariant the snapshot relies on. *)
+  let resume0, warnings0 =
+    match saved with
+    | Some sv -> (Some sv.Chain_ckpt.state, sv.Chain_ckpt.prior_warnings)
+    | None -> (None, [])
+  in
+  let k0 = List.length warnings0 in
+  for _ = 2 to k0 do
+    ignore (Rng.split rng)
+  done;
+  let rec attempt k warnings ~resume =
     let attempt_rng = if k = 0 then rng else Rng.split rng in
+    (* Backoff only before a genuinely fresh retry — a resumed attempt
+       already paid it in its first life.  Wall-clock only; never touches
+       any RNG stream. *)
+    if k > 0 && resume = None then
+      Supervise.wait_backoff ~attempt:k ~base_s:config.retry_backoff_s;
+    let token = Supervise.start ~label:key config.supervise in
+    let control =
+      match config.checkpoint with
+      | None ->
+          if Supervise.is_unlimited config.supervise then None
+          else Some (fun ~sweep:_ ~state:_ -> Supervise.tick token)
+      | Some hooks ->
+          let save_ctl =
+            Chain_ckpt.make_control hooks ~key ~final_sweep
+              ~prior_warnings:warnings
+          in
+          Some
+            (fun ~sweep ~state ->
+              Supervise.tick token;
+              save_ctl ~sweep ~state)
+    in
     let outcome =
-      match sample attempt_rng with
+      match sample attempt_rng ~resume ~control with
       | chain, acceptance ->
-          if chain_healthy chain then Ok (chain, acceptance)
-          else Error "chain contains non-finite draws"
-      | exception Failure msg -> Error msg
+          if chain_healthy chain then `Ok (chain, acceptance)
+          else `Diverged "chain contains non-finite draws"
+      | exception Failure msg -> `Diverged msg
+      | exception Supervise.Aborted reason -> `Aborted reason
     in
     match outcome with
-    | Ok (chain, acceptance) ->
-        (Some { name; chain_index; chain; acceptance }, List.rev warnings)
-    | Error msg ->
+    | `Ok (chain, acceptance) ->
+        (Some { name; chain_index; chain; acceptance }, List.rev warnings, None)
+    | `Diverged msg ->
         let warnings =
           Printf.sprintf "%s attempt %d/%d diverged: %s" name (k + 1)
             (max_restarts + 1) msg
@@ -90,10 +148,18 @@ let run_with_restarts ~rng ~max_restarts ~name ~chain_index sample =
             List.rev
               (Printf.sprintf "%s disabled: no healthy chain in %d attempts"
                  name (max_restarts + 1)
-              :: warnings) )
-        else attempt (k + 1) warnings
+              :: warnings),
+            None )
+        else attempt (k + 1) warnings ~resume:None
+    | `Aborted reason ->
+        (* Budget exhaustion is terminal, not a divergence: retrying would
+           burn the same budget again.  The caller degrades gracefully. *)
+        ( None,
+          List.rev
+            (Printf.sprintf "%s disabled: %s" name reason :: warnings),
+          Some reason )
   in
-  attempt 0 []
+  attempt k0 warnings0 ~resume:resume0
 
 (* Work-stealing over a fixed task array (shared with the simulator's shard
    driver): result order — and, thanks to per-task pre-split generators, the
@@ -134,7 +200,10 @@ let r_hat result =
    the sampler's loop structure — sweeps and per-sweep evaluation counts are
    fixed by the config, not by the chain's trajectory. *)
 let flush_chain_telemetry reg config ~target ~name ~chain_index outcome =
-  let run_opt, warnings = outcome in
+  let run_opt, warnings, aborted = outcome in
+  (match aborted with
+  | Some _ -> Tel.Counter.add (Tel.Counter.v reg "mcmc.aborts") 1
+  | None -> ());
   let sweeps = config.burn_in + (config.n_samples * config.thin) in
   Tel.Counter.add (Tel.Counter.v reg "mcmc.sweeps") sweeps;
   let dim = target.Target.dim in
@@ -162,9 +231,12 @@ let flush_chain_telemetry reg config ~target ~name ~chain_index outcome =
         (List.length warnings)
   | None ->
       (* A dropped chain logs one warning per attempt plus a "disabled"
-         note; restarts are the attempts beyond the first. *)
+         note; restarts are the attempts beyond the first.  An aborted
+         chain logs the disabled note without a per-attempt warning for
+         its final (interrupted) attempt. *)
+      let extra_notes = if aborted = None then 2 else 1 in
       Tel.Counter.add (Tel.Counter.v reg "mcmc.restarts")
-        (max 0 (List.length warnings - 2))
+        (max 0 (List.length warnings - extra_notes))
 
 let run ~rng ?(config = default_config) data =
   if not (config.run_mh || config.run_hmc) then
@@ -174,6 +246,9 @@ let run ~rng ?(config = default_config) data =
   if config.n_chains < 1 then
     invalid_arg "Infer.run: n_chains must be positive";
   if config.jobs < 1 then invalid_arg "Infer.run: jobs must be positive";
+  if config.thin < 1 then invalid_arg "Infer.run: thin must be positive";
+  if config.retry_backoff_s < 0.0 then
+    invalid_arg "Infer.run: retry_backoff_s must be non-negative";
   let model =
     Model.create ~prior:config.prior ~node_priors:config.node_priors
       ~false_negative_rate:config.false_negative_rate data
@@ -182,23 +257,50 @@ let run ~rng ?(config = default_config) data =
   (* The model and target are immutable and shared read-only across domains;
      all mutable sampler state (including the likelihood cache) is created
      inside each sampler call. *)
+  (* Each spec adapts the generic resume/control plumbing to its sampler's
+     own state type.  A saved state for a different sampler (possible only
+     through key collision in a hand-edited store) is ignored rather than
+     trusted. *)
   let sampler_specs =
     (if config.run_mh then
        [ ( "MH",
-           fun sub ->
+           fun sub ~resume ~control ->
+             let resume =
+               match resume with
+               | Some (Sampler_state.Mh s) -> Some s
+               | Some _ | None -> None
+             in
+             let control =
+               Option.map
+                 (fun f ~sweep ~state ->
+                   f ~sweep ~state:(fun () -> Sampler_state.Mh (state ())))
+                 control
+             in
              let r =
-               Metropolis.run_single_site ~rng:sub ~thin:config.thin
-                 ~n_samples:config.n_samples ~burn_in:config.burn_in target
+               Metropolis.run_single_site ~rng:sub ~thin:config.thin ?resume
+                 ?control ~n_samples:config.n_samples ~burn_in:config.burn_in
+                 target
              in
              (r.Metropolis.chain, r.Metropolis.acceptance) ) ]
      else [])
     @
     if config.run_hmc then
       [ ( "HMC",
-          fun sub ->
+          fun sub ~resume ~control ->
+            let resume =
+              match resume with
+              | Some (Sampler_state.Hmc s) -> Some s
+              | Some _ | None -> None
+            in
+            let control =
+              Option.map
+                (fun f ~sweep ~state ->
+                  f ~sweep ~state:(fun () -> Sampler_state.Hmc (state ())))
+                control
+            in
             let r =
               Hmc.run ~rng:sub ~leapfrog_steps:config.leapfrog_steps
-                ~thin:config.thin ~n_samples:config.n_samples
+                ~thin:config.thin ?resume ?control ~n_samples:config.n_samples
                 ~burn_in:config.burn_in target
             in
             (r.Hmc.chain, r.Hmc.acceptance) ) ]
@@ -221,8 +323,8 @@ let run ~rng ?(config = default_config) data =
             ~name:(Printf.sprintf "infer.%s.chain%d" name chain_index)
             (fun () ->
               let outcome =
-                run_with_restarts ~rng:task_rngs.(idx)
-                  ~max_restarts:config.max_restarts ~name ~chain_index sample
+                run_with_restarts ~config ~rng:task_rngs.(idx) ~name
+                  ~chain_index sample
               in
               if Tel.is_enabled config.telemetry then
                 flush_chain_telemetry config.telemetry config ~target ~name
@@ -232,10 +334,15 @@ let run ~rng ?(config = default_config) data =
   in
   let outcomes = run_tasks ~jobs:config.jobs (Array.of_list tasks) in
   let runs =
-    List.filter_map fst (Array.to_list outcomes)
+    List.filter_map (fun (run, _, _) -> run) (Array.to_list outcomes)
   in
-  let warnings = List.concat_map snd (Array.to_list outcomes) in
-  let result = { model; runs; warnings } in
+  let warnings =
+    List.concat_map (fun (_, ws, _) -> ws) (Array.to_list outcomes)
+  in
+  let aborted =
+    List.filter_map (fun (_, _, ab) -> ab) (Array.to_list outcomes)
+  in
+  let result = { model; runs; warnings; aborted } in
   if Tel.is_enabled config.telemetry && runs <> [] then
     List.iter
       (fun (name, v) ->

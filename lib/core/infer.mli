@@ -24,6 +24,10 @@ type config = {
   max_restarts : int;
       (** Automatic restarts (fresh RNG split each) granted to a chain
           whose run diverges or raises on a non-finite log-density. *)
+  retry_backoff_s : float;
+      (** Base of the exponential wall-clock backoff before restart [k]
+          (delay = base·2ᵏ, capped at 1 s).  Pure wall time — never touches
+          an RNG stream, so results stay deterministic.  0 disables. *)
   n_chains : int;
       (** Independent chains per enabled sampler.  1 (the default)
           reproduces the single-chain behaviour exactly; more chains feed
@@ -37,9 +41,21 @@ type config = {
           record site and changes nothing; enabled, each chain task records
           a span, per-chain acceptance gauges, sampler work counters
           ([mcmc.sweeps], [mcmc.mh.deltas_*], [mcmc.hmc.grad_evals],
-          [mcmc.restarts]) and — after the result is assembled — worst-case
-          [mcmc.rhat.<sampler>] gauges.  Telemetry never touches the RNG
-          streams, so results are identical either way. *)
+          [mcmc.restarts], [mcmc.aborts]) and — after the result is
+          assembled — worst-case [mcmc.rhat.<sampler>] gauges.  Telemetry
+          never touches the RNG streams, so results are identical either
+          way. *)
+  supervise : Because_recover.Supervise.budget;
+      (** Per-chain wall-clock/sweep budget, enforced cooperatively after
+          every sweep inside the worker domain.  A chain that crosses a
+          limit is terminated and reported in [result.aborted] — the run
+          itself completes (degraded), it does not fail.  Unlimited (the
+          default) adds no per-sweep work at all. *)
+  checkpoint : Because_recover.Chain_ckpt.hooks option;
+      (** Per-chain durable snapshots.  When set, each chain loads its last
+          snapshot before starting (continuing mid-stream, bit-for-bit) and
+          saves on the hooks' cadence plus once at its final sweep.  [None]
+          (the default) is the historical zero-overhead path. *)
 }
 
 val default_config : config
@@ -63,6 +79,11 @@ type result = {
   warnings : string list;
       (** Human-readable notes on diverged attempts and disabled chains;
           [\[\]] on a clean run. *)
+  aborted : string list;
+      (** One entry per chain terminated by the supervision budget
+          ([config.supervise]).  Non-empty means the posterior is partial:
+          downstream consumers should degrade to heuristic localization and
+          report a [Degraded] outcome. *)
 }
 
 val run :

@@ -142,7 +142,25 @@ let make_cache t p0 =
         term.(j) <- path_term t (Tomography.label t.data j) s.(j))
       (Tomography.paths_through t.data i)
   in
-  { Target.cached_delta; cached_commit }
+  (* Checkpoint support.  [s] is accumulated incrementally, so a rebuild
+     from the point alone lands an ulp off the live trajectory; the state
+     vector therefore carries point ++ s verbatim.  [lq] and [term] are
+     pure functions of point and s and are recomputed bit-identically. *)
+  let dim = Array.length point in
+  let cached_state () = Array.append point s in
+  let cached_restore saved =
+    if Array.length saved <> dim + n_paths then
+      invalid_arg "Model.make_cache: saved cache state has wrong size";
+    Array.blit saved 0 point 0 dim;
+    Array.blit saved dim s 0 n_paths;
+    for i = 0 to dim - 1 do
+      lq.(i) <- Float.log1p (-.point.(i))
+    done;
+    for j = 0 to n_paths - 1 do
+      term.(j) <- path_term t (Tomography.label t.data j) s.(j)
+    done
+  in
+  { Target.cached_delta; cached_commit; cached_state; cached_restore }
 
 let delta_log_posterior t p i v =
   let v = clamp v in

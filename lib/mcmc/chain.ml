@@ -31,6 +31,16 @@ let thin t k =
   let n = (Array.length t + k - 1) / k in
   Array.init n (fun i -> t.(i * k))
 
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun ra rb ->
+         Array.length ra = Array.length rb
+         && Array.for_all2
+              (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+              ra rb)
+       a b
+
 let concat chains =
   match chains with
   | [] -> invalid_arg "Chain.concat: empty list"

@@ -23,7 +23,15 @@ val map_draws : t -> (float array -> 'a) -> 'a array
     the pinpointing step. *)
 
 val thin : t -> int -> t
-(** [thin t k] keeps every k-th draw. *)
+(** [thin t k] keeps every k-th draw.
+    @raise Invalid_argument when [k <= 0] (a zero stride would divide by
+    zero; a negative one would loop). *)
+
+val equal : t -> t -> bool
+(** Bit-for-bit equality: every draw compared by IEEE bit pattern
+    ([Int64.bits_of_float]), so [-0.] ≠ [0.] and NaNs compare equal to
+    themselves.  This is the equality the checkpoint/resume guarantee is
+    stated in. *)
 
 val concat : t list -> t
 (** Concatenate chains of equal dimension in one allocation (linear in the

@@ -4,15 +4,37 @@ module Special = Because_stats.Special
 
 type result = { chain : Chain.t; acceptance : float; grid : int }
 
-let run ~rng ?init ?(grid = 64) ?(thin = 1) ~n_samples ~burn_in target =
+(* Complete between-sweeps state of [run]; see Metropolis.state for the
+   design notes — the shape differs only in the Gibbs-specific counters. *)
+type state = {
+  s_sweep : int;
+  s_rng : string;
+  s_current : float array;
+  s_kept : float array array;
+  s_moved_sweeps : int;
+  s_cache : float array option;
+}
+
+let run ~rng ?init ?(grid = 64) ?(thin = 1) ?resume ?control ~n_samples
+    ~burn_in target =
   (match target.Target.support with
   | Target.Unit_interval -> ()
   | Target.Unbounded ->
       invalid_arg "Gibbs.run: requires a unit-interval target");
   if grid < 4 then invalid_arg "Gibbs.run: grid too coarse";
+  if thin <= 0 then invalid_arg "Gibbs.run: thin must be positive";
   let dim = target.Target.dim in
+  let rng =
+    match resume with Some s -> Rng.of_state s.s_rng | None -> rng
+  in
   let current =
-    match init with Some p -> Array.copy p | None -> Array.make dim 0.5
+    match resume with
+    | Some s ->
+        if Array.length s.s_current <> dim then
+          invalid_arg "Gibbs.run: resume state dimension mismatch";
+        Array.copy s.s_current
+    | None -> (
+        match init with Some p -> Array.copy p | None -> Array.make dim 0.5)
   in
   (* Grid cell centres on (0, 1). *)
   let points =
@@ -24,6 +46,20 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ~n_samples ~burn_in target =
      once per coordinate.  Fall back to the stateless delta, then to a full
      recompute. *)
   let cache = Option.map (fun mk -> mk current) target.Target.make_cache in
+  (match resume with
+  | Some s -> (
+      match (cache, s.s_cache) with
+      | Some c, Some saved -> c.Target.cached_restore saved
+      | None, None -> ()
+      | Some _, None ->
+          invalid_arg
+            "Gibbs.run: resume state lacks the cache state this target \
+             requires"
+      | None, Some _ ->
+          invalid_arg
+            "Gibbs.run: resume state carries a cache state but the target \
+             has no cache")
+  | None -> ());
   let delta =
     match cache with
     | Some c -> fun _ i v -> c.Target.cached_delta i v
@@ -63,8 +99,32 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ~n_samples ~burn_in target =
   in
   let kept = Array.make n_samples [||] in
   let kept_count = ref 0 in
-  let sweep_idx = ref 0 in
-  let moved_sweeps = ref 0 in
+  (match resume with
+  | Some s ->
+      if Array.length s.s_kept > n_samples then
+        invalid_arg "Gibbs.run: resume state has more draws than n_samples";
+      Array.iteri
+        (fun k draw ->
+          kept.(k) <- Array.copy draw;
+          incr kept_count)
+        s.s_kept
+  | None -> ());
+  let sweep_idx =
+    ref (match resume with Some s -> s.s_sweep | None -> 0)
+  in
+  let moved_sweeps =
+    ref (match resume with Some s -> s.s_moved_sweeps | None -> 0)
+  in
+  let snapshot () =
+    {
+      s_sweep = !sweep_idx;
+      s_rng = Rng.state rng;
+      s_current = Array.copy current;
+      s_kept = Array.map Array.copy (Array.sub kept 0 !kept_count);
+      s_moved_sweeps = !moved_sweeps;
+      s_cache = Option.map (fun c -> c.Target.cached_state ()) cache;
+    }
+  in
   while !kept_count < n_samples do
     let moved = ref false in
     for i = 0 to dim - 1 do
@@ -78,7 +138,10 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ~n_samples ~burn_in target =
         incr kept_count
       end
     end;
-    incr sweep_idx
+    incr sweep_idx;
+    match control with
+    | Some f -> f ~sweep:!sweep_idx ~state:snapshot
+    | None -> ()
   done;
   let acceptance =
     if !sweep_idx = 0 then 0.0

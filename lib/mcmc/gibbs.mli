@@ -28,11 +28,24 @@ type result = {
   grid : int;
 }
 
+type state = {
+  s_sweep : int;
+  s_rng : string;
+  s_current : float array;
+  s_kept : float array array;
+  s_moved_sweeps : int;
+  s_cache : float array option;
+}
+(** Complete between-sweeps state of {!run}; same contract as
+    {!Metropolis.state} — resuming replays the identical trajectory. *)
+
 val run :
   rng:Because_stats.Rng.t ->
   ?init:float array ->
   ?grid:int ->
   ?thin:int ->
+  ?resume:state ->
+  ?control:(sweep:int -> state:(unit -> state) -> unit) ->
   n_samples:int ->
   burn_in:int ->
   Target.t ->
@@ -40,4 +53,8 @@ val run :
 (** [run ~rng ~n_samples ~burn_in target] requires a target on the unit box.
     [grid] (default 64) is the number of conditional-density evaluation
     points per coordinate update.  Uses [target.log_density_delta] when
-    available, the full density otherwise. *)
+    available, the full density otherwise.  [resume]/[control] follow the
+    {!Metropolis.run_single_site} contract (note: [grid] must match the
+    original run — it is part of the trajectory, not of the saved state).
+    @raise Invalid_argument when [thin <= 0], [grid < 4], the target is not
+    on the unit box, or a [resume] state does not match the target. *)

@@ -3,6 +3,21 @@ module Dist = Because_stats.Dist
 
 type result = { chain : Chain.t; acceptance : float; step_size : float }
 
+(* Complete between-iterations state of [run]; see Metropolis.state for the
+   design notes.  [s_position] lives in the *unconstrained* space the
+   integrator works in. *)
+type state = {
+  s_iter : int;
+  s_rng : string;
+  s_position : float array;
+  s_step : float;
+  s_log_post : float;
+  s_accept_window : int;
+  s_kept : float array array;
+  s_accepted_post : int;
+  s_proposed_post : int;
+}
+
 let sigmoid x =
   if x >= 0.0 then 1.0 /. (1.0 +. Float.exp (-.x))
   else begin
@@ -49,33 +64,83 @@ let transformed target =
       (log_density, grad_theta, to_p, of_p)
 
 let run ~rng ?init ?(initial_step = 0.05) ?(leapfrog_steps = 15) ?(thin = 1)
-    ~n_samples ~burn_in target =
+    ?resume ?control ~n_samples ~burn_in target =
+  if thin <= 0 then invalid_arg "Hmc.run: thin must be positive";
   let dim = target.Target.dim in
   let log_density, grad, to_constrained, of_constrained =
     transformed target
   in
-  let theta =
-    match init with
-    | Some p -> (
-        match target.Target.support with
-        | Target.Unit_interval -> of_constrained p
-        | Target.Unbounded -> Array.copy p)
-    | None -> Array.make dim 0.0
+  let rng =
+    match resume with Some s -> Rng.of_state s.s_rng | None -> rng
   in
-  let step = ref initial_step in
+  let theta =
+    match resume with
+    | Some s ->
+        if Array.length s.s_position <> dim then
+          invalid_arg "Hmc.run: resume state dimension mismatch";
+        Array.copy s.s_position
+    | None -> (
+        match init with
+        | Some p -> (
+            match target.Target.support with
+            | Target.Unit_interval -> of_constrained p
+            | Target.Unbounded -> Array.copy p)
+        | None -> Array.make dim 0.0)
+  in
+  let step =
+    ref (match resume with Some s -> s.s_step | None -> initial_step)
+  in
   let kept = Array.make n_samples [||] in
   let kept_count = ref 0 in
+  (match resume with
+  | Some s ->
+      if Array.length s.s_kept > n_samples then
+        invalid_arg "Hmc.run: resume state has more draws than n_samples";
+      Array.iteri
+        (fun k draw ->
+          kept.(k) <- Array.copy draw;
+          incr kept_count)
+        s.s_kept
+  | None -> ());
   let accepted_post = ref 0 and proposed_post = ref 0 in
   let accept_window = ref 0 in
+  (match resume with
+  | Some s ->
+      accepted_post := s.s_accepted_post;
+      proposed_post := s.s_proposed_post;
+      accept_window := s.s_accept_window
+  | None -> ());
   let window = 10 in
-  let iter_idx = ref 0 in
-  let current_lp = ref (log_density theta) in
-  if not (Float.is_finite !current_lp) then
-    failwith
-      (Printf.sprintf
-         "Hmc.run: non-finite log-density (%g) at the initial point — the \
-          target is broken or the initializer lies outside its support"
-         !current_lp);
+  let iter_idx =
+    ref (match resume with Some s -> s.s_iter | None -> 0)
+  in
+  let current_lp =
+    match resume with
+    | Some s -> ref s.s_log_post
+    | None ->
+        let lp = log_density theta in
+        if not (Float.is_finite lp) then
+          failwith
+            (Printf.sprintf
+               "Hmc.run: non-finite log-density (%g) at the initial point — \
+                the target is broken or the initializer lies outside its \
+                support"
+               lp);
+        ref lp
+  in
+  let snapshot () =
+    {
+      s_iter = !iter_idx;
+      s_rng = Rng.state rng;
+      s_position = Array.copy theta;
+      s_step = !step;
+      s_log_post = !current_lp;
+      s_accept_window = !accept_window;
+      s_kept = Array.map Array.copy (Array.sub kept 0 !kept_count);
+      s_accepted_post = !accepted_post;
+      s_proposed_post = !proposed_post;
+    }
+  in
   while !kept_count < n_samples do
     let in_burn_in = !iter_idx < burn_in in
     (* Fresh Gaussian momentum, unit mass matrix. *)
@@ -128,7 +193,10 @@ let run ~rng ?init ?(initial_step = 0.05) ?(leapfrog_steps = 15) ?(thin = 1)
         incr kept_count
       end
     end;
-    incr iter_idx
+    incr iter_idx;
+    match control with
+    | Some f -> f ~sweep:!iter_idx ~state:snapshot
+    | None -> ()
   done;
   let acceptance =
     if !proposed_post = 0 then 0.0

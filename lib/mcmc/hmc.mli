@@ -19,20 +19,40 @@ type result = {
   step_size : float;     (** Frozen leapfrog step size. *)
 }
 
+type state = {
+  s_iter : int;
+  s_rng : string;
+  s_position : float array;
+      (** Current point in the {e unconstrained} (logit) space. *)
+  s_step : float;
+  s_log_post : float;
+  s_accept_window : int;
+  s_kept : float array array;
+  s_accepted_post : int;
+  s_proposed_post : int;
+}
+(** Complete between-iterations state of {!run}; same contract as
+    {!Metropolis.state} — resuming replays the identical trajectory. *)
+
 val run :
   rng:Because_stats.Rng.t ->
   ?init:float array ->
   ?initial_step:float ->
   ?leapfrog_steps:int ->
   ?thin:int ->
+  ?resume:state ->
+  ?control:(sweep:int -> state:(unit -> state) -> unit) ->
   n_samples:int ->
   burn_in:int ->
   Target.t ->
   result
 (** [run ~rng ~n_samples ~burn_in target] requires [target.grad_log_density].
-    [leapfrog_steps] defaults to 15.  The step size adapts towards a 0.75
-    acceptance rate during burn-in.  Raises [Invalid_argument] if the target
-    has no gradient.
+    [leapfrog_steps] defaults to 15 and, like [grid] for Gibbs, must match
+    the original run when resuming.  The step size adapts towards a 0.75
+    acceptance rate during burn-in.  [resume]/[control] follow the
+    {!Metropolis.run_single_site} contract.  Raises [Invalid_argument] if
+    the target has no gradient, [thin <= 0], or a [resume] state has the
+    wrong dimension.
     @raise Failure when the log-density is non-finite at the initial point
     (a broken target or an initializer outside the support). *)
 

@@ -7,6 +7,23 @@ type result = {
   step_sizes : float array;
 }
 
+(* Complete mid-run state of [run_single_site], captured between sweeps.
+   Everything the next sweep reads is here — including the exact RNG stream
+   position and the incremental likelihood cache's sufficient statistics —
+   so a run resumed from a snapshot replays the identical trajectory. *)
+type state = {
+  s_sweep : int;
+  s_rng : string;
+  s_current : float array;
+  s_steps : float array;
+  s_log_post : float;
+  s_accept_window : int array;
+  s_kept : float array array;
+  s_accepted_post : int;
+  s_proposed_post : int;
+  s_cache : float array option;
+}
+
 let rec reflect_unit x =
   if x < 0.0 then reflect_unit (-.x)
   else if x > 1.0 then reflect_unit (2.0 -. x)
@@ -35,24 +52,77 @@ let adapt_step step ~observed ~target_rate ~sweep =
   let next = step *. Float.exp (rate *. (observed -. target_rate)) in
   Float.max 1e-4 (Float.min 2.0 next)
 
-let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ~n_samples
-    ~burn_in target =
+let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ?resume
+    ?control ~n_samples ~burn_in target =
+  if thin <= 0 then
+    invalid_arg "Metropolis.run_single_site: thin must be positive";
   let dim = target.Target.dim in
+  (* A resumed run continues the *saved* stream; the caller's rng is left
+     untouched (it was never consumed before the snapshot either). *)
+  let rng =
+    match resume with Some s -> Rng.of_state s.s_rng | None -> rng
+  in
   let current =
-    match init with Some p -> Array.copy p | None -> default_init target
+    match resume with
+    | Some s ->
+        if Array.length s.s_current <> dim then
+          invalid_arg
+            "Metropolis.run_single_site: resume state dimension mismatch";
+        Array.copy s.s_current
+    | None -> (
+        match init with Some p -> Array.copy p | None -> default_init target)
   in
   (match target.Target.support with
   | Target.Unit_interval ->
       Array.iteri (fun i v -> current.(i) <- clamp_unit v) current
   | Target.Unbounded -> ());
-  let steps = Array.make dim initial_step in
-  let log_post = ref (target.Target.log_density current) in
-  check_initial_lp ~who:"Metropolis.run_single_site" !log_post current;
-  let accept_window = Array.make dim 0 in
+  let steps =
+    match resume with
+    | Some s ->
+        if Array.length s.s_steps <> dim then
+          invalid_arg
+            "Metropolis.run_single_site: resume state dimension mismatch";
+        Array.copy s.s_steps
+    | None -> Array.make dim initial_step
+  in
+  let log_post =
+    match resume with
+    | Some s -> ref s.s_log_post
+    | None ->
+        let lp = target.Target.log_density current in
+        check_initial_lp ~who:"Metropolis.run_single_site" lp current;
+        ref lp
+  in
+  let accept_window =
+    match resume with
+    | Some s ->
+        if Array.length s.s_accept_window <> dim then
+          invalid_arg
+            "Metropolis.run_single_site: resume state dimension mismatch";
+        Array.copy s.s_accept_window
+    | None -> Array.make dim 0
+  in
   let window = 25 in
   let kept = Array.make n_samples [||] in
   let kept_count = ref 0 in
+  (match resume with
+  | Some s ->
+      if Array.length s.s_kept > n_samples then
+        invalid_arg
+          "Metropolis.run_single_site: resume state has more draws than \
+           n_samples";
+      Array.iteri
+        (fun k draw ->
+          kept.(k) <- Array.copy draw;
+          incr kept_count)
+        s.s_kept
+  | None -> ());
   let accepted_post = ref 0 and proposed_post = ref 0 in
+  (match resume with
+  | Some s ->
+      accepted_post := s.s_accepted_post;
+      proposed_post := s.s_proposed_post
+  | None -> ());
   let propose i =
     let v = current.(i) in
     let v' = v +. Dist.normal rng ~mu:0.0 ~sigma:steps.(i) in
@@ -64,6 +134,23 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ~n_samples
      and rejections are free.  Fall back to the stateless delta, then to a
      full recompute. *)
   let cache = Option.map (fun mk -> mk current) target.Target.make_cache in
+  (* The cache's incremental statistics must continue exactly where the
+     snapshot left them — rebuilding from the point recomputes sums that
+     differ in the last ulp and would fork the trajectory. *)
+  (match resume with
+  | Some s -> (
+      match (cache, s.s_cache) with
+      | Some c, Some saved -> c.Target.cached_restore saved
+      | None, None -> ()
+      | Some _, None ->
+          invalid_arg
+            "Metropolis.run_single_site: resume state lacks the cache state \
+             this target requires"
+      | None, Some _ ->
+          invalid_arg
+            "Metropolis.run_single_site: resume state carries a cache state \
+             but the target has no cache")
+  | None -> ());
   let delta_at i v' =
     match cache with
     | Some c -> c.Target.cached_delta i v'
@@ -78,7 +165,23 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ~n_samples
     (match cache with Some c -> c.Target.cached_commit i v' | None -> ());
     current.(i) <- v'
   in
-  let sweep_idx = ref 0 in
+  let sweep_idx =
+    ref (match resume with Some s -> s.s_sweep | None -> 0)
+  in
+  let snapshot () =
+    {
+      s_sweep = !sweep_idx;
+      s_rng = Rng.state rng;
+      s_current = Array.copy current;
+      s_steps = Array.copy steps;
+      s_log_post = !log_post;
+      s_accept_window = Array.copy accept_window;
+      s_kept = Array.map Array.copy (Array.sub kept 0 !kept_count);
+      s_accepted_post = !accepted_post;
+      s_proposed_post = !proposed_post;
+      s_cache = Option.map (fun c -> c.Target.cached_state ()) cache;
+    }
+  in
   let total_sweeps = burn_in + (n_samples * thin) in
   while !kept_count < n_samples do
     let in_burn_in = !sweep_idx < burn_in in
@@ -113,7 +216,13 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ~n_samples
     incr sweep_idx;
     (* Defensive: the loop is bounded by construction, but guard anyway. *)
     if !sweep_idx > total_sweeps + thin then
-      kept_count := n_samples
+      kept_count := n_samples;
+    (* Supervision / checkpoint hook: the state thunk is only materialised
+       when the supervisor actually saves.  Exceptions (budget aborts,
+       simulated kills) propagate to the caller. *)
+    match control with
+    | Some f -> f ~sweep:!sweep_idx ~state:snapshot
+    | None -> ()
   done;
   let acceptance =
     if !proposed_post = 0 then 0.0
@@ -123,6 +232,7 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ~n_samples
 
 let run_vector ~rng ?init ?(initial_step = 0.05) ?(thin = 1) ~n_samples
     ~burn_in target =
+  if thin <= 0 then invalid_arg "Metropolis.run_vector: thin must be positive";
   let dim = target.Target.dim in
   let current =
     match init with Some p -> Array.copy p | None -> default_init target

@@ -3,6 +3,8 @@ type support = Unit_interval | Unbounded
 type cache = {
   cached_delta : int -> float -> float;
   cached_commit : int -> float -> unit;
+  cached_state : unit -> float array;
+  cached_restore : float array -> unit;
 }
 
 type t = {
@@ -39,7 +41,16 @@ let default_cache t p0 =
     lp := !lp +. delta i v;
     point.(i) <- v
   in
-  { cached_delta = delta; cached_commit = commit }
+  let dim = Array.length point in
+  let cached_state () = Array.append point [| !lp |] in
+  let cached_restore s =
+    if Array.length s <> dim + 1 then
+      invalid_arg "Target.default_cache: saved cache state has wrong size";
+    Array.blit s 0 point 0 dim;
+    lp := s.(dim)
+  in
+  { cached_delta = delta; cached_commit = commit; cached_state;
+    cached_restore }
 
 let cache_at t p0 =
   match t.make_cache with Some mk -> mk p0 | None -> default_cache t p0

@@ -18,6 +18,18 @@ type cache = {
       (** [cached_commit i v] accepts the proposal: moves the cache's current
           point to coordinate [i] = [v] and updates the sufficient
           statistics.  Rejections need no call — they are free. *)
+  cached_state : unit -> float array;
+      (** Exact internal state as a flat float vector (current point plus
+          the incrementally-accumulated sufficient statistics).  Incremental
+          statistics drift from freshly-recomputed ones in the last ulp, so
+          checkpoints must carry this vector rather than rebuild — that is
+          what keeps a resumed chain bit-for-bit on the original
+          trajectory. *)
+  cached_restore : float array -> unit;
+      (** Inverse of [cached_state] for the same cache implementation:
+          overwrite the internal state with a previously exported vector.
+          Pure derived quantities are recomputed from the restored state.
+          Raises [Invalid_argument] when the vector has the wrong size. *)
 }
 (** Stateful single-site evaluation protocol.  A cache owns a private copy
     of the current point plus whatever per-observation sufficient statistics

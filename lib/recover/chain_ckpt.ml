@@ -1,0 +1,70 @@
+(* Per-chain checkpoint plumbing: what the inference driver needs to save
+   and restore a chain, without knowing about stores, files or cadences. *)
+
+type saved = { state : Sampler_state.t; prior_warnings : string list }
+
+type hooks = {
+  load : key:string -> saved option;
+  save : key:string -> sweep:int -> saved -> unit;
+  every_sweeps : int option;
+  every_seconds : float option;
+}
+
+let default_every_seconds = 30.0
+
+let encode_saved sv =
+  let w = Codec.writer () in
+  Sampler_state.encode w sv.state;
+  Codec.list w Codec.string sv.prior_warnings;
+  Codec.contents w
+
+let decode_saved payload =
+  let r = Codec.reader payload in
+  let state = Sampler_state.decode r in
+  let prior_warnings = Codec.read_list r Codec.read_string in
+  Codec.expect_end r;
+  { state; prior_warnings }
+
+let store_hooks store ~namespace ?(every_sweeps = None)
+    ?(every_seconds = Some default_every_seconds) () =
+  let full key = namespace ^ key in
+  let load ~key =
+    match Checkpoint.load store ~key:(full key) with
+    | None -> None
+    | Some payload -> (
+        (* A payload that passed the CRC but fails to decode is treated
+           the same as corruption: warn and start the chain fresh. *)
+        match decode_saved payload with
+        | sv -> Some sv
+        | exception Codec.Malformed _ -> None)
+  in
+  let save ~key ~sweep:_ sv =
+    Checkpoint.save store ~key:(full key) (encode_saved sv)
+  in
+  { load; save; every_sweeps; every_seconds }
+
+let make_control hooks ~key ~final_sweep ~prior_warnings =
+  let last_save_sweep = ref 0 in
+  let last_save_ns = ref (Monotonic_clock.now ()) in
+  fun ~sweep ~state ->
+    let due_sweeps =
+      match hooks.every_sweeps with
+      | Some n when n > 0 -> sweep - !last_save_sweep >= n
+      | _ -> false
+    in
+    let due_clock () =
+      match hooks.every_seconds with
+      | Some s ->
+          Int64.to_float (Int64.sub (Monotonic_clock.now ()) !last_save_ns)
+          *. 1e-9
+          >= s
+      | None -> false
+    in
+    (* Always persist the final sweep: a chain that finished just before a
+       kill then resumes instantly instead of replaying from its last
+       periodic snapshot. *)
+    if due_sweeps || sweep >= final_sweep || due_clock () then begin
+      hooks.save ~key ~sweep { state = state (); prior_warnings };
+      last_save_sweep := sweep;
+      last_save_ns := Monotonic_clock.now ()
+    end

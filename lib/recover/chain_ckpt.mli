@@ -1,0 +1,54 @@
+(** Per-chain checkpoint hooks for the inference driver.
+
+    The driver sees only {!hooks}: a way to load the last snapshot for a
+    chain key and a way to save one.  How snapshots are stored
+    ({!Checkpoint}), and when ({!make_control}'s cadence), is decided
+    here, so the sampling code has no filesystem or policy knowledge. *)
+
+type saved = {
+  state : Sampler_state.t;
+  prior_warnings : string list;
+      (** Restart warnings accumulated before the snapshot, so a resumed
+          chain reports exactly what an uninterrupted one would. *)
+}
+
+type hooks = {
+  load : key:string -> saved option;
+  save : key:string -> sweep:int -> saved -> unit;
+  every_sweeps : int option;  (** Save every N completed sweeps. *)
+  every_seconds : float option;  (** …or when this much wall time passed. *)
+}
+
+val default_every_seconds : float
+(** Default wall-clock cadence (30 s) — chosen so checkpointing costs
+    nothing measurable on runs that take minutes and at most one redundant
+    save on runs that take seconds. *)
+
+val encode_saved : saved -> string
+val decode_saved : string -> saved
+(** Raises {!Codec.Malformed} on bad input. *)
+
+val store_hooks :
+  Checkpoint.t ->
+  namespace:string ->
+  ?every_sweeps:int option ->
+  ?every_seconds:float option ->
+  unit ->
+  hooks
+(** Hooks backed by a {!Checkpoint} store; [namespace] prefixes every key
+    (e.g. one namespace per Beacon interval).  A snapshot that passes the
+    CRC but fails to decode loads as [None] (fresh start), never an
+    exception. *)
+
+val make_control :
+  hooks ->
+  key:string ->
+  final_sweep:int ->
+  prior_warnings:string list ->
+  sweep:int ->
+  state:(unit -> Sampler_state.t) ->
+  unit
+(** Per-sweep callback for a sampler's [?control] (after partial
+    application up to [prior_warnings]).  Saves when the sweep or
+    wall-clock cadence is due, and always on [final_sweep] so completed
+    chains resume instantly. *)

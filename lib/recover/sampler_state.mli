@@ -1,0 +1,22 @@
+(** Serialized form of a sampler's mid-run state.
+
+    One variant per resumable sampler, wrapping the transparent state
+    record the sampler itself defines.  The encode/decode pair is the only
+    place the on-disk layout of MCMC state is known. *)
+
+type t =
+  | Mh of Because_mcmc.Metropolis.state
+  | Hmc of Because_mcmc.Hmc.state
+  | Gibbs of Because_mcmc.Gibbs.state
+
+val sweep : t -> int
+(** Completed sweeps (iterations for HMC) at the snapshot. *)
+
+val draws_kept : t -> int
+(** Retained posterior draws at the snapshot. *)
+
+val encode : Codec.writer -> t -> unit
+
+val decode : Codec.reader -> t
+(** Raises {!Codec.Malformed} on an unrecognized or inconsistent
+    serialization. *)

@@ -1,0 +1,91 @@
+(* Per-chain supervision: wall-clock deadlines, sweep budgets, retry
+   backoff, and the campaign-level health verdict.
+
+   Budgets are enforced *cooperatively*: the sampler calls [tick] once per
+   completed sweep and we raise [Aborted] when a limit is crossed.  That
+   keeps cancellation deterministic for the sweep budget (always after the
+   same sweep) while the wall-clock deadline — inherently racy — is only
+   consulted every few sweeps to keep the healthy-path cost at an integer
+   compare. *)
+
+exception Aborted of string
+
+type budget = { deadline_s : float option; max_sweeps : int option }
+
+let unlimited = { deadline_s = None; max_sweeps = None }
+let is_unlimited b = b.deadline_s = None && b.max_sweeps = None
+
+type token = {
+  budget : budget;
+  label : string;
+  start_ns : int64;
+  mutable sweeps : int;
+}
+
+(* How often (in sweeps) the wall-clock deadline is consulted; the sweep
+   budget itself is checked every tick. *)
+let deadline_stride = 32
+
+let start ~label budget =
+  { budget; label; start_ns = Monotonic_clock.now (); sweeps = 0 }
+
+let elapsed_s token =
+  Int64.to_float (Int64.sub (Monotonic_clock.now ()) token.start_ns) *. 1e-9
+
+let sweeps token = token.sweeps
+
+let abort token fmt =
+  Printf.ksprintf (fun s -> raise (Aborted (token.label ^ ": " ^ s))) fmt
+
+let check token =
+  (match token.budget.max_sweeps with
+  | Some limit when token.sweeps >= limit ->
+      abort token "sweep budget exhausted (%d sweeps)" limit
+  | _ -> ());
+  match token.budget.deadline_s with
+  | Some limit when token.sweeps mod deadline_stride = 0 ->
+      let t = elapsed_s token in
+      if t > limit then
+        abort token "deadline exceeded (%.1fs elapsed, budget %.1fs)" limit t
+  | _ -> ()
+
+let tick token =
+  token.sweeps <- token.sweeps + 1;
+  check token
+
+(* --- retry backoff --- *)
+
+(* Busy-wait on the monotonic clock: the stats/mcmc layers have no Unix
+   dependency and restarts are rare, so burning a few milliseconds beats
+   pulling in a sleep syscall.  Capped so a misconfigured factor cannot
+   stall a chain. *)
+let backoff_s ~attempt ~base_s =
+  if attempt <= 0 then 0.0 else min 1.0 (base_s *. Float.of_int (1 lsl min attempt 10))
+
+let wait_backoff ~attempt ~base_s =
+  let d = backoff_s ~attempt ~base_s in
+  if d > 0.0 then begin
+    let t0 = Monotonic_clock.now () in
+    let target = Int64.add t0 (Int64.of_float (d *. 1e9)) in
+    while Int64.compare (Monotonic_clock.now ()) target < 0 do
+      Domain.cpu_relax ()
+    done
+  end
+
+(* --- campaign health --- *)
+
+type status = Healthy | Degraded of string list | Insufficient of string list
+
+let exit_code = function
+  | Healthy -> 0
+  | Degraded _ -> 3
+  | Insufficient _ -> 4
+
+let status_label = function
+  | Healthy -> "healthy"
+  | Degraded _ -> "degraded"
+  | Insufficient _ -> "insufficient"
+
+let status_reasons = function
+  | Healthy -> []
+  | Degraded rs | Insufficient rs -> rs

@@ -12,6 +12,7 @@ module Combine = Because_heuristics.Combine
 module Plan = Because_faults.Plan
 module Injector = Because_faults.Injector
 module Tel = Because_telemetry.Registry
+module Supervise = Because_recover.Supervise
 
 type params = {
   update_interval : float;
@@ -81,6 +82,7 @@ type outcome = {
   insufficient : Asn.t list;
   warnings : string list;
   telemetry : Because_telemetry.Snapshot.t option;
+  status : Supervise.status;
 }
 
 (* A /24 per churn prefix inside 172.16.0.0/12: 12 free network bits, so at
@@ -128,7 +130,80 @@ let schedule_background rng world script ~count ~mean_gap ~campaign_end =
     done
   end
 
-let run_multi world params ~intervals =
+(* Fingerprint of everything that determines the campaign's results: world
+   parameters, the fully-recorded stimulus script, the interval set, every
+   result-affecting campaign scalar, the noise and fault plans, and the
+   inference settings.  Parallelism knobs ([sim_jobs], [infer_config.jobs]),
+   the supervision budget and wall-clock-only backoff are deliberately
+   excluded: outcomes are jobs-invariant, and resuming with more workers or
+   a larger budget is exactly the operational move the checkpoint store
+   exists to allow. *)
+let fingerprint world params ~intervals ~script =
+  let ic = params.infer_config in
+  let infer_scalars =
+    ( ic.Because.Infer.n_samples,
+      ic.Because.Infer.burn_in,
+      ic.Because.Infer.thin,
+      ic.Because.Infer.prior,
+      ic.Because.Infer.false_negative_rate,
+      ic.Because.Infer.leapfrog_steps,
+      ic.Because.Infer.run_mh,
+      ic.Because.Infer.run_hmc,
+      ic.Because.Infer.max_restarts,
+      ic.Because.Infer.n_chains )
+  in
+  let campaign_scalars =
+    ( params.burst_duration,
+      params.break_duration,
+      params.cycles,
+      params.lead_in,
+      params.anchor_period,
+      params.min_r_delta,
+      params.match_threshold,
+      params.run_inference,
+      params.background_prefixes,
+      params.background_mean_gap,
+      params.min_path_support )
+  in
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( World.params world,
+            Script.ops script,
+            intervals,
+            campaign_scalars,
+            params.noise,
+            params.faults,
+            infer_scalars )
+          [ Marshal.No_sharing ]))
+
+(* Campaign health for one interval's outcome: inference that was asked for
+   but starved of observations is [Insufficient]; budget-aborted or fully
+   dead chains degrade to heuristics; everything else is healthy. *)
+let status_of ~params ~interval ~observations result =
+  if not params.run_inference then Supervise.Healthy
+  else
+    match result with
+    | None ->
+        if observations = [] then
+          Supervise.Insufficient
+            [
+              Printf.sprintf
+                "interval %gs: no labeled observations survived to localize"
+                interval;
+            ]
+        else Supervise.Healthy
+    | Some r ->
+        if r.Because.Infer.aborted <> [] then
+          Supervise.Degraded r.Because.Infer.aborted
+        else if r.Because.Infer.runs = [] then
+          Supervise.Degraded
+            (match r.Because.Infer.warnings with
+            | [] -> [ "every sampler chain was dropped" ]
+            | ws -> ws)
+        else Supervise.Healthy
+
+let run_multi ?recovery world params ~intervals =
   if intervals = [] then invalid_arg "Campaign.run_multi: no intervals";
   let distinct = List.sort_uniq Float.compare intervals in
   if List.length distinct <> List.length intervals then
@@ -192,15 +267,25 @@ let run_multi world params ~intervals =
           ~mean_gap:params.background_mean_gap ~campaign_end;
         fault_rng)
   in
+  (* The store opens only once the stimulus is complete: the fingerprint
+     covers the recorded script, so a snapshot can never be replayed into a
+     different campaign. *)
+  (match recovery with
+  | Some r ->
+      Recovery.attach r ~fingerprint:(fingerprint world params ~intervals ~script);
+      Recovery.note_phase r "stimulus"
+  | None -> ());
   let sim =
     Tel.Span.with_ params.telemetry ~name:"campaign.sim" (fun () ->
         Sharded.run ?fault_rng ~telemetry:params.telemetry
+          ?checkpoint:(Option.map Recovery.sim_hooks recovery)
           ~jobs:params.sim_jobs
           ~configs:(World.router_configs world)
           ~delay:(World.delay world)
           ~monitored:(World.monitored world)
           ~until:campaign_end script)
   in
+  Option.iter (fun r -> Recovery.note_phase r "simulated") recovery;
   let fault_log = Injector.log_of ~plan:params.faults sim.Sharded.fault_log in
   if Tel.is_enabled params.telemetry then
     Injector.flush_telemetry params.telemetry ~plan:params.faults
@@ -246,16 +331,28 @@ let run_multi world params ~intervals =
       let result =
         if params.run_inference && observations <> [] then begin
           let data = Because.Tomography.of_observations observations in
+          let checkpoint =
+            match recovery with
+            | Some r ->
+                (* One key namespace per interval: chains of different
+                   intervals are distinct posteriors. *)
+                Some
+                  (Recovery.chain_hooks r
+                     ~namespace:(Printf.sprintf "iv%d." k))
+            | None -> params.infer_config.Because.Infer.checkpoint
+          in
           let config =
             { params.infer_config with
               Because.Infer.node_priors = World.node_priors world;
-              telemetry = params.telemetry }
+              telemetry = params.telemetry;
+              checkpoint }
           in
           Tel.Span.with_ params.telemetry ~name:"campaign.infer" (fun () ->
               Some (Because.Infer.run ~rng:infer_rng ~config data))
         end
         else None
       in
+      let status = status_of ~params ~interval ~observations result in
       let categories_step1, categories, promotions, insufficient, warnings =
         match result with
         | None -> ([], [], [], [], [])
@@ -310,18 +407,27 @@ let run_multi world params ~intervals =
         insufficient;
         warnings;
         telemetry = None;
+        status;
       })
     (List.combine intervals schedules)
   in
   (* One snapshot for the whole multi-interval campaign, taken after every
      phase has flushed; each per-interval outcome carries the same view. *)
-  if Tel.is_enabled params.telemetry then
-    let snap = Tel.snapshot params.telemetry in
-    List.map (fun o -> { o with telemetry = Some snap }) outcomes
-  else outcomes
+  let snap =
+    if Tel.is_enabled params.telemetry then Some (Tel.snapshot params.telemetry)
+    else None
+  in
+  (match recovery with
+  | Some r ->
+      Recovery.note_phase r "complete";
+      Option.iter (Recovery.save_telemetry r) snap
+  | None -> ());
+  match snap with
+  | Some s -> List.map (fun o -> { o with telemetry = Some s }) outcomes
+  | None -> outcomes
 
-let run world params =
-  List.hd (run_multi world params ~intervals:[ params.update_interval ])
+let run ?recovery world params =
+  List.hd (run_multi ?recovery world params ~intervals:[ params.update_interval ])
 
 let with_jobs ?n_chains ?sim_jobs params jobs =
   let infer_config =

@@ -83,9 +83,22 @@ type outcome = {
       (** Merged metrics/span snapshot of the whole campaign, [Some] iff
           [params.telemetry] was enabled.  {!run_multi} outcomes share one
           snapshot taken after the last interval's inference. *)
+  status : Because_recover.Supervise.status;
+      (** Campaign health verdict, driving the CLI exit-code contract
+          (0/3/4 via {!Because_recover.Supervise.exit_code}): [Degraded]
+          when any chain was budget-aborted or every chain died (fall back
+          to heuristic localization); [Insufficient] when inference was
+          requested but no labeled observations survived; [Healthy]
+          otherwise.  Recovery/restore notes never appear here — a resumed
+          campaign's outcome equals the uninterrupted one bit-for-bit. *)
 }
 
-val run : World.t -> params -> outcome
+val run : ?recovery:Recovery.t -> World.t -> params -> outcome
+(** [recovery] attaches a durable checkpoint store once the stimulus is
+    built and fingerprinted: finished simulation shards are skipped on
+    resume, partial MCMC chains continue mid-stream, and the interrupted
+    run's outcome is bit-for-bit the uninterrupted one
+    (property-tested, including kills at arbitrary save points). *)
 
 val with_jobs : ?n_chains:int -> ?sim_jobs:int -> params -> int -> params
 (** [with_jobs params jobs] spreads each interval's inference over [jobs]
@@ -94,7 +107,8 @@ val with_jobs : ?n_chains:int -> ?sim_jobs:int -> params -> int -> params
     shards the simulation itself.  Campaign outcomes are bit-for-bit
     independent of [jobs] — only wall-clock changes. *)
 
-val run_multi : World.t -> params -> intervals:float list -> outcome list
+val run_multi :
+  ?recovery:Recovery.t -> World.t -> params -> intervals:float list -> outcome list
 (** One simulation carrying several oscillating prefixes per site — the
     paper's actual setup (March: 1/2/3-minute prefixes together, April:
     5/10/15).  Each site announces one prefix per interval plus the anchor;

@@ -12,6 +12,23 @@ type result = {
   shard_events : int array;
 }
 
+type shard_result = {
+  shard_feeds : (Asn.t * (float * Update.t) list) list;
+  shard_stats : Network.stats;
+  shard_fault_log : (float * Network.fault_event) list;
+  shard_events_count : int;
+}
+
+(* The checkpoint layer lives above this library (it needs serializers for
+   Update values and a durable store); the simulator only knows how to ask
+   it for a finished shard and how to hand one over.  Keyed by (shard,
+   shards): a result saved under a different shard count partitions the
+   prefixes differently and must not be reused. *)
+type checkpoint_hooks = {
+  load_shard : shard:int -> shards:int -> shard_result option;
+  save_shard : shard:int -> shards:int -> shard_result -> unit;
+}
+
 let feed result asn =
   match List.assoc_opt asn result.feeds with Some l -> l | None -> []
 
@@ -113,26 +130,64 @@ let flush_shard_telemetry reg ~shard net =
       (float_of_int (Network.max_queue_depth net))
   end
 
-let run ?fault_rng ?(telemetry = Tel.disabled) ~jobs ~configs ~delay ~monitored
-    ~until script =
+let count_restored telemetry =
+  if Tel.is_enabled telemetry then
+    Tel.Counter.add (Tel.Counter.v telemetry "sim.shards_restored") 1
+
+(* Run one shard, preferring its saved result.  A restored shard skips
+   network construction and replay entirely; its pre-split fault stream is
+   simply never drawn from (streams are split before any task runs, so
+   skipping one shard cannot perturb another's randomness). *)
+let run_shard ?rng ~checkpoint ~telemetry ~configs ~delay ~monitored ~until
+    ~script ~keep ~shard ~shards () =
+  let restored =
+    match checkpoint with
+    | Some h -> h.load_shard ~shard ~shards
+    | None -> None
+  in
+  match restored with
+  | Some sr ->
+      count_restored telemetry;
+      sr
+  | None ->
+      let net = Network.create ?fault_rng:rng ~configs ~delay ~monitored () in
+      Script.install ?keep script net;
+      Tel.Span.with_ telemetry
+        ~name:(Printf.sprintf "sim.shard%d.replay" shard) (fun () ->
+          Network.run net ~until);
+      flush_shard_telemetry telemetry ~shard net;
+      let sr =
+        {
+          shard_feeds = collect net monitored;
+          shard_stats = Network.stats net;
+          shard_fault_log = Network.fault_log net;
+          shard_events_count = Network.events_processed net;
+        }
+      in
+      (match checkpoint with
+      | Some h -> h.save_shard ~shard ~shards sr
+      | None -> ());
+      sr
+
+let run ?fault_rng ?(telemetry = Tel.disabled) ?checkpoint ~jobs ~configs
+    ~delay ~monitored ~until script =
   if jobs < 1 then invalid_arg "Sharded.run: jobs must be positive";
   let n_prefixes = Script.n_prefixes script in
   let shards = max 1 (min jobs n_prefixes) in
   if shards = 1 then begin
     (* Single-shard path: one network, full script in recording order — the
        event stream is bit-for-bit the historical sequential one. *)
-    let net = Network.create ?fault_rng ~configs ~delay ~monitored () in
-    Script.install script net;
-    Tel.Span.with_ telemetry ~name:"sim.shard0.replay" (fun () ->
-        Network.run net ~until);
-    flush_shard_telemetry telemetry ~shard:0 net;
+    let sr =
+      run_shard ?rng:fault_rng ~checkpoint ~telemetry ~configs ~delay
+        ~monitored ~until ~script ~keep:None ~shard:0 ~shards:1 ()
+    in
     {
-      feeds = collect net monitored;
-      stats = Network.stats net;
-      fault_log = Network.fault_log net;
-      events = Network.events_processed net;
+      feeds = sr.shard_feeds;
+      stats = sr.shard_stats;
+      fault_log = sr.shard_fault_log;
+      events = sr.shard_events_count;
       shards = 1;
-      shard_events = [| Network.events_processed net |];
+      shard_events = [| sr.shard_events_count |];
     }
   end
   else begin
@@ -149,24 +204,15 @@ let run ?fault_rng ?(telemetry = Tel.disabled) ~jobs ~configs ~delay ~monitored
     let tasks =
       Array.init shards (fun shard ->
           fun () ->
-            let net =
-              Network.create ?fault_rng:rngs.(shard) ~configs ~delay ~monitored
-                ()
-            in
-            Script.install ~keep:(fun p -> shard_of p = shard) script net;
-            Tel.Span.with_ telemetry
-              ~name:(Printf.sprintf "sim.shard%d.replay" shard) (fun () ->
-                Network.run net ~until);
-            flush_shard_telemetry telemetry ~shard net;
-            ( collect net monitored,
-              Network.stats net,
-              Network.fault_log net,
-              Network.events_processed net ))
+            run_shard ?rng:rngs.(shard) ~checkpoint ~telemetry ~configs
+              ~delay ~monitored ~until ~script
+              ~keep:(Some (fun p -> shard_of p = shard))
+              ~shard ~shards ())
     in
     let results = Parallel.run_tasks ~jobs tasks in
     Tel.Span.with_ telemetry ~name:"sim.merge" (fun () ->
         let shard_feeds =
-          Array.to_list (Array.map (fun (f, _, _, _) -> f) results)
+          Array.to_list (Array.map (fun sr -> sr.shard_feeds) results)
         in
         let rank_of prefix =
           match Script.rank script prefix with Some r -> r | None -> max_int
@@ -179,12 +225,16 @@ let run ?fault_rng ?(telemetry = Tel.disabled) ~jobs ~configs ~delay ~monitored
             |> List.rev;
           stats =
             merge_stats
-              (Array.to_list (Array.map (fun (_, s, _, _) -> s) results));
+              (Array.to_list (Array.map (fun sr -> sr.shard_stats) results));
           fault_log =
             merge_fault_logs
-              (Array.to_list (Array.map (fun (_, _, l, _) -> l) results));
-          events = Array.fold_left (fun acc (_, _, _, e) -> acc + e) 0 results;
+              (Array.to_list
+                 (Array.map (fun sr -> sr.shard_fault_log) results));
+          events =
+            Array.fold_left
+              (fun acc sr -> acc + sr.shard_events_count)
+              0 results;
           shards;
-          shard_events = Array.map (fun (_, _, _, e) -> e) results;
+          shard_events = Array.map (fun sr -> sr.shard_events_count) results;
         })
   end

@@ -36,9 +36,29 @@ type result = {
 
 val feed : result -> Asn.t -> (float * Update.t) list
 
+type shard_result = {
+  shard_feeds : (Asn.t * (float * Update.t) list) list;
+  shard_stats : Network.stats;
+  shard_fault_log : (float * Network.fault_event) list;
+  shard_events_count : int;
+}
+(** Everything one finished shard contributes to the merge — the unit of
+    simulation checkpointing. *)
+
+type checkpoint_hooks = {
+  load_shard : shard:int -> shards:int -> shard_result option;
+  save_shard : shard:int -> shards:int -> shard_result -> unit;
+}
+(** Durable-storage callbacks supplied by the recovery layer.  Keys carry
+    the shard count because a different [shards] partitions prefixes
+    differently — a saved result is only valid for the exact partition it
+    was computed under.  [save_shard] runs inside worker domains and must
+    be thread-safe. *)
+
 val run :
   ?fault_rng:Because_stats.Rng.t ->
   ?telemetry:Because_telemetry.Registry.t ->
+  ?checkpoint:checkpoint_hooks ->
   jobs:int ->
   configs:Router.config list ->
   delay:(from_asn:Asn.t -> to_asn:Asn.t -> float) ->
@@ -51,6 +71,13 @@ val run :
     the historical sequential event stream exactly.  [fault_rng] is split
     into one independent stream per shard.  Raises [Invalid_argument] if
     [jobs < 1].
+
+    [checkpoint] short-circuits finished shards: a shard whose saved result
+    loads is returned without building a network or replaying anything (its
+    pre-split fault stream is simply never drawn — skipping cannot perturb
+    other shards), and each freshly simulated shard is saved on completion.
+    Restored shards count into the [sim.shards_restored] telemetry counter
+    and skip their replay span.
 
     [telemetry] (default {!Because_telemetry.Registry.disabled}) receives,
     per shard and from inside the worker domain that ran it: a

@@ -15,18 +15,34 @@ let run_tasks ~jobs tasks =
     Array.iteri (fun i task -> results.(i) <- Some (task ())) tasks
   else begin
     let next = Atomic.make 0 in
+    (* First task exception wins; once set, workers stop claiming new tasks
+       (in-flight ones finish — cancellation is cooperative), every domain
+       is joined, and the exception is re-raised on the caller with its
+       original backtrace.  No domain is ever leaked mid-computation. *)
+    let failed : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
     let worker () =
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (tasks.(i) ());
-          loop ()
+        if Atomic.get failed = None then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match tasks.(i) () with
+            | r -> results.(i) <- Some r
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+            loop ()
+          end
         end
       in
       loop ()
     in
     let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
     worker ();
-    List.iter Domain.join domains
+    List.iter Domain.join domains;
+    match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end;
   Array.map Option.get results

@@ -10,4 +10,9 @@ val run_tasks : jobs:int -> (unit -> 'a) array -> 'a array
 (** [run_tasks ~jobs tasks] runs every task and returns their results in
     task-array order — the order (and, when tasks draw from pre-split RNG
     streams, the values) are identical for every [jobs].  Raises
-    [Invalid_argument] if [jobs < 1]. *)
+    [Invalid_argument] if [jobs < 1].
+
+    If a task raises, no further tasks are claimed (in-flight ones run to
+    completion — cancellation is cooperative), every spawned domain is
+    joined, and the first exception is re-raised on the caller with its
+    original backtrace.  Domains are never leaked. *)

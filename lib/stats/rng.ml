@@ -11,6 +11,21 @@ let mix z =
 let create seed = { state = mix (Int64.of_int seed) }
 let copy t = { state = t.state }
 
+let state t = Printf.sprintf "%016Lx" t.state
+
+let of_state s =
+  if String.length s <> 16 then
+    invalid_arg "Rng.of_state: expected 16 hex characters";
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+      | _ -> invalid_arg "Rng.of_state: malformed hex state")
+    s;
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some v -> { state = v }
+  | None -> invalid_arg "Rng.of_state: malformed hex state"
+
 let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state

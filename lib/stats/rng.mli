@@ -16,6 +16,18 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] duplicates the state; the copy evolves independently. *)
 
+val state : t -> string
+(** [state t] serializes the exact generator state as 16 lowercase hex
+    characters.  Pairs with {!of_state} to freeze and later continue a
+    stream bit-for-bit — the primitive the checkpoint/resume subsystem
+    builds on, and handy on its own for replaying a failing chain from the
+    state printed in a bug report. *)
+
+val of_state : string -> t
+(** [of_state s] rebuilds a generator from a {!state} string; the new
+    generator produces exactly the continuation of the serialized stream.
+    Raises [Invalid_argument] on anything but 16 hex characters. *)
+
 val split : t -> t
 (** [split t] derives a statistically independent child generator and
     advances [t].  Used to give subsystems their own streams so that adding

@@ -207,6 +207,34 @@ let test_chain_concat () =
   | _ -> Alcotest.fail "dimension mismatch accepted"
   | exception Invalid_argument _ -> ()
 
+let qcheck_append_vs_concat =
+  (* append folded left over the pieces must equal concat of the pieces,
+     draw for draw — concat is the one-allocation fast path. *)
+  QCheck.Test.make ~name:"Chain fold-append equals concat" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 1 6 >>= fun dim ->
+         list_size (int_range 1 5)
+           (list_size (int_range 1 12)
+              (array_repeat dim (float_range (-10.0) 10.0))
+           >|= Array.of_list)))
+    (fun matrices ->
+      let chains = List.map Chain.of_samples matrices in
+      let folded =
+        List.fold_left Chain.append (List.hd chains) (List.tl chains)
+      in
+      let concatenated = Chain.concat chains in
+      Chain.equal folded concatenated)
+
+let test_thin_guard () =
+  let chain = Chain.of_samples [| [| 1.0 |]; [| 2.0 |] |] in
+  List.iter
+    (fun k ->
+      match Chain.thin chain k with
+      | _ -> Alcotest.failf "thin accepted %d" k
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; min_int ]
+
 (* The stateful cache protocol: a generic cache built by [Target.cache_at]
    must drive the single-site sampler to the exact same chain as the
    stateless path — the protocol changes bookkeeping, not arithmetic. *)
@@ -356,6 +384,9 @@ let suite =
       QCheck_alcotest.to_alcotest qcheck_reflect_in_unit;
       Alcotest.test_case "chain operations" `Quick test_chain_ops;
       Alcotest.test_case "chain concat" `Quick test_chain_concat;
+      QCheck_alcotest.to_alcotest qcheck_append_vs_concat;
+      Alcotest.test_case "thin rejects non-positive stride" `Quick
+        test_thin_guard;
       Alcotest.test_case "cache protocol preserves the sampler" `Quick
         test_cache_protocol_preserves_sampler;
       Alcotest.test_case "cache_at tracks commits" `Quick

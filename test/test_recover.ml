@@ -1,0 +1,525 @@
+(* Durable checkpoint/resume and chain supervision.
+
+   The heart of this suite is the crash property: a campaign killed at an
+   arbitrary checkpoint save and then resumed must produce the bit-for-bit
+   outcome of the uninterrupted run — chains compared draw-by-draw at the
+   IEEE bit level, everything else by Marshal image — for sequential and
+   parallel configurations alike. *)
+
+module Codec = Because_recover.Codec
+module Checkpoint = Because_recover.Checkpoint
+module Supervise = Because_recover.Supervise
+module Chain = Because_mcmc.Chain
+module Sc = Because_scenario
+module Rng = Because_stats.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Codec primitives                                                     *)
+
+let test_codec_roundtrip () =
+  let w = Codec.writer () in
+  Codec.u8 w 0;
+  Codec.u8 w 255;
+  Codec.int w min_int;
+  Codec.int w max_int;
+  Codec.i64 w Int64.min_int;
+  Codec.float w Float.nan;
+  Codec.float w Float.neg_infinity;
+  Codec.float w (-0.0);
+  Codec.bool w true;
+  Codec.string w "";
+  Codec.string w "hello \x00 world";
+  Codec.option w Codec.int None;
+  Codec.option w Codec.int (Some 17);
+  Codec.list w Codec.float [ 1.5; -2.25 ];
+  Codec.float_array w [| 0.1; Float.infinity |];
+  Codec.int_array w [| -1; 0; 1 |];
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check int) "u8 lo" 0 (Codec.read_u8 r);
+  Alcotest.(check int) "u8 hi" 255 (Codec.read_u8 r);
+  Alcotest.(check int) "min_int" min_int (Codec.read_int r);
+  Alcotest.(check int) "max_int" max_int (Codec.read_int r);
+  Alcotest.(check int64) "i64" Int64.min_int (Codec.read_i64 r);
+  Alcotest.(check bool) "nan bits survive" true
+    (Int64.equal
+       (Int64.bits_of_float Float.nan)
+       (Int64.bits_of_float (Codec.read_float r)));
+  Alcotest.(check (float 0.0)) "-inf" Float.neg_infinity (Codec.read_float r);
+  Alcotest.(check bool) "-0. bits survive" true
+    (Int64.equal (Int64.bits_of_float (-0.0))
+       (Int64.bits_of_float (Codec.read_float r)));
+  Alcotest.(check bool) "bool" true (Codec.read_bool r);
+  Alcotest.(check string) "empty string" "" (Codec.read_string r);
+  Alcotest.(check string) "binary string" "hello \x00 world"
+    (Codec.read_string r);
+  Alcotest.(check (option int)) "none" None (Codec.read_option r Codec.read_int);
+  Alcotest.(check (option int)) "some" (Some 17)
+    (Codec.read_option r Codec.read_int);
+  Alcotest.(check (list (float 0.0))) "list" [ 1.5; -2.25 ]
+    (Codec.read_list r Codec.read_float);
+  Alcotest.(check (array (float 0.0))) "float array" [| 0.1; Float.infinity |]
+    (Codec.read_float_array r);
+  Alcotest.(check (array int)) "int array" [| -1; 0; 1 |]
+    (Codec.read_int_array r);
+  Codec.expect_end r
+
+let test_codec_truncation () =
+  let w = Codec.writer () in
+  Codec.i64 w 42L;
+  let body = Codec.contents w in
+  let truncated = String.sub body 0 (String.length body - 1) in
+  (match Codec.read_i64 (Codec.reader truncated) with
+  | _ -> Alcotest.fail "read past end"
+  | exception Codec.Malformed _ -> ());
+  let r = Codec.reader body in
+  ignore (Codec.read_i64 r);
+  Codec.expect_end r;
+  let r2 = Codec.reader body in
+  match Codec.expect_end r2 with
+  | () -> Alcotest.fail "expect_end accepted trailing bytes"
+  | exception Codec.Malformed _ -> ()
+
+let qcheck_codec_floats =
+  QCheck.Test.make ~name:"Codec float round-trips every bit pattern"
+    ~count:500 QCheck.float (fun f ->
+      let w = Codec.writer () in
+      Codec.float w f;
+      let back = Codec.read_float (Codec.reader (Codec.contents w)) in
+      Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float back))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint store                                                     *)
+
+(* A unique, not-yet-existing directory name per call (temp_file reserves
+   the name; the store creates the directory on open). *)
+let fresh_dir () =
+  let f = Filename.temp_file "because-recover" ".ckdir" in
+  Sys.remove f;
+  f
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_store_roundtrip () =
+  let dir = fresh_dir () in
+  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-1" in
+  Checkpoint.save store ~key:"alpha/beta" "payload-1";
+  Checkpoint.save store ~key:"alpha/beta" "payload-2";
+  Alcotest.(check (option string)) "latest wins" (Some "payload-2")
+    (Checkpoint.load store ~key:"alpha/beta");
+  Alcotest.(check (option string)) "missing key" None
+    (Checkpoint.load store ~key:"gamma");
+  (* Re-open with the same fingerprint: snapshots survive. *)
+  let store2 = Checkpoint.open_ ~dir ~fingerprint:"fp-1" in
+  Alcotest.(check (option string)) "reopen" (Some "payload-2")
+    (Checkpoint.load store2 ~key:"alpha/beta")
+
+let corrupt_file path =
+  let body = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string body in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x5a));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc b)
+
+let test_store_corruption_falls_back () =
+  let dir = fresh_dir () in
+  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-c" in
+  Checkpoint.save store ~key:"k" "old";
+  Checkpoint.save store ~key:"k" "new";
+  (* Corrupt the latest snapshot on disk; load must detect it via CRC,
+     quarantine it and fall back to the previous one — with a warning,
+     never a crash or a silent wrong answer. *)
+  corrupt_file (Filename.concat dir "k.ck");
+  let store2 = Checkpoint.open_ ~dir ~fingerprint:"fp-c" in
+  Alcotest.(check (option string)) "previous snapshot recovered" (Some "old")
+    (Checkpoint.load store2 ~key:"k");
+  Alcotest.(check bool) "fallback counted" true
+    (Checkpoint.fallbacks store2 > 0);
+  Alcotest.(check bool) "warning recorded" true
+    (Checkpoint.warnings store2 <> []);
+  Alcotest.(check bool) "corrupt file quarantined" true
+    (List.exists
+       (fun f -> contains ~sub:"corrupt" f)
+       (Array.to_list (Sys.readdir dir)))
+
+let test_store_fingerprint_mismatch () =
+  let dir = fresh_dir () in
+  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-old" in
+  Checkpoint.save store ~key:"k" "stale";
+  let store2 = Checkpoint.open_ ~dir ~fingerprint:"fp-new" in
+  Alcotest.(check (option string)) "stale snapshot not loadable" None
+    (Checkpoint.load store2 ~key:"k");
+  Alcotest.(check bool) "mismatch warned" true
+    (Checkpoint.warnings store2 <> [])
+
+let test_store_wrong_key_rejected () =
+  let dir = fresh_dir () in
+  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-k" in
+  Checkpoint.save store ~key:"a" "va";
+  (* Copy a's snapshot over b's slot: the envelope carries the key, so the
+     load must reject the transplant. *)
+  let a_file = Filename.concat dir "a.ck" in
+  let b_file = Filename.concat dir "b.ck" in
+  let body = In_channel.with_open_bin a_file In_channel.input_all in
+  Out_channel.with_open_bin b_file (fun oc ->
+      Out_channel.output_string oc body);
+  Alcotest.(check (option string)) "transplanted snapshot rejected" None
+    (Checkpoint.load store ~key:"b")
+
+(* ------------------------------------------------------------------ *)
+(* Supervision                                                          *)
+
+let test_supervise_sweep_budget_exact () =
+  let token =
+    Supervise.start ~label:"t"
+      { Supervise.deadline_s = None; max_sweeps = Some 5 }
+  in
+  for _ = 1 to 4 do
+    Supervise.tick token
+  done;
+  match Supervise.tick token with
+  | () -> Alcotest.fail "budget not enforced"
+  | exception Supervise.Aborted msg ->
+      Alcotest.(check bool) "labelled" true
+        (String.length msg > 0 && String.sub msg 0 1 = "t")
+
+let test_supervise_backoff () =
+  Alcotest.(check (float 1e-9)) "attempt 0" 0.0
+    (Supervise.backoff_s ~attempt:0 ~base_s:0.01);
+  Alcotest.(check (float 1e-9)) "attempt 1" 0.02
+    (Supervise.backoff_s ~attempt:1 ~base_s:0.01);
+  Alcotest.(check (float 1e-9)) "attempt 2" 0.04
+    (Supervise.backoff_s ~attempt:2 ~base_s:0.01);
+  Alcotest.(check (float 1e-9)) "capped at 1s" 1.0
+    (Supervise.backoff_s ~attempt:30 ~base_s:0.01)
+
+let test_exit_codes () =
+  Alcotest.(check int) "healthy" 0 (Supervise.exit_code Supervise.Healthy);
+  Alcotest.(check int) "degraded" 3
+    (Supervise.exit_code (Supervise.Degraded [ "r" ]));
+  Alcotest.(check int) "insufficient" 4
+    (Supervise.exit_code (Supervise.Insufficient [ "r" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign kill-and-resume                                             *)
+
+let mini_world =
+  lazy
+    (Sc.World.build
+       {
+         Sc.World.default_params with
+         n_vantage_hosts = 8;
+         topology =
+           { Because_topology.Generate.default_params with
+             n_transit = 12; n_stub = 30 };
+       })
+
+let mini_params ~jobs ~sim_jobs =
+  let p = Sc.Campaign.default_params ~update_interval:60.0 in
+  let p =
+    { p with
+      Sc.Campaign.cycles = 1;
+      infer_config =
+        { p.Sc.Campaign.infer_config with
+          Because.Infer.n_samples = 120; burn_in = 80 } }
+  in
+  Sc.Campaign.with_jobs ~sim_jobs p jobs
+
+(* Everything result-bearing and Marshal-safe in one digest; chains and
+   acceptance rates compared separately at the IEEE bit level.  No_sharing
+   because checkpoint decode rebuilds structurally-equal values without the
+   original physical sharing (an update delivered to several vantages is
+   one block in a live run, several after a round-trip) and the comparison
+   must be structural. *)
+let outcome_digest (o : Sc.Campaign.outcome) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( o.Sc.Campaign.records, o.Sc.Campaign.labeled,
+            o.Sc.Campaign.windows, o.Sc.Campaign.oscillating,
+            o.Sc.Campaign.anchors, o.Sc.Campaign.categories_step1,
+            o.Sc.Campaign.categories, o.Sc.Campaign.promotions,
+            o.Sc.Campaign.heuristic_verdicts, o.Sc.Campaign.deliveries,
+            o.Sc.Campaign.events, o.Sc.Campaign.fault_log,
+            o.Sc.Campaign.insufficient, o.Sc.Campaign.warnings,
+            o.Sc.Campaign.status )
+          [ Marshal.No_sharing ]))
+
+let runs_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ra : Because.Infer.sampler_run) (rb : Because.Infer.sampler_run) ->
+         String.equal ra.Because.Infer.name rb.Because.Infer.name
+         && ra.Because.Infer.chain_index = rb.Because.Infer.chain_index
+         && Int64.equal
+              (Int64.bits_of_float ra.Because.Infer.acceptance)
+              (Int64.bits_of_float rb.Because.Infer.acceptance)
+         && Chain.equal ra.Because.Infer.chain rb.Because.Infer.chain)
+       a b
+
+let check_outcomes_equal ~what a b =
+  Alcotest.(check string)
+    (what ^ ": outcome digest")
+    (outcome_digest a) (outcome_digest b);
+  match (a.Sc.Campaign.result, b.Sc.Campaign.result) with
+  | None, None -> ()
+  | Some ra, Some rb ->
+      Alcotest.(check bool) (what ^ ": chains bit-for-bit") true
+        (runs_equal ra.Because.Infer.runs rb.Because.Infer.runs);
+      Alcotest.(check (list string))
+        (what ^ ": infer warnings")
+        ra.Because.Infer.warnings rb.Because.Infer.warnings;
+      Alcotest.(check (list string))
+        (what ^ ": aborted")
+        ra.Because.Infer.aborted rb.Because.Infer.aborted
+  | _ -> Alcotest.failf "%s: one run has a posterior, the other does not" what
+
+(* Run the campaign with a kill armed after [kill_after] saves; a [None]
+   budget completes cleanly.  Returns the outcome when the run survived. *)
+let run_checkpointed ?kill_after ~resume ~dir ~jobs ~sim_jobs () =
+  let recovery =
+    Sc.Recovery.create ~dir ~resume ~every_sweeps:25 ?kill_after_saves:kill_after
+      ()
+  in
+  let world = Lazy.force mini_world in
+  match Sc.Campaign.run ~recovery world (mini_params ~jobs ~sim_jobs) with
+  | outcome -> Some (outcome, recovery)
+  | exception Sc.Recovery.Killed -> None
+
+let test_kill_and_resume ~jobs ~sim_jobs () =
+  let clean =
+    match
+      Sc.Campaign.run (Lazy.force mini_world) (mini_params ~jobs ~sim_jobs)
+    with
+    | o -> o
+  in
+  (* Count the saves of an uninterrupted checkpointed run, then kill at a
+     spread of save indices (first, middle, late) and resume each. *)
+  let dir0 = fresh_dir () in
+  let total_saves =
+    match run_checkpointed ~resume:false ~dir:dir0 ~jobs ~sim_jobs () with
+    | Some (full, recovery) ->
+        check_outcomes_equal ~what:"checkpointing on vs off" clean full;
+        Sc.Recovery.saves recovery
+    | None -> Alcotest.fail "unkilled run raised Killed"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough save points to kill at (%d)" total_saves)
+    true (total_saves >= 3);
+  List.iter
+    (fun kill_after ->
+      let dir = fresh_dir () in
+      (match
+         run_checkpointed ~kill_after ~resume:false ~dir ~jobs ~sim_jobs ()
+       with
+      | None -> ()
+      | Some _ -> Alcotest.failf "kill at save %d never fired" kill_after);
+      match run_checkpointed ~resume:true ~dir ~jobs ~sim_jobs () with
+      | None -> Alcotest.failf "resume after kill %d was killed" kill_after
+      | Some (resumed, recovery) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "kill %d: something was restored or resumable"
+               kill_after)
+            true
+            (Sc.Recovery.restores recovery >= 0);
+          check_outcomes_equal
+            ~what:(Printf.sprintf "kill at save %d" kill_after)
+            clean resumed)
+    [ 1; total_saves / 2; total_saves - 1 ]
+
+let qcheck_kill_any_save_point =
+  (* The full property: for a random kill point and both parallelism
+     shapes, interrupted-then-resumed equals uninterrupted bit-for-bit. *)
+  let clean = lazy (
+    Sc.Campaign.run (Lazy.force mini_world) (mini_params ~jobs:1 ~sim_jobs:1))
+  in
+  QCheck.Test.make ~name:"kill at a random save point, resume, bit-for-bit"
+    ~count:6
+    QCheck.(pair (int_range 1 12) (int_range 0 1))
+    (fun (kill_after, par) ->
+      let jobs = if par = 1 then 4 else 1 in
+      let sim_jobs = jobs in
+      let dir = fresh_dir () in
+      match
+        run_checkpointed ~kill_after ~resume:false ~dir ~jobs ~sim_jobs ()
+      with
+      | Some (outcome, _) ->
+          (* Kill point beyond the run's total saves: completed normally —
+             must still equal the clean run. *)
+          outcome_digest outcome = outcome_digest (Lazy.force clean)
+      | None -> (
+          match run_checkpointed ~resume:true ~dir ~jobs ~sim_jobs () with
+          | None -> false
+          | Some (resumed, _) ->
+              let c = Lazy.force clean in
+              outcome_digest resumed = outcome_digest c
+              &&
+              (match (resumed.Sc.Campaign.result, c.Sc.Campaign.result) with
+              | Some ra, Some rb ->
+                  runs_equal ra.Because.Infer.runs rb.Because.Infer.runs
+              | None, None -> true
+              | _ -> false)))
+
+let test_corrupted_checkpoint_recovers () =
+  let dir = fresh_dir () in
+  let clean =
+    match run_checkpointed ~resume:false ~dir ~jobs:1 ~sim_jobs:1 () with
+    | Some (o, _) -> o
+    | None -> Alcotest.fail "clean run was killed"
+  in
+  (* Corrupt every snapshot of one chain (latest and previous), then
+     resume: CRC detection must quarantine both, restart that chain from
+     scratch, and still deliver the identical outcome plus a warning. *)
+  Array.iter
+    (fun f ->
+      if
+        Filename.check_suffix f ".ck"
+        && String.length f >= 6
+        && String.sub f 0 6 = "iv0.MH"
+      then corrupt_file (Filename.concat dir f))
+    (Sys.readdir dir);
+  match run_checkpointed ~resume:true ~dir ~jobs:1 ~sim_jobs:1 () with
+  | None -> Alcotest.fail "resume over corruption was killed"
+  | Some (resumed, recovery) ->
+      check_outcomes_equal ~what:"resume over corrupted chain snapshots"
+        clean resumed;
+      Alcotest.(check bool) "corruption warned" true
+        (Sc.Recovery.warnings recovery <> [])
+
+let test_budget_degrades_campaign () =
+  let world = Lazy.force mini_world in
+  let p = mini_params ~jobs:1 ~sim_jobs:1 in
+  let p =
+    { p with
+      Sc.Campaign.infer_config =
+        { p.Sc.Campaign.infer_config with
+          Because.Infer.supervise =
+            { Supervise.deadline_s = None; max_sweeps = Some 40 } } }
+  in
+  let outcome = Sc.Campaign.run world p in
+  (match outcome.Sc.Campaign.status with
+  | Supervise.Degraded reasons ->
+      Alcotest.(check bool) "reasons name the budget" true
+        (List.exists (contains ~sub:"budget") reasons)
+  | s -> Alcotest.failf "expected Degraded, got %s" (Supervise.status_label s));
+  Alcotest.(check int) "degraded exit code" 3
+    (Supervise.exit_code outcome.Sc.Campaign.status);
+  (* Heuristic localization still works on the degraded outcome. *)
+  Alcotest.(check bool) "heuristic verdicts survive" true
+    (outcome.Sc.Campaign.heuristic_verdicts <> [])
+
+let test_resume_with_different_jobs () =
+  (* Checkpoints carry exact RNG stream state, so a resume may change the
+     worker count freely — outcomes are jobs-invariant either way. *)
+  let clean =
+    Sc.Campaign.run (Lazy.force mini_world) (mini_params ~jobs:1 ~sim_jobs:1)
+  in
+  let dir = fresh_dir () in
+  (match
+     run_checkpointed ~kill_after:3 ~resume:false ~dir ~jobs:1 ~sim_jobs:1 ()
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "kill never fired");
+  match run_checkpointed ~resume:true ~dir ~jobs:4 ~sim_jobs:4 () with
+  | None -> Alcotest.fail "resume was killed"
+  | Some (resumed, _) ->
+      check_outcomes_equal ~what:"resume under different parallelism" clean
+        resumed
+
+let test_shard_result_codec_roundtrip () =
+  let sr =
+    {
+      Because_sim.Sharded.shard_feeds =
+        [
+          ( Because_bgp.Asn.of_int 65001,
+            [
+              ( 12.5,
+                Because_bgp.Update.Announce
+                  {
+                    prefix = Because_bgp.Prefix.make 0x0A000000l 24;
+                    as_path =
+                      [ Because_bgp.Asn.of_int 65001;
+                        Because_bgp.Asn.of_int 65002 ];
+                    aggregator =
+                      Some
+                        {
+                          Because_bgp.Update.aggregator_asn =
+                            Because_bgp.Asn.of_int 65002;
+                          sent_at = 12.25;
+                          valid = true;
+                        };
+                  } );
+              ( 99.75,
+                Because_bgp.Update.Withdraw
+                  { prefix = Because_bgp.Prefix.make 0x0A000000l 24 } );
+            ] );
+        ];
+      shard_stats =
+        {
+          Because_sim.Network.deliveries = 7;
+          announcements = 3;
+          withdrawals = 2;
+          lost = 1;
+          duplicated = 0;
+          session_drops = 4;
+          session_recoveries = 4;
+        };
+      shard_fault_log =
+        [
+          ( 5.0,
+            Because_sim.Network.Fault_session_down
+              {
+                owner = Because_bgp.Asn.of_int 65001;
+                peer = Because_bgp.Asn.of_int 65002;
+                reason = "reset";
+              } );
+          ( 6.0,
+            Because_sim.Network.Fault_update_lost
+              {
+                from_asn = Because_bgp.Asn.of_int 65002;
+                to_asn = Because_bgp.Asn.of_int 65003;
+              } );
+        ];
+      shard_events_count = 42;
+    }
+  in
+  let back = Sc.Recovery.decode_shard_result (Sc.Recovery.encode_shard_result sr) in
+  Alcotest.(check string) "shard_result round-trips"
+    (Digest.to_hex (Digest.string (Marshal.to_string sr [ Marshal.No_sharing ])))
+    (Digest.to_hex (Digest.string (Marshal.to_string back [ Marshal.No_sharing ])))
+
+let suite =
+  ( "recover",
+    [
+      Alcotest.test_case "codec round-trip" `Quick test_codec_roundtrip;
+      Alcotest.test_case "codec truncation detected" `Quick
+        test_codec_truncation;
+      QCheck_alcotest.to_alcotest qcheck_codec_floats;
+      Alcotest.test_case "store round-trip" `Quick test_store_roundtrip;
+      Alcotest.test_case "store corruption falls back" `Quick
+        test_store_corruption_falls_back;
+      Alcotest.test_case "store fingerprint mismatch" `Quick
+        test_store_fingerprint_mismatch;
+      Alcotest.test_case "store rejects transplanted key" `Quick
+        test_store_wrong_key_rejected;
+      Alcotest.test_case "sweep budget exact" `Quick
+        test_supervise_sweep_budget_exact;
+      Alcotest.test_case "backoff schedule" `Quick test_supervise_backoff;
+      Alcotest.test_case "exit codes 0/3/4" `Quick test_exit_codes;
+      Alcotest.test_case "shard_result codec round-trip" `Quick
+        test_shard_result_codec_roundtrip;
+      Alcotest.test_case "kill and resume (sequential)" `Slow
+        (test_kill_and_resume ~jobs:1 ~sim_jobs:1);
+      Alcotest.test_case "kill and resume (4 jobs)" `Slow
+        (test_kill_and_resume ~jobs:4 ~sim_jobs:4);
+      QCheck_alcotest.to_alcotest qcheck_kill_any_save_point;
+      Alcotest.test_case "corrupted chain snapshot recovers" `Slow
+        test_corrupted_checkpoint_recovers;
+      Alcotest.test_case "budget degrades, exit 3" `Slow
+        test_budget_degrades_campaign;
+      Alcotest.test_case "resume under different parallelism" `Slow
+        test_resume_with_different_jobs;
+    ] )

@@ -121,6 +121,46 @@ let qcheck_int_in_bounds =
       let v = Rng.int rng bound in
       v >= 0 && v < bound)
 
+let test_state_roundtrip_exact () =
+  (* of_state (state rng) must continue the exact stream: checkpointed
+     chains rely on this to resume bit-for-bit. *)
+  let rng = Rng.create 42 in
+  for _ = 1 to 17 do
+    ignore (Rng.int64 rng)
+  done;
+  let saved = Rng.state rng in
+  Alcotest.(check int) "state is 16 hex chars" 16 (String.length saved);
+  let restored = Rng.of_state saved in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "identical continuation" (Rng.int64 rng)
+      (Rng.int64 restored)
+  done
+
+let test_of_state_invalid () =
+  List.iter
+    (fun s ->
+      match Rng.of_state s with
+      | _ -> Alcotest.failf "accepted %S" s
+      | exception Invalid_argument _ -> ())
+    [ ""; "abc"; "00000000000000"; "0000000000000000ff"; "zzzzzzzzzzzzzzzz";
+      "0x00000000000000"; " 000000000000000" ]
+
+let qcheck_state_roundtrip =
+  QCheck.Test.make ~name:"Rng.state/of_state round-trips any stream position"
+    ~count:300
+    QCheck.(pair small_int (int_range 0 200))
+    (fun (seed, draws) ->
+      let rng = Rng.create seed in
+      for _ = 1 to draws do
+        ignore (Rng.int64 rng)
+      done;
+      let restored = Rng.of_state (Rng.state rng) in
+      (* Same serialized state again, and the next 8 draws agree. *)
+      String.equal (Rng.state rng) (Rng.state restored)
+      && List.for_all
+           (fun _ -> Int64.equal (Rng.int64 rng) (Rng.int64 restored))
+           [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
 let qcheck_choice_member =
   QCheck.Test.make ~name:"Rng.choice returns a member" ~count:200
     QCheck.(pair small_int (array_of_size Gen.(int_range 1 20) int))
@@ -147,6 +187,11 @@ let suite =
       Alcotest.test_case "sample without replacement" `Quick
         test_sample_without_replacement;
       Alcotest.test_case "sample too large" `Quick test_sample_too_large;
+      Alcotest.test_case "state round-trip exact" `Quick
+        test_state_roundtrip_exact;
+      Alcotest.test_case "of_state rejects malformed" `Quick
+        test_of_state_invalid;
+      QCheck_alcotest.to_alcotest qcheck_state_roundtrip;
       QCheck_alcotest.to_alcotest qcheck_int_in_bounds;
       QCheck_alcotest.to_alcotest qcheck_choice_member;
     ] )
