@@ -30,6 +30,8 @@ let sections : (string * string * (unit -> unit)) list =
     ("faults", "fault-injection severity sweep", Faults.run);
     ("kernels", "Bechamel kernel micro-benchmarks", Kernels.run);
     ("sim", "simulator throughput and router hot path", Sim.run);
+    ("service", "always-on scheduler throughput and drain overhead",
+     Service_bench.run);
   ]
 
 let () =

@@ -6,7 +6,8 @@
      campaign    run a full measurement campaign on a simulated world
      sweep       run campaigns across all six update intervals (Fig. 12)
      infer       run BeCAUSe on labeled paths from a file
-     rov         benchmark BeCAUSe on a simulated ROV dataset *)
+     rov         benchmark BeCAUSe on a simulated ROV dataset
+     serve       always-on service: schedule many campaigns, drain on signal *)
 
 open Because_bgp
 open Cmdliner
@@ -367,12 +368,28 @@ let print_campaign_summary world outcome =
   in
   Format.printf "against planted deployment: %a@." Because.Evaluate.pp m
 
+(* First SIGTERM/SIGINT: raise the process-wide drain flag — every
+   supervised chain checkpoints at its next sweep boundary and the run
+   exits 5, resumable with --resume.  Second signal: give up waiting and
+   exit 6.  The handler body is async-safe: one atomic fetch-and-add plus
+   one atomic store. *)
+let install_drain_handlers () =
+  let seen = Atomic.make 0 in
+  let handle _ =
+    if Atomic.fetch_and_add seen 1 = 0 then Supervise.request_drain ()
+    else Stdlib.exit 6
+  in
+  List.iter
+    (fun s -> Sys.set_signal s (Sys.Signal_handle handle))
+    [ Sys.sigterm; Sys.sigint ]
+
 let campaign_cmd =
   let run seed sizes interval cycles severity jobs chains sim_jobs telemetry
       metrics_out trace_out checkpoint_dir resume checkpoint_every
       chain_deadline sweep_budget =
     if resume && checkpoint_dir = None then
       failwith "--resume requires --checkpoint-dir";
+    install_drain_handlers ();
     let recovery =
       Option.map
         (fun dir ->
@@ -403,7 +420,22 @@ let campaign_cmd =
           Format.printf "fault plan:@.%a@." Because_faults.Plan.pp plan;
           { base with Sc.Campaign.faults = plan; min_path_support = 2 }
     in
-    let outcome = Sc.Campaign.run ?recovery world params in
+    let outcome =
+      match Sc.Campaign.run ?recovery world params with
+      | outcome -> outcome
+      | exception Supervise.Drained ->
+          (* Exit-code 5: interrupted by signal, final checkpoint written
+             (when --checkpoint-dir is set); rerun with --resume to finish
+             bit-for-bit. *)
+          Printf.eprintf
+            "because: drained on signal; %s\n%!"
+            (match checkpoint_dir with
+            | Some dir ->
+                Printf.sprintf
+                  "state checkpointed under %s — rerun with --resume" dir
+            | None -> "no --checkpoint-dir, progress discarded");
+          Stdlib.exit 5
+    in
     (* Recovery bookkeeping goes to stderr: stdout must be byte-for-byte
        identical between a clean run and an interrupted-then-resumed one
        (the CI resume-smoke job diffs them). *)
@@ -728,6 +760,211 @@ let rov_cmd =
     Term.(const run $ seed_arg $ world_size_args)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+
+module Service = Because_service.Service
+module Sspec = Because_service.Spec
+module Admission = Because_service.Admission
+
+let ingest_line svc line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then ()
+  else
+    match Sspec.of_line line with
+    | Error e -> Printf.eprintf "serve: reject: %s\n%!" e
+    | Ok spec -> (
+        match Service.submit svc spec with
+        | Ok seq ->
+            Printf.printf "serve: admitted %s (seq %d)\n%!" spec.Sspec.id seq
+        | Error reason ->
+            Printf.eprintf "serve: reject %s: %s\n%!" spec.Sspec.id
+              (Admission.reason_to_string reason))
+
+let ingest_file svc path =
+  In_channel.with_open_text path (fun ic ->
+      In_channel.input_lines ic |> List.iter (ingest_line svc))
+
+(* Spool intake: every *.campaign file under DIR is one or more spec lines;
+   ingested files are renamed *.campaign.done so they are picked up exactly
+   once.  A plain directory is the whole submission API — no sockets, no
+   extra dependencies, trivially scriptable. *)
+let scan_spool svc dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".campaign" then begin
+          let path = Filename.concat dir f in
+          ingest_file svc path;
+          Sys.rename path (path ^ ".done")
+        end)
+      (Sys.readdir dir)
+
+let serve_cmd =
+  let state_dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Root of the service's durable state: queue snapshot, \
+             per-campaign checkpoints, reports, status.json/metrics.prom.")
+  in
+  let spool_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Poll DIR for $(b,*.campaign) spec files (one key=value spec \
+             per line); ingested files are renamed $(b,*.campaign.done).")
+  in
+  let spec_files_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"SPEC-FILE" ~doc:"Spec files to ingest at startup.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: submissions past N queued campaigns are \
+             rejected (backpressure), never buffered unboundedly.")
+  in
+  let service_jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains — campaigns run concurrently, isolated.")
+  in
+  let campaign_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "campaign-jobs" ] ~docv:"N"
+          ~doc:
+            "Inference pool size inside each campaign (outcomes are \
+             bit-for-bit jobs-invariant).")
+  in
+  let max_attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:
+            "Runs per campaign before it is declared insufficient; \
+             retries restart from the last checkpoint with capped \
+             exponential backoff.")
+  in
+  let serve_resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Warm-start from the state directory: completed campaigns \
+             keep their reports, interrupted ones resume from their \
+             checkpoints bit-for-bit.  Without it the state directory is \
+             wiped.")
+  in
+  let oneshot_arg =
+    Arg.(
+      value & flag
+      & info [ "oneshot" ]
+          ~doc:
+            "Ingest the startup spec files and the spool once, run the \
+             queue dry, exit.  Without it the service polls the spool \
+             until a signal drains it.")
+  in
+  let poll_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "poll" ] ~docv:"SECONDS" ~doc:"Spool/status poll period.")
+  in
+  let kill_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after-saves" ] ~docv:"N"
+          ~doc:
+            "Chaos hook (testing): hard-kill every campaign at its next \
+             checkpoint write once N saves happened service-wide, exit 5; \
+             a --resume rerun must complete identically.")
+  in
+  let run state_dir spool spec_files max_queue jobs campaign_jobs
+      max_attempts resume oneshot poll_s checkpoint_every chain_deadline
+      sweep_budget telemetry metrics_out trace_out kill_after =
+    let reg = registry_of ~telemetry ~metrics_out ~trace_out in
+    let cfg =
+      { (Service.default_config ~state_dir) with
+        Service.limit = max_queue;
+        jobs;
+        campaign_jobs;
+        max_attempts;
+        every_sweeps =
+          (match checkpoint_every with Some _ as e -> e | None -> Some 25);
+        chain_deadline_s = chain_deadline;
+        sweep_budget;
+        telemetry = reg;
+        kill_after_saves = kill_after }
+    in
+    let svc = if resume then Service.load cfg else Service.create cfg in
+    List.iter (Printf.eprintf "serve: recovery: %s\n%!") (Service.warnings svc);
+    install_drain_handlers ();
+    List.iter (ingest_file svc) spec_files;
+    Option.iter (scan_spool svc) spool;
+    let verdict =
+      if oneshot then Service.run_until_idle svc
+      else begin
+        Service.start svc;
+        let last_matrix = ref "" in
+        while not (Service.draining svc || Service.killed svc) do
+          Unix.sleepf poll_s;
+          Option.iter (scan_spool svc) spool;
+          Service.write_status svc;
+          let m = Because_service.Store.matrix (Service.store svc) in
+          if m <> !last_matrix then begin
+            last_matrix := m;
+            print_string m;
+            flush stdout
+          end
+        done;
+        (* A signal raised the global drain flag; now do the mutex-side
+           half the handler could not: stop admissions, wake idle
+           workers. *)
+        Service.drain svc;
+        Service.join svc
+      end
+    in
+    let warned = Service.warnings svc in
+    List.iteri
+      (fun i w -> if i < 50 then Printf.eprintf "serve: recovery: %s\n%!" w)
+      warned;
+    print_string (Because_service.Store.matrix (Service.store svc));
+    Printf.printf "serve: %s\n"
+      (match verdict with
+      | Service.Completed -> "completed"
+      | Service.Drained -> "drained (resumable with --resume)"
+      | Service.Killed -> "killed by chaos hook (resumable with --resume)");
+    (* Exit contract: 0/3/4 health rollup when the queue ran dry; 5 when
+       interrupted-but-checkpointed (drain or chaos kill); 6 on a second
+       signal (forced, from the handler); 1 on hard failure. *)
+    let code = Service.exit_code svc verdict in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Always-on tomography service: multiplex many campaigns over a \
+          worker pool with bounded admission, per-campaign supervision \
+          and graceful drain.  Exit codes: 0 healthy, 3 degraded, 4 \
+          insufficient, 5 interrupted-but-checkpointed (rerun with \
+          $(b,--resume)), 6 forced shutdown, 1 hard failure.")
+    Term.(
+      const run $ state_dir_arg $ spool_arg $ spec_files_arg $ max_queue_arg
+      $ service_jobs_arg $ campaign_jobs_arg $ max_attempts_arg
+      $ serve_resume_arg $ oneshot_arg $ poll_arg $ checkpoint_every_arg
+      $ chain_deadline_arg $ sweep_budget_arg $ telemetry_arg
+      $ metrics_out_arg $ trace_out_arg $ kill_after_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -743,7 +980,7 @@ let () =
          (Cmd.group (Cmd.info "because" ~doc)
             [
               topology_cmd; rfd_trace_cmd; campaign_cmd; sweep_cmd; infer_cmd;
-              export_dump_cmd; label_dump_cmd; rov_cmd;
+              export_dump_cmd; label_dump_cmd; rov_cmd; serve_cmd;
             ])
      with e ->
        Printf.eprintf "because: fatal: %s\n" (Printexc.to_string e);

@@ -47,8 +47,3 @@ let outage_windows rng params ~campaign_end =
     end
   in
   go params.max_outages [] |> List.sort compare
-
-let outage_window rng params ~campaign_end =
-  match outage_windows rng { params with max_outages = 1 } ~campaign_end with
-  | [] -> None
-  | w :: _ -> Some w

@@ -34,10 +34,4 @@ val outage_windows :
 (** Draw the outage windows for one vantage point: up to [max_outages]
     windows, sorted by start time (possibly overlapping).  With
     [max_outages = 1] this consumes the same RNG draws as the historical
-    {!outage_window}. *)
-
-val outage_window :
-  Because_stats.Rng.t -> params -> campaign_end:float -> (float * float) option
-[@@ocaml.deprecated "Use Noise.outage_windows, which supports several outages."]
-(** Draw a single outage window (forces [max_outages = 1]).
-    @deprecated use {!outage_windows}. *)
+    single-window API it replaced. *)

@@ -111,11 +111,22 @@ let run_with_restarts ~config ~rng ~name ~chain_index sample =
     if k > 0 && resume = None then
       Supervise.wait_backoff ~attempt:k ~base_s:config.retry_backoff_s;
     let token = Supervise.start ~label:key config.supervise in
+    (* Every chain gets a control callback so a process-wide drain request
+       (SIGTERM, service shutdown) reaches it at the next sweep boundary.
+       With checkpoint hooks the drain writes one final snapshot first —
+       resuming loses no work; without them it just stops.  The drain check
+       is an atomic load and never touches an RNG stream, so results stay
+       bit-for-bit identical to the control-free path. *)
     let control =
       match config.checkpoint with
       | None ->
-          if Supervise.is_unlimited config.supervise then None
-          else Some (fun ~sweep:_ ~state:_ -> Supervise.tick token)
+          if Supervise.is_unlimited config.supervise then
+            Some (fun ~sweep:_ ~state:_ -> Supervise.check_drain ())
+          else
+            Some
+              (fun ~sweep:_ ~state:_ ->
+                Supervise.check_drain ();
+                Supervise.tick token)
       | Some hooks ->
           let save_ctl =
             Chain_ckpt.make_control hooks ~key ~final_sweep
@@ -123,6 +134,11 @@ let run_with_restarts ~config ~rng ~name ~chain_index sample =
           in
           Some
             (fun ~sweep ~state ->
+              if Supervise.draining () then begin
+                Chain_ckpt.save_now hooks ~key ~prior_warnings:warnings
+                  ~sweep ~state;
+                raise Supervise.Drained
+              end;
               Supervise.tick token;
               save_ctl ~sweep ~state)
     in

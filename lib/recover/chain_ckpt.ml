@@ -43,6 +43,9 @@ let store_hooks store ~namespace ?(every_sweeps = None)
   in
   { load; save; every_sweeps; every_seconds }
 
+let save_now hooks ~key ~prior_warnings ~sweep ~state =
+  hooks.save ~key ~sweep { state = state (); prior_warnings }
+
 let make_control hooks ~key ~final_sweep ~prior_warnings =
   let last_save_sweep = ref 0 in
   let last_save_ns = ref (Monotonic_clock.now ()) in

@@ -40,6 +40,17 @@ val store_hooks :
     CRC but fails to decode loads as [None] (fresh start), never an
     exception. *)
 
+val save_now :
+  hooks ->
+  key:string ->
+  prior_warnings:string list ->
+  sweep:int ->
+  state:(unit -> Sampler_state.t) ->
+  unit
+(** Persist the chain's state unconditionally — the drain path: a chain
+    told to stop ({!Supervise.request_drain}) writes one final snapshot at
+    the sweep it reached, so a later resume loses no work. *)
+
 val make_control :
   hooks ->
   key:string ->

@@ -53,6 +53,21 @@ let tick token =
   token.sweeps <- token.sweeps + 1;
   check token
 
+(* --- cooperative drain --- *)
+
+(* One process-wide flag, not per-token: a drain (SIGTERM, service
+   shutdown) applies to every chain of every campaign in the process, and
+   the flag must be readable from any worker domain without plumbing a
+   handle through the sampler layers.  Signal handlers only set it; sampler
+   control callbacks poll it once per sweep. *)
+exception Drained
+
+let drain_flag = Atomic.make false
+let request_drain () = Atomic.set drain_flag true
+let clear_drain () = Atomic.set drain_flag false
+let draining () = Atomic.get drain_flag
+let check_drain () = if Atomic.get drain_flag then raise Drained
+
 (* --- retry backoff --- *)
 
 (* Busy-wait on the monotonic clock: the stats/mcmc layers have no Unix

@@ -39,6 +39,31 @@ val check : token -> unit
 val sweeps : token -> int
 val elapsed_s : token -> float
 
+(** {1 Cooperative drain}
+
+    A graceful shutdown (SIGTERM/SIGINT, service drain) is requested by
+    setting one process-wide flag; sampler control callbacks poll it once
+    per sweep, checkpoint their chain state and raise {!Drained}.  Unlike
+    {!Aborted} — which marks a chain as over budget and degrades the
+    campaign — {!Drained} propagates out of the whole run untouched: the
+    interrupted campaign is neither failed nor degraded, just unfinished,
+    and a resume completes it bit-for-bit. *)
+
+exception Drained
+(** Raised by {!check_drain} (and the inference driver's per-sweep control)
+    once a drain was requested.  Never caught below the campaign driver. *)
+
+val request_drain : unit -> unit
+(** Ask every supervised chain in the process to checkpoint and stop at its
+    next sweep boundary.  Async-signal-safe (one atomic store). *)
+
+val clear_drain : unit -> unit
+(** Reset the flag — a fresh service generation (or the next test) starts
+    undrained. *)
+
+val draining : unit -> bool
+val check_drain : unit -> unit
+
 val backoff_s : attempt:int -> base_s:float -> float
 (** Exponential backoff delay before restart [attempt] (1-based), capped
     at one second.  [attempt <= 0] is [0]. *)

@@ -286,6 +286,10 @@ let run_multi ?recovery world params ~intervals =
           ~until:campaign_end script)
   in
   Option.iter (fun r -> Recovery.note_phase r "simulated") recovery;
+  (* Drain boundary: a shutdown requested mid-simulation lands here once
+     the in-flight shards have checkpointed; everything below is cheaper to
+     recompute on resume than to persist. *)
+  Supervise.check_drain ();
   let fault_log = Injector.log_of ~plan:params.faults sim.Sharded.fault_log in
   if Tel.is_enabled params.telemetry then
     Injector.flush_telemetry params.telemetry ~plan:params.faults
@@ -308,6 +312,7 @@ let run_multi ?recovery world params ~intervals =
   let outcomes =
     List.mapi
     (fun k (interval, schedule) ->
+      Supervise.check_drain ();
       let infer_rng = World.fresh_rng world ~salt:(salt + 3 + k) in
       let oscillating =
         List.fold_left

@@ -24,6 +24,7 @@ val create :
   ?every_sweeps:int ->
   ?every_seconds:float ->
   ?kill_after_saves:int ->
+  ?kill_switch:(unit -> bool) ->
   unit ->
   t
 (** [resume] (default [false]): a fresh run clears previous snapshots on
@@ -31,7 +32,11 @@ val create :
     reads them.  [every_sweeps] / [every_seconds] set the chain snapshot
     cadence ([every_seconds] defaults to
     {!Because_recover.Chain_ckpt.default_every_seconds}).
-    [kill_after_saves] arms the {!Killed} test hook. *)
+    [kill_after_saves] arms the {!Killed} test hook on this store's own
+    save counter; [kill_switch] is its service-wide sibling — consulted
+    before every save, it lets one shared counter kill every campaign of a
+    multi-campaign service at an arbitrary point (the whole-service crash
+    harness). *)
 
 val attach : t -> fingerprint:string -> unit
 (** Open (creating if needed) the store under [dir], pinned to

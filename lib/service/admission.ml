@@ -1,0 +1,63 @@
+type reason =
+  | Queue_full of { limit : int }
+  | Duplicate of { id : string }
+  | Draining
+  | Invalid of string
+
+let reason_to_string = function
+  | Queue_full { limit } ->
+      Printf.sprintf "queue full (limit %d); resubmit later" limit
+  | Duplicate { id } -> Printf.sprintf "duplicate campaign id %S" id
+  | Draining -> "service is draining; not accepting new campaigns"
+  | Invalid msg -> "invalid spec: " ^ msg
+
+type 'a t = {
+  lim : int;
+  mutable pending : (int * string * 'a) list;  (* ascending seq *)
+  seen : (string, unit) Hashtbl.t;
+  mutable next_seq : int;
+  mutable drain : bool;
+}
+
+let create ~limit =
+  if limit < 1 then invalid_arg "Admission.create: limit must be >= 1";
+  { lim = limit; pending = []; seen = Hashtbl.create 16; next_seq = 0;
+    drain = false }
+
+let depth t = List.length t.pending
+let limit t = t.lim
+let set_draining t b = t.drain <- b
+let draining t = t.drain
+
+let insert t seq id item =
+  t.pending <-
+    List.merge
+      (fun (a, _, _) (b, _, _) -> Int.compare a b)
+      t.pending [ (seq, id, item) ];
+  if seq >= t.next_seq then t.next_seq <- seq + 1
+
+let admit t ~id item =
+  if t.drain then Error Draining
+  else if Hashtbl.mem t.seen id then Error (Duplicate { id })
+  else if depth t >= t.lim then Error (Queue_full { limit = t.lim })
+  else begin
+    let seq = t.next_seq in
+    Hashtbl.replace t.seen id ();
+    insert t seq id item;
+    Ok seq
+  end
+
+let readmit t ~seq ~id item =
+  Hashtbl.replace t.seen id ();
+  insert t seq id item
+
+let reserve t ~id =
+  Hashtbl.replace t.seen id ();
+  ()
+
+let take t =
+  match t.pending with
+  | [] -> None
+  | entry :: rest ->
+      t.pending <- rest;
+      Some entry

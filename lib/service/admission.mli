@@ -1,0 +1,46 @@
+(** Bounded submission queue with explicit admission control.
+
+    Every submission is either admitted (FIFO position returned) or
+    rejected with a typed {!reason} — the queue never grows past its
+    configured limit, so a flood of submissions degrades into rejections,
+    not into memory exhaustion.  Dedup is by campaign id over the whole
+    service lifetime: an id stays taken after its campaign finishes, since
+    its report and checkpoint directory keep existing.
+
+    Not internally synchronized — the service serializes every call under
+    its own mutex. *)
+
+type reason =
+  | Queue_full of { limit : int }  (** Backpressure: resubmit later. *)
+  | Duplicate of { id : string }   (** Id already queued, running or done. *)
+  | Draining  (** Service is draining or stopped; no new work accepted. *)
+  | Invalid of string              (** Spec failed {!Spec.validate}. *)
+
+val reason_to_string : reason -> string
+
+type 'a t
+
+val create : limit:int -> 'a t
+(** Raises [Invalid_argument] unless [limit >= 1]. *)
+
+val admit : 'a t -> id:string -> 'a -> (int, reason) result
+(** Append to the queue; [Ok seq] is the monotonic submission sequence
+    number (0-based, never reused).  Rejections are checked in order:
+    draining, duplicate id, queue full. *)
+
+val readmit : 'a t -> seq:int -> id:string -> 'a -> unit
+(** Restore a previously-admitted entry (warm start, or an interrupted
+    campaign being requeued for resume) at its original sequence number,
+    bypassing the limit and the draining gate.  Keeps FIFO order. *)
+
+val reserve : 'a t -> id:string -> unit
+(** Mark an id as taken without queueing anything (completed campaigns on
+    warm start). *)
+
+val take : 'a t -> (int * string * 'a) option
+(** Pop the lowest-sequence pending entry. *)
+
+val depth : 'a t -> int
+val limit : 'a t -> int
+val set_draining : 'a t -> bool -> unit
+val draining : 'a t -> bool

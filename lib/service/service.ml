@@ -1,0 +1,564 @@
+open Because_bgp
+module Sc = Because_scenario
+module Supervise = Because_recover.Supervise
+module Checkpoint = Because_recover.Checkpoint
+module Codec = Because_recover.Codec
+module Tel = Because_telemetry.Registry
+
+type config = {
+  state_dir : string;
+  limit : int;
+  jobs : int;
+  campaign_jobs : int;
+  max_attempts : int;
+  retry_backoff_s : float;
+  every_sweeps : int option;
+  chain_deadline_s : float option;
+  sweep_budget : int option;
+  telemetry : Because_telemetry.Registry.t;
+  kill_after_saves : int option;
+  chaos : (id:string -> attempt:int -> int option) option;
+}
+
+let default_config ~state_dir =
+  { state_dir; limit = 16; jobs = 1; campaign_jobs = 1; max_attempts = 3;
+    retry_backoff_s = 0.01; every_sweeps = Some 25; chain_deadline_s = None;
+    sweep_budget = None; telemetry = Tel.disabled; kill_after_saves = None;
+    chaos = None }
+
+type verdict = Completed | Drained | Killed
+
+type metrics = {
+  m_submitted : Tel.Counter.handle;
+  m_rejected : Tel.Counter.handle;
+  m_completed : Tel.Counter.handle;
+  m_retries : Tel.Counter.handle;
+  m_interrupted : Tel.Counter.handle;
+  m_depth : Tel.Gauge.handle;
+  m_running : Tel.Gauge.handle;
+  m_queue_wait : Tel.Histogram.handle;
+}
+
+type t = {
+  cfg : config;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : Spec.t Admission.t;
+  store : Store.t;
+  qstore : Checkpoint.t;
+  submit_ns : (string, int64) Hashtbl.t;
+  mutable workers : unit Domain.t list;
+  mutable running_n : int;
+  mutable stop_idle : bool;
+  mutable drain_requested : bool;
+  mutable killed : bool;
+  kill_count : int Atomic.t;
+  kill_tripped : bool Atomic.t;
+  kill_switch : (unit -> bool) option Atomic.t;
+  mutable notes : string list;  (* newest first; reversed on read *)
+  m : metrics;
+}
+
+(* ---------------------------------------------------------------- paths *)
+
+let queue_dir cfg = Filename.concat cfg.state_dir "queue.d"
+let campaigns_dir cfg = Filename.concat cfg.state_dir "campaigns"
+let reports_dir cfg = Filename.concat cfg.state_dir "reports"
+let campaign_dir cfg ~id = Filename.concat (campaigns_dir cfg) id
+
+let report_path t ~id =
+  Filename.concat (reports_dir t.cfg) (id ^ ".report")
+
+let status_path t = Filename.concat t.cfg.state_dir "status.json"
+let metrics_path t = Filename.concat t.cfg.state_dir "metrics.prom"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let atomic_write path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+(* ------------------------------------------------------- queue snapshot *)
+
+let queue_fingerprint = "because-service-queue/1"
+let queue_key = "queue"
+
+let encode_queue t =
+  let w = Codec.writer () in
+  Codec.int w 1;
+  Codec.list w
+    (fun w (e : Store.entry) ->
+      Codec.string w (Spec.to_line e.Store.spec);
+      Codec.int w e.Store.seq;
+      let tag, reasons =
+        match e.Store.health with
+        | Store.Done Supervise.Healthy -> (1, [])
+        | Store.Done (Supervise.Degraded rs) -> (2, rs)
+        | Store.Done (Supervise.Insufficient rs) -> (3, rs)
+        | Store.Queued | Store.Running | Store.Interrupted -> (0, [])
+      in
+      Codec.u8 w tag;
+      Codec.list w Codec.string reasons;
+      Codec.list w
+        (fun w (est : Store.estimate) ->
+          Codec.int w (Asn.to_int est.Store.asn);
+          Codec.float w est.Store.mean;
+          Codec.float w est.Store.lo;
+          Codec.float w est.Store.hi;
+          Codec.int w est.Store.category;
+          Codec.bool w est.Store.damping)
+        (Array.to_list e.Store.estimates))
+    (Store.entries t.store);
+  Codec.contents w
+
+type decoded = {
+  d_spec : Spec.t;
+  d_seq : int;
+  d_done : Supervise.status option;  (* None = pending *)
+  d_estimates : Store.estimate array;
+}
+
+let decode_queue payload =
+  let r = Codec.reader payload in
+  let version = Codec.read_int r in
+  if version <> 1 then
+    raise (Codec.Malformed (Printf.sprintf "queue snapshot v%d" version));
+  let entries =
+    Codec.read_list r (fun r ->
+        let line = Codec.read_string r in
+        let seq = Codec.read_int r in
+        let tag = Codec.read_u8 r in
+        let reasons = Codec.read_list r Codec.read_string in
+        let estimates =
+          Codec.read_list r (fun r ->
+              let asn = Asn.of_int (Codec.read_int r) in
+              let mean = Codec.read_float r in
+              let lo = Codec.read_float r in
+              let hi = Codec.read_float r in
+              let category = Codec.read_int r in
+              let damping = Codec.read_bool r in
+              { Store.asn; mean; lo; hi; category; damping })
+          |> Array.of_list
+        in
+        let d_done =
+          match tag with
+          | 0 -> None
+          | 1 -> Some Supervise.Healthy
+          | 2 -> Some (Supervise.Degraded reasons)
+          | 3 -> Some (Supervise.Insufficient reasons)
+          | n -> raise (Codec.Malformed (Printf.sprintf "health tag %d" n))
+        in
+        match Spec.of_line line with
+        | Ok d_spec -> { d_spec; d_seq = seq; d_done; d_estimates = estimates }
+        | Error e -> raise (Codec.Malformed ("spec: " ^ e)))
+  in
+  Codec.expect_end r;
+  entries
+
+(* ----------------------------------------------------------- internals *)
+
+(* All the helpers below assume t.mutex is held by the caller. *)
+
+let persist_queue t = Checkpoint.save t.qstore ~key:queue_key (encode_queue t)
+
+let write_report t (entry : Store.entry) =
+  atomic_write (report_path t ~id:entry.Store.spec.Spec.id)
+    (Store.report entry)
+
+let note t msg = t.notes <- msg :: t.notes
+
+let note_recovery t ~id recovery =
+  List.iter
+    (fun w -> note t (id ^ ": " ^ w))
+    (Sc.Recovery.warnings recovery)
+
+let set_gauges t =
+  if Tel.is_enabled t.cfg.telemetry then begin
+    Tel.Gauge.set t.m.m_depth (float_of_int (Admission.depth t.queue));
+    Tel.Gauge.set t.m.m_running (float_of_int t.running_n)
+  end
+
+(* ------------------------------------------------------------- create *)
+
+let make cfg =
+  if cfg.jobs < 1 then invalid_arg "Service: jobs must be >= 1";
+  if cfg.max_attempts < 1 then invalid_arg "Service: max_attempts must be >= 1";
+  mkdir_p cfg.state_dir;
+  mkdir_p (campaigns_dir cfg);
+  mkdir_p (reports_dir cfg);
+  let qstore =
+    Checkpoint.open_ ~dir:(queue_dir cfg) ~fingerprint:queue_fingerprint
+  in
+  let reg = cfg.telemetry in
+  let m =
+    { m_submitted = Tel.Counter.v reg "service.submitted";
+      m_rejected = Tel.Counter.v reg "service.rejected";
+      m_completed = Tel.Counter.v reg "service.completed";
+      m_retries = Tel.Counter.v reg "service.retries";
+      m_interrupted = Tel.Counter.v reg "service.interrupted";
+      m_depth = Tel.Gauge.v reg "service.queue_depth";
+      m_running = Tel.Gauge.v reg "service.running";
+      m_queue_wait = Tel.Histogram.v reg "service.queue_wait_s" }
+  in
+  let t =
+    { cfg; mutex = Mutex.create (); cond = Condition.create ();
+      queue = Admission.create ~limit:cfg.limit; store = Store.create ();
+      qstore; submit_ns = Hashtbl.create 16; workers = []; running_n = 0;
+      stop_idle = false; drain_requested = false; killed = false;
+      kill_count = Atomic.make 0; kill_tripped = Atomic.make false;
+      kill_switch = Atomic.make None; notes = []; m }
+  in
+  (match cfg.kill_after_saves with
+  | None -> ()
+  | Some n ->
+      Atomic.set t.kill_switch
+        (Some
+           (fun () ->
+             Atomic.get t.kill_tripped
+             ||
+             if Atomic.fetch_and_add t.kill_count 1 >= n then begin
+               Atomic.set t.kill_tripped true;
+               true
+             end
+             else false)));
+  t
+
+let create cfg =
+  rm_rf (queue_dir cfg);
+  rm_rf (campaigns_dir cfg);
+  rm_rf (reports_dir cfg);
+  let t = make cfg in
+  (try Sys.remove (status_path t) with Sys_error _ -> ());
+  (try Sys.remove (metrics_path t) with Sys_error _ -> ());
+  t
+
+let load cfg =
+  let t = make cfg in
+  List.iter (fun w -> note t ("queue: " ^ w)) (Checkpoint.warnings t.qstore);
+  (match Checkpoint.load t.qstore ~key:queue_key with
+  | None -> ()
+  | Some payload -> (
+      match decode_queue payload with
+      | exception Codec.Malformed e ->
+          note t ("queue: snapshot discarded (malformed: " ^ e ^ ")")
+      | decoded ->
+          List.iter
+            (fun d ->
+              let entry = Store.add t.store d.d_spec ~seq:d.d_seq in
+              match d.d_done with
+              | Some status ->
+                  entry.Store.health <- Store.Done status;
+                  entry.Store.estimates <- d.d_estimates;
+                  Admission.reserve t.queue ~id:d.d_spec.Spec.id;
+                  (* Reports are pure functions of the stored result, so a
+                     missing one is re-materialized rather than mourned. *)
+                  if not (Sys.file_exists (report_path t ~id:d.d_spec.Spec.id))
+                  then write_report t entry
+              | None ->
+                  entry.Store.health <- Store.Interrupted;
+                  Admission.readmit t.queue ~seq:d.d_seq ~id:d.d_spec.Spec.id
+                    d.d_spec)
+            (List.sort (fun a b -> Int.compare a.d_seq b.d_seq) decoded)));
+  t
+
+let config t = t.cfg
+let store t = t.store
+
+(* ------------------------------------------------------------- submit *)
+
+let submit t spec =
+  Mutex.lock t.mutex;
+  let result =
+    if t.killed || Supervise.draining () then Error Admission.Draining
+    else
+      match Spec.validate spec with
+      | Error e -> Error (Admission.Invalid e)
+      | Ok spec -> (
+          match Admission.admit t.queue ~id:spec.Spec.id spec with
+          | Error _ as e -> e
+          | Ok seq ->
+              let entry = Store.add t.store spec ~seq in
+              entry.Store.health <- Store.Queued;
+              Hashtbl.replace t.submit_ns spec.Spec.id (Monotonic_clock.now ());
+              persist_queue t;
+              Ok seq)
+  in
+  (match result with
+  | Ok _ ->
+      if Tel.is_enabled t.cfg.telemetry then Tel.Counter.incr t.m.m_submitted
+  | Error _ ->
+      if Tel.is_enabled t.cfg.telemetry then Tel.Counter.incr t.m.m_rejected);
+  set_gauges t;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  result
+
+let pending t =
+  Mutex.lock t.mutex;
+  let d = Admission.depth t.queue in
+  Mutex.unlock t.mutex;
+  d
+
+let running t =
+  Mutex.lock t.mutex;
+  let r = t.running_n in
+  Mutex.unlock t.mutex;
+  r
+
+let draining t = t.drain_requested || Supervise.draining ()
+let killed t = t.killed
+
+(* -------------------------------------------------------- worker loop *)
+
+let claim t =
+  Mutex.lock t.mutex;
+  let rec go () =
+    (* The global drain flag is checked too: a signal handler can only
+       safely set that flag (one atomic store), not take our mutex. *)
+    if t.killed || t.drain_requested || Supervise.draining () then None
+    else
+      match Admission.take t.queue with
+      | Some (_, id, _) ->
+          let entry = Option.get (Store.find t.store ~id) in
+          entry.Store.health <- Store.Running;
+          t.running_n <- t.running_n + 1;
+          (match Hashtbl.find_opt t.submit_ns id with
+          | Some ns ->
+              let wait =
+                Int64.to_float (Int64.sub (Monotonic_clock.now ()) ns) *. 1e-9
+              in
+              entry.Store.queue_wait_s <- wait;
+              if Tel.is_enabled t.cfg.telemetry then
+                Tel.Histogram.observe t.m.m_queue_wait wait
+          | None -> ());
+          set_gauges t;
+          Some entry
+      | None ->
+          if t.stop_idle then None
+          else begin
+            Condition.wait t.cond t.mutex;
+            go ()
+          end
+  in
+  let r = go () in
+  Mutex.unlock t.mutex;
+  r
+
+let finish t (entry : Store.entry) ~status ~estimates recovery =
+  Mutex.lock t.mutex;
+  entry.Store.estimates <- estimates;
+  entry.Store.health <- Store.Done status;
+  Option.iter (note_recovery t ~id:entry.Store.spec.Spec.id) recovery;
+  t.running_n <- t.running_n - 1;
+  write_report t entry;
+  persist_queue t;
+  if Tel.is_enabled t.cfg.telemetry then Tel.Counter.incr t.m.m_completed;
+  set_gauges t;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let interrupted t (entry : Store.entry) ~persist ~kill recovery =
+  Mutex.lock t.mutex;
+  if kill then t.killed <- true;
+  entry.Store.health <- Store.Interrupted;
+  Admission.readmit t.queue ~seq:entry.Store.seq ~id:entry.Store.spec.Spec.id
+    entry.Store.spec;
+  Option.iter (note_recovery t ~id:entry.Store.spec.Spec.id) recovery;
+  t.running_n <- t.running_n - 1;
+  (* A chaos kill leaves the queue file exactly as the last completed save
+     did — a real SIGKILL would not have flushed anything either. *)
+  if persist then persist_queue t;
+  if Tel.is_enabled t.cfg.telemetry then Tel.Counter.incr t.m.m_interrupted;
+  set_gauges t;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let run_entry t (entry : Store.entry) =
+  let id = entry.Store.spec.Spec.id in
+  let dir = campaign_dir t.cfg ~id in
+  let rec attempt n =
+    Mutex.lock t.mutex;
+    entry.Store.attempts <- n;
+    Mutex.unlock t.mutex;
+    let kill_after_saves =
+      match t.cfg.chaos with Some f -> f ~id ~attempt:n | None -> None
+    in
+    (* resume:true always: a fresh campaign has no snapshots to read, and
+       everything else (prior generation, prior attempt, drained run) must
+       continue rather than start over. *)
+    let recovery =
+      Sc.Recovery.create ~dir ~resume:true ?every_sweeps:t.cfg.every_sweeps
+        ?kill_after_saves
+        ?kill_switch:(Atomic.get t.kill_switch) ()
+    in
+    let world = Spec.world entry.Store.spec in
+    let params =
+      Spec.params entry.Store.spec ~world ~jobs:t.cfg.campaign_jobs
+    in
+    let params =
+      { params with
+        Sc.Campaign.telemetry = t.cfg.telemetry;
+        infer_config =
+          { params.Sc.Campaign.infer_config with
+            Because.Infer.supervise =
+              { Supervise.deadline_s = t.cfg.chain_deadline_s;
+                max_sweeps = t.cfg.sweep_budget } } }
+    in
+    match Sc.Campaign.run ~recovery world params with
+    | outcome ->
+        finish t entry ~status:outcome.Sc.Campaign.status
+          ~estimates:(Store.estimates_of_outcome outcome)
+          (Some recovery)
+    | exception Supervise.Drained ->
+        interrupted t entry ~persist:true ~kill:false (Some recovery)
+    | exception Sc.Recovery.Killed when Atomic.get t.kill_tripped ->
+        interrupted t entry ~persist:false ~kill:true (Some recovery)
+    | exception e ->
+        let msg = Printexc.to_string e in
+        Mutex.lock t.mutex;
+        note t (Printf.sprintf "%s: attempt %d/%d failed: %s" id n
+                  t.cfg.max_attempts msg);
+        note_recovery t ~id recovery;
+        Mutex.unlock t.mutex;
+        if n >= t.cfg.max_attempts then
+          finish t entry
+            ~status:
+              (Supervise.Insufficient
+                 [ Printf.sprintf
+                     "retry budget exhausted after %d attempts (last: %s)"
+                     t.cfg.max_attempts msg ])
+            ~estimates:[||] None
+        else if t.drain_requested then
+          interrupted t entry ~persist:true ~kill:false None
+        else begin
+          if Tel.is_enabled t.cfg.telemetry then
+            Tel.Counter.incr t.m.m_retries;
+          Supervise.wait_backoff ~attempt:n ~base_s:t.cfg.retry_backoff_s;
+          attempt (n + 1)
+        end
+  in
+  attempt 1
+
+let rec worker_loop t =
+  match claim t with
+  | None -> ()
+  | Some entry ->
+      run_entry t entry;
+      worker_loop t
+
+(* ---------------------------------------------------------- lifecycle *)
+
+let start t =
+  Mutex.lock t.mutex;
+  if t.workers <> [] then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Service.start: workers already running"
+  end;
+  if t.killed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Service.start: service was killed; load a fresh one"
+  end;
+  t.stop_idle <- false;
+  Mutex.unlock t.mutex;
+  let workers =
+    List.init t.cfg.jobs (fun _ -> Domain.spawn (fun () -> worker_loop t))
+  in
+  Mutex.lock t.mutex;
+  t.workers <- workers;
+  Mutex.unlock t.mutex
+
+let stop_when_idle t =
+  Mutex.lock t.mutex;
+  t.stop_idle <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let drain t =
+  Mutex.lock t.mutex;
+  t.drain_requested <- true;
+  Admission.set_draining t.queue true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  Supervise.request_drain ()
+
+let rollup t =
+  Mutex.lock t.mutex;
+  let r = Store.rollup t.store in
+  Mutex.unlock t.mutex;
+  r
+
+let write_status t =
+  Mutex.lock t.mutex;
+  let json =
+    Store.to_json t.store ~draining:t.drain_requested
+      ~limit:(Admission.limit t.queue) ~depth:(Admission.depth t.queue)
+  in
+  let prom =
+    if Tel.is_enabled t.cfg.telemetry then begin
+      set_gauges t;
+      Some
+        (Because_telemetry.Export.to_prometheus (Tel.snapshot t.cfg.telemetry))
+    end
+    else None
+  in
+  Mutex.unlock t.mutex;
+  atomic_write (status_path t) json;
+  Option.iter (atomic_write (metrics_path t)) prom
+
+let join t =
+  let workers =
+    Mutex.protect t.mutex (fun () ->
+        let w = t.workers in
+        t.workers <- [];
+        w)
+  in
+  List.iter Domain.join workers;
+  let verdict =
+    if t.killed then Killed
+    else if t.drain_requested || Supervise.draining () then Drained
+    else Completed
+  in
+  write_status t;
+  verdict
+
+let run_until_idle t =
+  start t;
+  stop_when_idle t;
+  join t
+
+let reset_drain t =
+  Mutex.lock t.mutex;
+  if t.workers <> [] then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Service.reset_drain: join the workers first"
+  end;
+  t.drain_requested <- false;
+  Admission.set_draining t.queue false;
+  Mutex.unlock t.mutex;
+  Supervise.clear_drain ()
+
+let exit_code t verdict =
+  match verdict with
+  | Completed -> Supervise.exit_code (rollup t)
+  | Drained | Killed -> 5
+
+let warnings t =
+  Mutex.lock t.mutex;
+  let ns = List.rev t.notes in
+  Mutex.unlock t.mutex;
+  ns

@@ -92,20 +92,22 @@ let test_outage_within_campaign () =
     | _ -> Alcotest.fail "max_outages = 1 yielded several windows"
   done
 
-(* The deprecated single-window API must keep drawing the same stream. *)
-let test_outage_window_forward () =
-  let deprecated =
-    let rng = Rng.create 7 in
-    (Noise.outage_window [@ocaml.warning "-3"])
-      rng Noise.realistic ~campaign_end:10_000.0
-  in
+(* [max_outages = 1] must keep consuming the historical single-window RNG
+   stream: one bernoulli draw, then one uniform iff the slot hit. *)
+let test_outage_single_slot_stream () =
   let windows =
     let rng = Rng.create 7 in
     Noise.outage_windows rng Noise.realistic ~campaign_end:10_000.0
   in
-  Alcotest.(check (option (pair (float 0.0) (float 0.0))))
-    "same draw" deprecated
-    (match windows with [] -> None | w :: _ -> Some w)
+  let manual =
+    let rng = Rng.create 7 in
+    if Rng.float rng < Noise.realistic.Noise.session_reset_rate then
+      let start = Rng.range_float rng 0.0 10_000.0 in
+      [ (start, start +. Noise.realistic.Noise.reset_outage) ]
+    else []
+  in
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "same stream as the historical single-window draw" manual windows
 
 let test_multiple_outages () =
   let rng = Rng.create 11 in
@@ -201,8 +203,8 @@ let suite =
       Alcotest.test_case "noise corrupt rate" `Quick test_noise_corrupt_rate;
       Alcotest.test_case "noise none" `Quick test_noise_none;
       Alcotest.test_case "outage window" `Quick test_outage_within_campaign;
-      Alcotest.test_case "outage_window forwards" `Quick
-        test_outage_window_forward;
+      Alcotest.test_case "single-slot outage stream" `Quick
+        test_outage_single_slot_stream;
       Alcotest.test_case "multiple outages" `Quick test_multiple_outages;
       Alcotest.test_case "dump records" `Quick test_dump_records;
       Alcotest.test_case "aggregator filter" `Quick test_valid_aggregator_filter;
