@@ -79,8 +79,14 @@ let tests () =
       (Bechamel.Staged.stage (fun () ->
            ignore (Because.Infer.run ~rng:(Rng.create 7) ~config data)))
   in
+  (* The jobs sweep shares one task shape (2 samplers × 2 chains = 4 tasks)
+     so the rows differ only in scheduling width; results are bit-identical
+     across the sweep by the pre-split RNG discipline.  CI fails the build
+     if the jobs=4 row regresses below the jobs=1 row. *)
   let infer_seq = infer_jobs 1 "inference 4 chains (jobs=1)" in
+  let infer_j2 = infer_jobs 2 "inference 4 chains (jobs=2)" in
   let infer_par = infer_jobs 4 "inference 4 chains (jobs=4)" in
+  let infer_j8 = infer_jobs 8 "inference 4 chains (jobs=8)" in
   (* Paired with [infer_seq]: the same run with live checkpoint hooks at the
      default cadence (wall-clock driven, so a bench-length run only pays the
      per-sweep cadence test plus the end-of-chain save).  The acceptance bar
@@ -142,8 +148,8 @@ let tests () =
                 })))
   in
   [ likelihood; gradient; delta_uncached; delta_cached; mh_uncached;
-    mh_cached; infer_seq; infer_par; infer_tel; infer_ckpt; hmc_traj;
-    rfd_engine; heap; topology ]
+    mh_cached; infer_seq; infer_j2; infer_par; infer_j8; infer_tel;
+    infer_ckpt; hmc_traj; rfd_engine; heap; topology ]
 
 let estimate analysed =
   (* One test per Benchmark.all call, so the table has exactly one entry. *)
@@ -248,7 +254,11 @@ let run () =
   speedup rows ~slow:"single-site delta (uncached)"
     ~fast:"single-site delta (cached)" ~label:"single-site delta speedup";
   speedup rows ~slow:"inference 4 chains (jobs=1)"
+    ~fast:"inference 4 chains (jobs=2)" ~label:"inference jobs=2 speedup";
+  speedup rows ~slow:"inference 4 chains (jobs=1)"
     ~fast:"inference 4 chains (jobs=4)" ~label:"inference jobs=4 speedup";
+  speedup rows ~slow:"inference 4 chains (jobs=1)"
+    ~fast:"inference 4 chains (jobs=8)" ~label:"inference jobs=8 speedup";
   overhead rows ~off:"inference 4 chains (jobs=1)"
     ~on:"inference 4 chains (jobs=1, telemetry)"
     ~label:"inference telemetry overhead";

@@ -62,14 +62,7 @@ type result = {
   aborted : string list;
 }
 
-let chain_healthy chain =
-  let healthy = ref true in
-  for k = 0 to Chain.length chain - 1 do
-    Array.iter
-      (fun v -> if not (Float.is_finite v) then healthy := false)
-      (Chain.get chain k)
-  done;
-  !healthy
+let chain_healthy chain = Chain.for_all_values Float.is_finite chain
 
 (* Attempt 0 runs on the task's own pre-split generator, so for the default
    single-chain configuration a healthy run consumes exactly the one
@@ -197,14 +190,16 @@ let r_hat result =
     (fun (name, chains_rev) ->
       let chains = List.rev chains_rev in
       let dim = Chain.dim (List.hd chains) in
+      let many = Array.of_list chains in
       let worst = ref neg_infinity in
       for i = 0 to dim - 1 do
+        (* The [_coord] diagnostics walk the chains' flat storage directly —
+           bit-identical to extracting each marginal, without the per-
+           coordinate array materialisation. *)
         let v =
           match chains with
-          | [ only ] -> Diagnostics.split_r_hat (Chain.marginal only i)
-          | many ->
-              Diagnostics.r_hat
-                (Array.of_list (List.map (fun c -> Chain.marginal c i) many))
+          | [ only ] -> Diagnostics.split_r_hat_coord only i
+          | _ -> Diagnostics.r_hat_coord many i
         in
         if v > !worst then worst := v
       done;

@@ -9,7 +9,10 @@ type t = {
 
 let eps = 1e-9
 
-let clamp p = Float.max eps (Float.min (1.0 -. eps) p)
+(* Branch form of [Float.max eps (Float.min (1.0 -. eps) p)] (same result,
+   NaN included): small enough for the non-flambda inliner, so the hot
+   loops pay two compares instead of two boxed calls per node. *)
+let clamp p = if p < eps then eps else if p > 1.0 -. eps then 1.0 -. eps else p
 
 let create ?(prior = Prior.default) ?(node_priors = [])
     ?(false_negative_rate = 0.0) data =
@@ -26,12 +29,22 @@ let create ?(prior = Prior.default) ?(node_priors = [])
 
 let dataset t = t.data
 
-(* Σ ln qᵢ over the nodes of path j, with p read through [value]. *)
-let path_log_q t value j =
+(* All-float mutable record: unlike a [float ref], accumulating through it
+   does not box a float on every store.  The hot loops below run once per
+   path per density/gradient evaluation, so this is where the sampler's
+   allocation rate lives. *)
+type facc = { mutable v : float }
+
+(* Σ ln qᵢ over the nodes of path j, read straight from the point array —
+   no per-call closure. *)
+let path_log_q_arr t p j =
   let nodes = Tomography.path t.data j in
-  let s = ref 0.0 in
-  Array.iter (fun i -> s := !s +. Float.log1p (-.clamp (value i))) nodes;
-  !s
+  let s = { v = 0.0 } in
+  for k = 0 to Array.length nodes - 1 do
+    s.v <-
+      s.v +. Float.log1p (-.clamp (Array.get p (Array.unsafe_get nodes k)))
+  done;
+  s.v
 
 (* Per-path log probability from S = Σ ln qᵢ.
    Positive label: ln(1−ε) + ln(1 − e^S).
@@ -44,40 +57,72 @@ let path_term t label s =
   else Float.log (t.epsilon +. ((1.0 -. t.epsilon) *. Float.exp s))
 
 let path_log_prob t p j =
-  let s = path_log_q t (fun i -> p.(i)) j in
+  let s = path_log_q_arr t p j in
   path_term t (Tomography.label t.data j) s
 
+(* [path_log_q_arr]/[path_term] spelled out in one loop: without flambda a
+   float-returning call boxes its argument and result, and those two calls
+   per path were most of the likelihood's allocation.  The expressions are
+   kept textually identical (including [Special.log1mexp]'s branch
+   structure) so the sum is bit-for-bit the composed version. *)
 let log_likelihood t p =
-  let acc = ref 0.0 in
+  let acc = { v = 0.0 } in
+  let s = { v = 0.0 } in
   for j = 0 to Tomography.n_paths t.data - 1 do
-    acc := !acc +. path_log_prob t p j
+    let nodes = Tomography.path t.data j in
+    s.v <- 0.0;
+    for k = 0 to Array.length nodes - 1 do
+      s.v <-
+        s.v +. Float.log1p (-.clamp (Array.get p (Array.unsafe_get nodes k)))
+    done;
+    let sv = s.v in
+    let term =
+      if Tomography.label t.data j then
+        (if t.epsilon = 0.0 then 0.0 else Float.log1p (-.t.epsilon))
+        +.
+        (if sv >= 0.0 then invalid_arg "Special.log1mexp: requires x < 0"
+         else if sv > -.Float.log 2.0 then Float.log (-.Float.expm1 sv)
+         else Float.log1p (-.Float.exp sv))
+      else if t.epsilon = 0.0 then sv
+      else Float.log (t.epsilon +. ((1.0 -. t.epsilon) *. Float.exp sv))
+    in
+    acc.v <- acc.v +. term
   done;
-  !acc
+  acc.v
 
 let log_prior t p =
-  let acc = ref 0.0 in
-  Array.iteri
-    (fun i prior -> acc := !acc +. Prior.log_pdf prior (clamp p.(i)))
-    t.priors;
-  !acc
+  let acc = { v = 0.0 } in
+  for i = 0 to Array.length t.priors - 1 do
+    acc.v <- acc.v +. Prior.log_pdf t.priors.(i) (clamp p.(i))
+  done;
+  acc.v
 
 let log_posterior t p = log_likelihood t p +. log_prior t p
 
 let grad_log_posterior t p =
   let n = Tomography.n_nodes t.data in
   let g = Array.make n 0.0 in
-  Array.iteri (fun i prior -> g.(i) <- Prior.grad_log_pdf prior (clamp p.(i)))
-    t.priors;
+  for i = 0 to Array.length t.priors - 1 do
+    g.(i) <- Prior.grad_log_pdf t.priors.(i) (clamp p.(i))
+  done;
+  let sacc = { v = 0.0 } in
   for j = 0 to Tomography.n_paths t.data - 1 do
     let nodes = Tomography.path t.data j in
-    let s = path_log_q t (fun i -> p.(i)) j in
+    (* Inline Σ ln qᵢ — same motivation and op order as [log_likelihood]. *)
+    sacc.v <- 0.0;
+    for k = 0 to Array.length nodes - 1 do
+      sacc.v <-
+        sacc.v +. Float.log1p (-.clamp (Array.get p (Array.unsafe_get nodes k)))
+    done;
+    let s = sacc.v in
     if Tomography.label t.data j then begin
       (* ∂/∂pᵢ ln(1 − e^S) = (e^S / (1 − e^S)) / qᵢ = 1 / (expm1(−S) · qᵢ);
          the ln(1−ε) offset is constant in p. *)
       let ratio = 1.0 /. Float.expm1 (-.s) in
-      Array.iter
-        (fun i -> g.(i) <- g.(i) +. (ratio /. (1.0 -. clamp p.(i))))
-        nodes
+      for k = 0 to Array.length nodes - 1 do
+        let i = Array.unsafe_get nodes k in
+        g.(i) <- g.(i) +. (ratio /. (1.0 -. clamp p.(i)))
+      done
     end
     else begin
       (* ∂/∂pᵢ ln(ε + (1−ε)e^S) = −(1−ε)e^S / ((ε + (1−ε)e^S) · qᵢ). *)
@@ -89,9 +134,10 @@ let grad_log_posterior t p =
           /. (t.epsilon +. ((1.0 -. t.epsilon) *. q_path))
         end
       in
-      Array.iter
-        (fun i -> g.(i) <- g.(i) -. (weight /. (1.0 -. clamp p.(i))))
-        nodes
+      for k = 0 to Array.length nodes - 1 do
+        let i = Array.unsafe_get nodes k in
+        g.(i) <- g.(i) -. (weight /. (1.0 -. clamp p.(i)))
+      done
     end
   done;
   g
@@ -111,36 +157,52 @@ let make_cache t p0 =
   let s = Array.make n_paths 0.0 in
   let term = Array.make n_paths 0.0 in
   for j = 0 to n_paths - 1 do
-    let acc = ref 0.0 in
-    Array.iter (fun i -> acc := !acc +. lq.(i)) (Tomography.path t.data j);
-    s.(j) <- !acc;
-    term.(j) <- path_term t (Tomography.label t.data j) !acc
+    let nodes = Tomography.path t.data j in
+    let acc = { v = 0.0 } in
+    for k = 0 to Array.length nodes - 1 do
+      acc.v <- acc.v +. lq.(Array.unsafe_get nodes k)
+    done;
+    s.(j) <- acc.v;
+    term.(j) <- path_term t (Tomography.label t.data j) acc.v
   done;
   let cached_delta i v =
     let v = clamp v in
     let dlq = Float.log1p (-.v) -. lq.(i) in
     let acc =
-      ref (Prior.log_pdf t.priors.(i) v -. Prior.log_pdf t.priors.(i) point.(i))
+      { v = Prior.log_pdf t.priors.(i) v
+            -. Prior.log_pdf t.priors.(i) point.(i) }
     in
-    Array.iter
-      (fun j ->
-        acc :=
-          !acc
-          +. path_term t (Tomography.label t.data j) (s.(j) +. dlq)
-          -. term.(j))
-      (Tomography.paths_through t.data i);
-    !acc
+    let paths = Tomography.paths_through t.data i in
+    (* [path_term] inlined — a delta runs per proposed coordinate, and the
+       boxed call per affected path was most of its cost. *)
+    for k = 0 to Array.length paths - 1 do
+      let j = Array.unsafe_get paths k in
+      let sv = s.(j) +. dlq in
+      let tj =
+        if Tomography.label t.data j then
+          (if t.epsilon = 0.0 then 0.0 else Float.log1p (-.t.epsilon))
+          +.
+          (if sv >= 0.0 then invalid_arg "Special.log1mexp: requires x < 0"
+           else if sv > -.Float.log 2.0 then Float.log (-.Float.expm1 sv)
+           else Float.log1p (-.Float.exp sv))
+        else if t.epsilon = 0.0 then sv
+        else Float.log (t.epsilon +. ((1.0 -. t.epsilon) *. Float.exp sv))
+      in
+      acc.v <- acc.v +. tj -. term.(j)
+    done;
+    acc.v
   in
   let cached_commit i v =
     let v = clamp v in
     let dlq = Float.log1p (-.v) -. lq.(i) in
     point.(i) <- v;
     lq.(i) <- Float.log1p (-.v);
-    Array.iter
-      (fun j ->
-        s.(j) <- s.(j) +. dlq;
-        term.(j) <- path_term t (Tomography.label t.data j) s.(j))
-      (Tomography.paths_through t.data i)
+    let paths = Tomography.paths_through t.data i in
+    for k = 0 to Array.length paths - 1 do
+      let j = Array.unsafe_get paths k in
+      s.(j) <- s.(j) +. dlq;
+      term.(j) <- path_term t (Tomography.label t.data j) s.(j)
+    done
   in
   (* Checkpoint support.  [s] is accumulated incrementally, so a rebuild
      from the point alone lands an ulp off the live trajectory; the state
@@ -162,21 +224,32 @@ let make_cache t p0 =
   in
   { Target.cached_delta; cached_commit; cached_state; cached_restore }
 
+(* Σ ln qᵢ over path j when coordinate [i] is read as [v]. *)
+let path_log_q_swap t p i v j =
+  let nodes = Tomography.path t.data j in
+  let s = { v = 0.0 } in
+  for k = 0 to Array.length nodes - 1 do
+    let node = Array.unsafe_get nodes k in
+    let x = if node = i then v else Array.get p node in
+    s.v <- s.v +. Float.log1p (-.clamp x)
+  done;
+  s.v
+
 let delta_log_posterior t p i v =
   let v = clamp v in
   let prior_delta =
     Prior.log_pdf t.priors.(i) v -. Prior.log_pdf t.priors.(i) (clamp p.(i))
   in
-  let read_new k = if k = i then v else p.(k) in
-  let acc = ref prior_delta in
-  Array.iter
-    (fun j ->
-      let label = Tomography.label t.data j in
-      let s_old = path_log_q t (fun k -> p.(k)) j in
-      let s_new = path_log_q t read_new j in
-      acc := !acc +. path_term t label s_new -. path_term t label s_old)
-    (Tomography.paths_through t.data i);
-  !acc
+  let acc = { v = prior_delta } in
+  let paths = Tomography.paths_through t.data i in
+  for k = 0 to Array.length paths - 1 do
+    let j = Array.unsafe_get paths k in
+    let label = Tomography.label t.data j in
+    let s_old = path_log_q_arr t p j in
+    let s_new = path_log_q_swap t p i v j in
+    acc.v <- acc.v +. path_term t label s_new -. path_term t label s_old
+  done;
+  acc.v
 
 let target ?(cached = true) t =
   let cache = if cached then Some (make_cache t) else None in

@@ -32,15 +32,18 @@ let promotions_nonempty ~threshold ~min_support result ~categories =
     if Tomography.label data j then begin
       let nodes = Tomography.path data j in
       if not (Array.exists flagged nodes) then begin
-        (* Count, per node on the path, how often it is the draw's argmax. *)
+        (* Count, per node on the path, how often it is the draw's argmax.
+           [Chain.value] reads the flat storage in place — no per-draw row
+           copy in this O(draws × path length) loop. *)
         let wins = Array.make (Array.length nodes) 0 in
         for k = 0 to n_draws - 1 do
-          let draw = Chain.get chain k in
           let best = ref 0 in
-          Array.iteri
-            (fun idx node ->
-              if draw.(node) > draw.(nodes.(!best)) then best := idx)
-            nodes;
+          for idx = 0 to Array.length nodes - 1 do
+            if
+              Chain.value chain k nodes.(idx)
+              > Chain.value chain k nodes.(!best)
+            then best := idx
+          done;
           wins.(!best) <- wins.(!best) + 1
         done;
         Array.iteri

@@ -21,17 +21,22 @@ type t = {
   calibration : calibration_bin list;
 }
 
+(* Flat float record: accumulating through it does not box, and
+   [Chain.value] avoids copying a row per draw. *)
+type facc = { mutable v : float }
+
 let path_probability data chain j =
   let nodes = Tomography.path data j in
   let n = Chain.length chain in
-  let acc = ref 0.0 in
+  let acc = { v = 0.0 } in
   for k = 0 to n - 1 do
-    let draw = Chain.get chain k in
-    let q = ref 1.0 in
-    Array.iter (fun i -> q := !q *. (1.0 -. draw.(i))) nodes;
-    acc := !acc +. (1.0 -. !q)
+    let q = { v = 1.0 } in
+    for idx = 0 to Array.length nodes - 1 do
+      q.v <- q.v *. (1.0 -. Chain.value chain k nodes.(idx))
+    done;
+    acc.v <- acc.v +. (1.0 -. q.v)
   done;
-  !acc /. float_of_int n
+  acc.v /. float_of_int n
 
 let evaluate ?(bins = 10) result =
   let data = Infer.dataset result in

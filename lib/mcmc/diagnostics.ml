@@ -43,6 +43,31 @@ let effective_sample_size xs =
     float_of_int n /. tau
   end
 
+(* Potential scale reduction from per-chain means and variances over [n]
+   draws each — the shared tail of every r-hat variant below, so the array
+   and flat-chain paths are numerically identical by construction. *)
+let psr ~n means vars =
+  let m = Array.length means in
+  let w = Summary.mean vars in
+  let grand = Summary.mean means in
+  let b =
+    float_of_int n
+    *. (Array.fold_left
+          (fun acc mu ->
+            let d = mu -. grand in
+            acc +. (d *. d))
+          0.0 means
+       /. float_of_int (m - 1))
+  in
+  if w <= 0.0 then 1.0
+  else begin
+    let var_plus =
+      ((float_of_int (n - 1) /. float_of_int n) *. w)
+      +. (b /. float_of_int n)
+    in
+    Float.sqrt (var_plus /. w)
+  end
+
 let r_hat chains =
   let m = Array.length chains in
   if m < 2 then invalid_arg "Diagnostics.r_hat: need at least two chains";
@@ -53,29 +78,8 @@ let r_hat chains =
         invalid_arg "Diagnostics.r_hat: unequal chain lengths")
     chains;
   if n < 2 then 1.0
-  else begin
-    let means = Array.map Summary.mean chains in
-    let vars = Array.map Summary.variance chains in
-    let w = Summary.mean vars in
-    let grand = Summary.mean means in
-    let b =
-      float_of_int n
-      *. (Array.fold_left
-            (fun acc mu ->
-              let d = mu -. grand in
-              acc +. (d *. d))
-            0.0 means
-         /. float_of_int (m - 1))
-    in
-    if w <= 0.0 then 1.0
-    else begin
-      let var_plus =
-        ((float_of_int (n - 1) /. float_of_int n) *. w)
-        +. (b /. float_of_int n)
-      in
-      Float.sqrt (var_plus /. w)
-    end
-  end
+  else
+    psr ~n (Array.map Summary.mean chains) (Array.map Summary.variance chains)
 
 let split_r_hat xs =
   let n = Array.length xs in
@@ -85,6 +89,63 @@ let split_r_hat xs =
     let first = Array.sub xs 0 half in
     let second = Array.sub xs (n - half) half in
     r_hat [| first; second |]
+  end
+
+(* --- allocation-free variants over flat chain storage ---
+
+   Mean and variance replicate [Summary.mean] / [Summary.variance]
+   (left-to-right sums, n-1 divisor) over a draw window of one coordinate,
+   so the flat-chain r-hats return bit-identical values to extracting the
+   marginal and calling the array versions — without materialising a
+   marginal array per coordinate per chain. *)
+
+type facc = { mutable acc : float }
+
+let window_mean chain i ~pos ~len =
+  let a = { acc = 0.0 } in
+  for k = pos to pos + len - 1 do
+    a.acc <- a.acc +. Chain.value chain k i
+  done;
+  a.acc /. float_of_int len
+
+let window_variance chain i ~pos ~len =
+  if len < 2 then 0.0
+  else begin
+    let m = window_mean chain i ~pos ~len in
+    let a = { acc = 0.0 } in
+    for k = pos to pos + len - 1 do
+      let d = Chain.value chain k i -. m in
+      a.acc <- a.acc +. (d *. d)
+    done;
+    a.acc /. float_of_int (len - 1)
+  end
+
+let r_hat_coord chains i =
+  let m = Array.length chains in
+  if m < 2 then
+    invalid_arg "Diagnostics.r_hat_coord: need at least two chains";
+  let n = Chain.length chains.(0) in
+  Array.iter
+    (fun c ->
+      if Chain.length c <> n then
+        invalid_arg "Diagnostics.r_hat_coord: unequal chain lengths")
+    chains;
+  if n < 2 then 1.0
+  else
+    psr ~n
+      (Array.map (fun c -> window_mean c i ~pos:0 ~len:n) chains)
+      (Array.map (fun c -> window_variance c i ~pos:0 ~len:n) chains)
+
+let split_r_hat_coord chain i =
+  let n = Chain.length chain in
+  if n < 4 then 1.0
+  else begin
+    let half = n / 2 in
+    psr ~n:half
+      [| window_mean chain i ~pos:0 ~len:half;
+         window_mean chain i ~pos:(n - half) ~len:half |]
+      [| window_variance chain i ~pos:0 ~len:half;
+         window_variance chain i ~pos:(n - half) ~len:half |]
   end
 
 let summary_line ~name xs =

@@ -16,5 +16,16 @@ val split_r_hat : float array -> float
 val r_hat : float array array -> float
 (** Classic multi-chain potential scale reduction factor. *)
 
+val split_r_hat_coord : Chain.t -> int -> float
+(** [split_r_hat_coord chain i] equals [split_r_hat (Chain.marginal chain i)]
+    bit-for-bit, computed directly over the chain's flat storage without
+    materialising the marginal. *)
+
+val r_hat_coord : Chain.t array -> int -> float
+(** [r_hat_coord chains i] equals
+    [r_hat (Array.map (fun c -> Chain.marginal c i) chains)] bit-for-bit,
+    without materialising the marginals.  Raises [Invalid_argument] on
+    fewer than two chains or unequal lengths. *)
+
 val summary_line : name:string -> float array -> string
 (** One-line "mean sd ess rhat" rendering for reports. *)

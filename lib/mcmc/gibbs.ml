@@ -10,7 +10,7 @@ type state = {
   s_sweep : int;
   s_rng : string;
   s_current : float array;
-  s_kept : float array array;
+  s_kept : float array; (* flat row-major kept draws, kept × dim *)
   s_moved_sweeps : int;
   s_cache : float array option;
 }
@@ -77,6 +77,10 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ?resume ?control ~n_samples
   let cell_of v =
     max 0 (min (grid - 1) (int_of_float (v *. float_of_int grid)))
   in
+  (* Scratch arena: one weights buffer reused for every coordinate update
+     instead of a fresh [Array.map] per update (grid words × dim × sweeps
+     of garbage in the old code). *)
+  let weights = Array.make grid 0.0 in
   let resample_coordinate i =
     (* Conditional density on the grid, relative to the current value —
        the per-point delta makes the grid sweep O(grid · paths-through-i). *)
@@ -84,9 +88,9 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ?resume ?control ~n_samples
       log_weights.(k) <- delta current i points.(k)
     done;
     let log_norm = Special.log_sum_exp log_weights in
-    let weights =
-      Array.map (fun lw -> Float.exp (lw -. log_norm)) log_weights
-    in
+    for k = 0 to grid - 1 do
+      weights.(k) <- Float.exp (log_weights.(k) -. log_norm)
+    done;
     let old_cell = cell_of current.(i) in
     let cell = Dist.categorical rng weights in
     (* Jitter within the chosen cell to avoid a lattice-valued chain. *)
@@ -97,17 +101,15 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ?resume ?control ~n_samples
     current.(i) <- v;
     cell <> old_cell
   in
-  let kept = Array.make n_samples [||] in
-  let kept_count = ref 0 in
+  let kept = Chain.Builder.create ~dim ~capacity:n_samples in
   (match resume with
   | Some s ->
-      if Array.length s.s_kept > n_samples then
+      if Array.length s.s_kept > n_samples * dim then
         invalid_arg "Gibbs.run: resume state has more draws than n_samples";
-      Array.iteri
-        (fun k draw ->
-          kept.(k) <- Array.copy draw;
-          incr kept_count)
-        s.s_kept
+      (match Chain.Builder.load_flat kept s.s_kept with
+      | () -> ()
+      | exception Invalid_argument _ ->
+          invalid_arg "Gibbs.run: resume state dimension mismatch")
   | None -> ());
   let sweep_idx =
     ref (match resume with Some s -> s.s_sweep | None -> 0)
@@ -120,12 +122,13 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ?resume ?control ~n_samples
       s_sweep = !sweep_idx;
       s_rng = Rng.state rng;
       s_current = Array.copy current;
-      s_kept = Array.map Array.copy (Array.sub kept 0 !kept_count);
+      s_kept = Chain.Builder.flat_prefix kept;
       s_moved_sweeps = !moved_sweeps;
       s_cache = Option.map (fun c -> c.Target.cached_state ()) cache;
     }
   in
-  while !kept_count < n_samples do
+  let finished = ref (Chain.Builder.count kept >= n_samples) in
+  while not !finished do
     let moved = ref false in
     for i = 0 to dim - 1 do
       if resample_coordinate i then moved := true
@@ -133,12 +136,11 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ?resume ?control ~n_samples
     if !moved then incr moved_sweeps;
     if !sweep_idx >= burn_in then begin
       let post = !sweep_idx - burn_in in
-      if post mod thin = 0 && !kept_count < n_samples then begin
-        kept.(!kept_count) <- Array.copy current;
-        incr kept_count
-      end
+      if post mod thin = 0 && Chain.Builder.count kept < n_samples then
+        Chain.Builder.push kept current
     end;
     incr sweep_idx;
+    if Chain.Builder.count kept >= n_samples then finished := true;
     match control with
     | Some f -> f ~sweep:!sweep_idx ~state:snapshot
     | None -> ()
@@ -147,4 +149,4 @@ let run ~rng ?init ?(grid = 64) ?(thin = 1) ?resume ?control ~n_samples
     if !sweep_idx = 0 then 0.0
     else float_of_int !moved_sweeps /. float_of_int !sweep_idx
   in
-  { chain = Chain.of_samples kept; acceptance; grid }
+  { chain = Chain.Builder.to_chain kept; acceptance; grid }

@@ -32,7 +32,8 @@ type state = {
   s_sweep : int;
   s_rng : string;
   s_current : float array;
-  s_kept : float array array;
+  s_kept : float array;
+      (** Retained draws so far, flat row-major ([kept × dim] values). *)
   s_moved_sweeps : int;
   s_cache : float array option;
 }

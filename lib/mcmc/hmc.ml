@@ -3,6 +3,10 @@ module Dist = Because_stats.Dist
 
 type result = { chain : Chain.t; acceptance : float; step_size : float }
 
+(* All-float mutable record: stored flat, so loop accumulation through it
+   does not allocate (a [float ref] boxes every store). *)
+type kacc = { mutable k : float }
+
 (* Complete between-iterations state of [run]; see Metropolis.state for the
    design notes.  [s_position] lives in the *unconstrained* space the
    integrator works in. *)
@@ -13,7 +17,7 @@ type state = {
   s_step : float;
   s_log_post : float;
   s_accept_window : int;
-  s_kept : float array array;
+  s_kept : float array; (* flat row-major kept draws, kept × dim *)
   s_accepted_post : int;
   s_proposed_post : int;
 }
@@ -43,23 +47,45 @@ let transformed target =
   | Target.Unit_interval ->
       let to_p theta = Array.map sigmoid theta in
       let of_p p = Array.map logit p in
+      (* One constrained-space scratch shared by the density and gradient
+         closures: both fully consume it before returning (the target never
+         retains its argument), so the integrator's per-step transform costs
+         zero allocation.  [sigmoid] is inlined by hand — without flambda
+         the call would box on every element. *)
+      let scratch = Array.make target.Target.dim 0.0 in
+      let fill_p theta =
+        for i = 0 to Array.length theta - 1 do
+          let x = Array.unsafe_get theta i in
+          Array.unsafe_set scratch i
+            (if x >= 0.0 then 1.0 /. (1.0 +. Float.exp (-.x))
+             else begin
+               let e = Float.exp x in
+               e /. (1.0 +. e)
+             end)
+        done
+      in
       let log_density theta =
-        let p = to_p theta in
-        let jacobian = ref 0.0 in
-        Array.iter
-          (fun pi ->
-            jacobian :=
-              !jacobian
-              +. Float.log (Float.max 1e-300 (pi *. (1.0 -. pi))))
-          p;
-        target.Target.log_density p +. !jacobian
+        fill_p theta;
+        let jacobian = { k = 0.0 } in
+        for i = 0 to Array.length theta - 1 do
+          let pi = Array.unsafe_get scratch i in
+          jacobian.k <-
+            jacobian.k +. Float.log (Float.max 1e-300 (pi *. (1.0 -. pi)))
+        done;
+        target.Target.log_density scratch +. jacobian.k
       in
       let grad_theta theta =
-        let p = to_p theta in
-        let g = grad p in
-        Array.mapi
-          (fun i gi -> (gi *. p.(i) *. (1.0 -. p.(i))) +. 1.0 -. (2.0 *. p.(i)))
-          g
+        fill_p theta;
+        let g = grad scratch in
+        (* Chain rule + Jacobian term, in place on the fresh gradient. *)
+        for i = 0 to Array.length g - 1 do
+          let pi = Array.unsafe_get scratch i in
+          Array.unsafe_set g i
+            ((Array.unsafe_get g i *. pi *. (1.0 -. pi))
+            +. 1.0
+            -. (2.0 *. pi))
+        done;
+        g
       in
       (log_density, grad_theta, to_p, of_p)
 
@@ -90,17 +116,15 @@ let run ~rng ?init ?(initial_step = 0.05) ?(leapfrog_steps = 15) ?(thin = 1)
   let step =
     ref (match resume with Some s -> s.s_step | None -> initial_step)
   in
-  let kept = Array.make n_samples [||] in
-  let kept_count = ref 0 in
+  let kept = Chain.Builder.create ~dim ~capacity:n_samples in
   (match resume with
   | Some s ->
-      if Array.length s.s_kept > n_samples then
+      if Array.length s.s_kept > n_samples * dim then
         invalid_arg "Hmc.run: resume state has more draws than n_samples";
-      Array.iteri
-        (fun k draw ->
-          kept.(k) <- Array.copy draw;
-          incr kept_count)
-        s.s_kept
+      (match Chain.Builder.load_flat kept s.s_kept with
+      | () -> ()
+      | exception Invalid_argument _ ->
+          invalid_arg "Hmc.run: resume state dimension mismatch")
   | None -> ());
   let accepted_post = ref 0 and proposed_post = ref 0 in
   let accept_window = ref 0 in
@@ -136,21 +160,37 @@ let run ~rng ?init ?(initial_step = 0.05) ?(leapfrog_steps = 15) ?(thin = 1)
       s_step = !step;
       s_log_post = !current_lp;
       s_accept_window = !accept_window;
-      s_kept = Array.map Array.copy (Array.sub kept 0 !kept_count);
+      s_kept = Chain.Builder.flat_prefix kept;
       s_accepted_post = !accepted_post;
       s_proposed_post = !proposed_post;
     }
   in
-  while !kept_count < n_samples do
+  (* Scratch arena: the integrator state is three buffers reused across
+     iterations (blit, not copy), so one iteration's array traffic is the
+     gradient evaluations, not bookkeeping copies. *)
+  let momentum = Array.make dim 0.0 in
+  let q = Array.make dim 0.0 in
+  let m = Array.make dim 0.0 in
+  (* Left-to-right, matching the historical [Array.fold_left] exactly. *)
+  let kinetic (v : float array) =
+    let acc = { k = 0.0 } in
+    for i = 0 to dim - 1 do
+      let x = Array.unsafe_get v i in
+      acc.k <- acc.k +. (x *. x)
+    done;
+    0.5 *. acc.k
+  in
+  let finished = ref (Chain.Builder.count kept >= n_samples) in
+  while not !finished do
     let in_burn_in = !iter_idx < burn_in in
-    (* Fresh Gaussian momentum, unit mass matrix. *)
-    let momentum =
-      Array.init dim (fun _ -> Dist.normal rng ~mu:0.0 ~sigma:1.0)
-    in
-    let kinetic m = 0.5 *. Array.fold_left (fun a v -> a +. (v *. v)) 0.0 m in
+    (* Fresh Gaussian momentum, unit mass matrix; same draw order as the
+       historical [Array.init]. *)
+    for i = 0 to dim - 1 do
+      momentum.(i) <- Dist.normal rng ~mu:0.0 ~sigma:1.0
+    done;
     let h0 = kinetic momentum -. !current_lp in
-    let q = Array.copy theta in
-    let m = Array.copy momentum in
+    Array.blit theta 0 q 0 dim;
+    Array.blit momentum 0 m 0 dim;
     let eps = !step in
     (* Leapfrog: half momentum, full position, ..., half momentum. *)
     let g = ref (grad q) in
@@ -188,12 +228,11 @@ let run ~rng ?init ?(initial_step = 0.05) ?(leapfrog_steps = 15) ?(thin = 1)
     end;
     if not in_burn_in then begin
       let post = !iter_idx - burn_in in
-      if post mod thin = 0 && !kept_count < n_samples then begin
-        kept.(!kept_count) <- to_constrained theta;
-        incr kept_count
-      end
+      if post mod thin = 0 && Chain.Builder.count kept < n_samples then
+        Chain.Builder.push kept (to_constrained theta)
     end;
     incr iter_idx;
+    if Chain.Builder.count kept >= n_samples then finished := true;
     match control with
     | Some f -> f ~sweep:!iter_idx ~state:snapshot
     | None -> ()
@@ -202,4 +241,4 @@ let run ~rng ?init ?(initial_step = 0.05) ?(leapfrog_steps = 15) ?(thin = 1)
     if !proposed_post = 0 then 0.0
     else float_of_int !accepted_post /. float_of_int !proposed_post
   in
-  { chain = Chain.of_samples kept; acceptance; step_size = !step }
+  { chain = Chain.Builder.to_chain kept; acceptance; step_size = !step }

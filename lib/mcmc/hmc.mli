@@ -27,7 +27,8 @@ type state = {
   s_step : float;
   s_log_post : float;
   s_accept_window : int;
-  s_kept : float array array;
+  s_kept : float array;
+      (** Retained draws so far, flat row-major ([kept × dim] values). *)
   s_accepted_post : int;
   s_proposed_post : int;
 }

@@ -18,7 +18,7 @@ type state = {
   s_steps : float array;
   s_log_post : float;
   s_accept_window : int array;
-  s_kept : float array array;
+  s_kept : float array; (* flat row-major kept draws, kept × dim *)
   s_accepted_post : int;
   s_proposed_post : int;
   s_cache : float array option;
@@ -103,19 +103,18 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ?resume
     | None -> Array.make dim 0
   in
   let window = 25 in
-  let kept = Array.make n_samples [||] in
-  let kept_count = ref 0 in
+  let kept = Chain.Builder.create ~dim ~capacity:n_samples in
   (match resume with
   | Some s ->
-      if Array.length s.s_kept > n_samples then
+      if Array.length s.s_kept > n_samples * dim then
         invalid_arg
           "Metropolis.run_single_site: resume state has more draws than \
            n_samples";
-      Array.iteri
-        (fun k draw ->
-          kept.(k) <- Array.copy draw;
-          incr kept_count)
-        s.s_kept
+      (match Chain.Builder.load_flat kept s.s_kept with
+      | () -> ()
+      | exception Invalid_argument _ ->
+          invalid_arg
+            "Metropolis.run_single_site: resume state dimension mismatch")
   | None -> ());
   let accepted_post = ref 0 and proposed_post = ref 0 in
   (match resume with
@@ -176,14 +175,17 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ?resume
       s_steps = Array.copy steps;
       s_log_post = !log_post;
       s_accept_window = Array.copy accept_window;
-      s_kept = Array.map Array.copy (Array.sub kept 0 !kept_count);
+      (* One flat copy of the kept prefix — the old representation copied
+         every row twice (sub + map copy). *)
+      s_kept = Chain.Builder.flat_prefix kept;
       s_accepted_post = !accepted_post;
       s_proposed_post = !proposed_post;
       s_cache = Option.map (fun c -> c.Target.cached_state ()) cache;
     }
   in
   let total_sweeps = burn_in + (n_samples * thin) in
-  while !kept_count < n_samples do
+  let finished = ref (Chain.Builder.count kept >= n_samples) in
+  while not !finished do
     let in_burn_in = !sweep_idx < burn_in in
     for i = 0 to dim - 1 do
       let v' = propose i in
@@ -208,15 +210,13 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ?resume
         accept_window;
     if not in_burn_in then begin
       let post_sweep = !sweep_idx - burn_in in
-      if post_sweep mod thin = 0 && !kept_count < n_samples then begin
-        kept.(!kept_count) <- Array.copy current;
-        incr kept_count
-      end
+      if post_sweep mod thin = 0 && Chain.Builder.count kept < n_samples then
+        Chain.Builder.push kept current
     end;
     incr sweep_idx;
+    if Chain.Builder.count kept >= n_samples then finished := true;
     (* Defensive: the loop is bounded by construction, but guard anyway. *)
-    if !sweep_idx > total_sweeps + thin then
-      kept_count := n_samples;
+    if !sweep_idx > total_sweeps + thin then finished := true;
     (* Supervision / checkpoint hook: the state thunk is only materialised
        when the supervisor actually saves.  Exceptions (budget aborts,
        simulated kills) propagate to the caller. *)
@@ -228,7 +228,7 @@ let run_single_site ~rng ?init ?(initial_step = 0.2) ?(thin = 1) ?resume
     if !proposed_post = 0 then 0.0
     else float_of_int !accepted_post /. float_of_int !proposed_post
   in
-  { chain = Chain.of_samples kept; acceptance; step_sizes = steps }
+  { chain = Chain.Builder.to_chain kept; acceptance; step_sizes = steps }
 
 let run_vector ~rng ?init ?(initial_step = 0.05) ?(thin = 1) ~n_samples
     ~burn_in target =
@@ -240,14 +240,14 @@ let run_vector ~rng ?init ?(initial_step = 0.05) ?(thin = 1) ~n_samples
   let step = ref initial_step in
   let log_post = ref (target.Target.log_density current) in
   check_initial_lp ~who:"Metropolis.run_vector" !log_post current;
-  let kept = Array.make n_samples [||] in
-  let kept_count = ref 0 in
+  let kept = Chain.Builder.create ~dim ~capacity:n_samples in
   let accepted_post = ref 0 and proposed_post = ref 0 in
   let accept_window = ref 0 in
   let window = 25 in
   let sweep_idx = ref 0 in
   let total_sweeps = burn_in + (n_samples * thin) in
-  while !kept_count < n_samples do
+  let finished = ref false in
+  while not !finished do
     let in_burn_in = !sweep_idx < burn_in in
     let proposal =
       Array.map
@@ -274,19 +274,17 @@ let run_vector ~rng ?init ?(initial_step = 0.05) ?(thin = 1) ~n_samples
     end;
     if not in_burn_in then begin
       let post_sweep = !sweep_idx - burn_in in
-      if post_sweep mod thin = 0 && !kept_count < n_samples then begin
-        kept.(!kept_count) <- Array.copy current;
-        incr kept_count
-      end
+      if post_sweep mod thin = 0 && Chain.Builder.count kept < n_samples then
+        Chain.Builder.push kept current
     end;
     incr sweep_idx;
+    if Chain.Builder.count kept >= n_samples then finished := true;
     (* Defensive: the loop is bounded by construction, but guard anyway. *)
-    if !sweep_idx > total_sweeps + thin then
-      kept_count := n_samples
+    if !sweep_idx > total_sweeps + thin then finished := true
   done;
   let acceptance =
     if !proposed_post = 0 then 0.0
     else float_of_int !accepted_post /. float_of_int !proposed_post
   in
-  { chain = Chain.of_samples kept; acceptance;
+  { chain = Chain.Builder.to_chain kept; acceptance;
     step_sizes = Array.make dim !step }

@@ -30,7 +30,9 @@ type state = {
   s_steps : float array;         (** Per-coordinate proposal scales. *)
   s_log_post : float;            (** Log density at [s_current], exactly as accumulated. *)
   s_accept_window : int array;   (** Burn-in adaptation window counters. *)
-  s_kept : float array array;    (** Retained draws so far. *)
+  s_kept : float array;
+      (** Retained draws so far, flat row-major ([kept × dim] values) —
+          the layout {!Chain.Builder.flat_prefix} produces. *)
   s_accepted_post : int;
   s_proposed_post : int;
   s_cache : float array option;

@@ -28,18 +28,23 @@ let create ?grad ?delta ?cache ~dim ~support log_density =
 let default_cache t p0 =
   let point = Array.copy p0 in
   let lp = ref (t.log_density point) in
+  (* Scratch proposal buffer: equal to [point] between calls, so a delta
+     costs one store + one restore instead of a full [Array.copy]. *)
+  let scratch = Array.copy point in
   let delta =
     match t.log_density_delta with
     | Some d -> fun i v -> d point i v
     | None ->
         fun i v ->
-          let p' = Array.copy point in
-          p'.(i) <- v;
-          t.log_density p' -. !lp
+          scratch.(i) <- v;
+          let d = t.log_density scratch -. !lp in
+          scratch.(i) <- point.(i);
+          d
   in
   let commit i v =
     lp := !lp +. delta i v;
-    point.(i) <- v
+    point.(i) <- v;
+    scratch.(i) <- v
   in
   let dim = Array.length point in
   let cached_state () = Array.append point [| !lp |] in
@@ -47,6 +52,7 @@ let default_cache t p0 =
     if Array.length s <> dim + 1 then
       invalid_arg "Target.default_cache: saved cache state has wrong size";
     Array.blit s 0 point 0 dim;
+    Array.blit s 0 scratch 0 dim;
     lp := s.(dim)
   in
   { cached_delta = delta; cached_commit = commit; cached_state;

@@ -3,7 +3,13 @@
    The mcmc layer defines what a mid-run state *is*; this module defines
    what it looks like on disk.  Keeping the two apart means the samplers
    never learn about envelopes or checksums, and the wire format can
-   version independently of the sampler internals. *)
+   version independently of the sampler internals.
+
+   Format history: tags 0/1/2 (Mh/Hmc/Gibbs) stored the kept draws as an
+   array of per-draw rows; tags 3/4/5 store them as one flat row-major
+   float array, matching the samplers' in-memory representation.  New
+   snapshots are always written with the flat tags; both generations
+   decode, so resuming from a pre-flat checkpoint keeps working. *)
 
 module Metropolis = Because_mcmc.Metropolis
 module Hmc = Because_mcmc.Hmc
@@ -19,13 +25,19 @@ let sweep = function
   | Hmc s -> s.Hmc.s_iter
   | Gibbs s -> s.Gibbs.s_sweep
 
+(* [s_kept] is flat, so the draw count is values / dim; the dimension comes
+   from the current point, which always has the target's (positive) dim. *)
 let draws_kept = function
-  | Mh s -> Array.length s.Metropolis.s_kept
-  | Hmc s -> Array.length s.Hmc.s_kept
-  | Gibbs s -> Array.length s.Gibbs.s_kept
+  | Mh s ->
+      Array.length s.Metropolis.s_kept / Array.length s.Metropolis.s_current
+  | Hmc s -> Array.length s.Hmc.s_kept / Array.length s.Hmc.s_position
+  | Gibbs s -> Array.length s.Gibbs.s_kept / Array.length s.Gibbs.s_current
 
-let samples w = Codec.array w Codec.float_array
-let read_samples r = Codec.read_array r Codec.read_float_array
+(* Legacy row-array draws (tags 0/1/2): decode and flatten row-major, which
+   is exactly the layout the flat samplers expect back. *)
+let read_legacy_samples r =
+  let rows = Codec.read_array r Codec.read_float_array in
+  Array.concat (Array.to_list rows)
 
 let encode_mh w (s : Metropolis.state) =
   Codec.int w s.s_sweep;
@@ -34,19 +46,21 @@ let encode_mh w (s : Metropolis.state) =
   Codec.float_array w s.s_steps;
   Codec.float w s.s_log_post;
   Codec.int_array w s.s_accept_window;
-  samples w s.s_kept;
+  Codec.float_array w s.s_kept;
   Codec.int w s.s_accepted_post;
   Codec.int w s.s_proposed_post;
   Codec.option w Codec.float_array s.s_cache
 
-let decode_mh r : Metropolis.state =
+let decode_mh ~legacy r : Metropolis.state =
   let s_sweep = Codec.read_int r in
   let s_rng = Codec.read_string r in
   let s_current = Codec.read_float_array r in
   let s_steps = Codec.read_float_array r in
   let s_log_post = Codec.read_float r in
   let s_accept_window = Codec.read_int_array r in
-  let s_kept = read_samples r in
+  let s_kept =
+    if legacy then read_legacy_samples r else Codec.read_float_array r
+  in
   let s_accepted_post = Codec.read_int r in
   let s_proposed_post = Codec.read_int r in
   let s_cache = Codec.read_option r Codec.read_float_array in
@@ -70,18 +84,20 @@ let encode_hmc w (s : Hmc.state) =
   Codec.float w s.s_step;
   Codec.float w s.s_log_post;
   Codec.int w s.s_accept_window;
-  samples w s.s_kept;
+  Codec.float_array w s.s_kept;
   Codec.int w s.s_accepted_post;
   Codec.int w s.s_proposed_post
 
-let decode_hmc r : Hmc.state =
+let decode_hmc ~legacy r : Hmc.state =
   let s_iter = Codec.read_int r in
   let s_rng = Codec.read_string r in
   let s_position = Codec.read_float_array r in
   let s_step = Codec.read_float r in
   let s_log_post = Codec.read_float r in
   let s_accept_window = Codec.read_int r in
-  let s_kept = read_samples r in
+  let s_kept =
+    if legacy then read_legacy_samples r else Codec.read_float_array r
+  in
   let s_accepted_post = Codec.read_int r in
   let s_proposed_post = Codec.read_int r in
   {
@@ -100,33 +116,38 @@ let encode_gibbs w (s : Gibbs.state) =
   Codec.int w s.s_sweep;
   Codec.string w s.s_rng;
   Codec.float_array w s.s_current;
-  samples w s.s_kept;
+  Codec.float_array w s.s_kept;
   Codec.int w s.s_moved_sweeps;
   Codec.option w Codec.float_array s.s_cache
 
-let decode_gibbs r : Gibbs.state =
+let decode_gibbs ~legacy r : Gibbs.state =
   let s_sweep = Codec.read_int r in
   let s_rng = Codec.read_string r in
   let s_current = Codec.read_float_array r in
-  let s_kept = read_samples r in
+  let s_kept =
+    if legacy then read_legacy_samples r else Codec.read_float_array r
+  in
   let s_moved_sweeps = Codec.read_int r in
   let s_cache = Codec.read_option r Codec.read_float_array in
   { s_sweep; s_rng; s_current; s_kept; s_moved_sweeps; s_cache }
 
 let encode w = function
   | Mh s ->
-      Codec.u8 w 0;
+      Codec.u8 w 3;
       encode_mh w s
   | Hmc s ->
-      Codec.u8 w 1;
+      Codec.u8 w 4;
       encode_hmc w s
   | Gibbs s ->
-      Codec.u8 w 2;
+      Codec.u8 w 5;
       encode_gibbs w s
 
 let decode r =
   match Codec.read_u8 r with
-  | 0 -> Mh (decode_mh r)
-  | 1 -> Hmc (decode_hmc r)
-  | 2 -> Gibbs (decode_gibbs r)
+  | 0 -> Mh (decode_mh ~legacy:true r)
+  | 1 -> Hmc (decode_hmc ~legacy:true r)
+  | 2 -> Gibbs (decode_gibbs ~legacy:true r)
+  | 3 -> Mh (decode_mh ~legacy:false r)
+  | 4 -> Hmc (decode_hmc ~legacy:false r)
+  | 5 -> Gibbs (decode_gibbs ~legacy:false r)
   | tag -> raise (Codec.Malformed (Printf.sprintf "unknown sampler tag %d" tag))

@@ -2,7 +2,11 @@
 
     One variant per resumable sampler, wrapping the transparent state
     record the sampler itself defines.  The encode/decode pair is the only
-    place the on-disk layout of MCMC state is known. *)
+    place the on-disk layout of MCMC state is known.
+
+    Two on-disk generations exist: legacy tags 0/1/2 stored kept draws as
+    an array of rows, current tags 3/4/5 store them flat (row-major).
+    {!encode} always writes the flat form; {!decode} accepts both. *)
 
 type t =
   | Mh of Because_mcmc.Metropolis.state

@@ -235,6 +235,154 @@ let test_thin_guard () =
       | exception Invalid_argument _ -> ())
     [ 0; -1; min_int ]
 
+(* Random n×dim matrix generator shared by the flat-storage equivalence
+   properties below. *)
+let matrix_gen =
+  QCheck.make
+    QCheck.Gen.(
+      int_range 1 6 >>= fun dim ->
+      list_size (int_range 1 20) (array_repeat dim (float_range (-10.0) 10.0))
+      >|= Array.of_list)
+
+(* Flat row-major storage must be observationally identical to the
+   reference row-per-draw representation: every accessor is checked
+   against the raw matrix it was built from. *)
+let qcheck_flat_matches_reference =
+  QCheck.Test.make ~name:"flat chain equals row-matrix reference" ~count:200
+    matrix_gen
+    (fun m ->
+      let chain = Chain.of_samples m in
+      let n = Array.length m and dim = Array.length m.(0) in
+      Chain.length chain = n
+      && Chain.dim chain = dim
+      && Array.for_all Fun.id
+           (Array.init n (fun k ->
+                Chain.get chain k = m.(k)
+                && Array.for_all Fun.id
+                     (Array.init dim (fun i ->
+                          Chain.value chain k i = m.(k).(i)))))
+      && Array.for_all Fun.id
+           (Array.init dim (fun i ->
+                Chain.marginal chain i = Array.map (fun row -> row.(i)) m)))
+
+let qcheck_flat_thin_concat =
+  QCheck.Test.make ~name:"flat thin/concat/equal match the reference"
+    ~count:200
+    QCheck.(pair matrix_gen (int_range 1 8))
+    (fun (m, k) ->
+      let chain = Chain.of_samples m in
+      let thinned = Chain.thin chain k in
+      let expected_rows =
+        Array.of_list
+          (List.filteri
+             (fun j _ -> j mod k = 0)
+             (Array.to_list (Array.map Array.copy m)))
+      in
+      Chain.equal thinned (Chain.of_samples expected_rows)
+      && Chain.equal (Chain.concat [ chain; thinned ])
+           (Chain.of_samples (Array.append m expected_rows))
+      && Chain.equal chain (Chain.of_samples m)
+      &&
+      if k = 1 then Chain.equal chain thinned
+      else Chain.length chain <= k || not (Chain.equal chain thinned))
+
+let test_chain_storage_isolation () =
+  (* of_samples copies its input; get returns fresh rows; thin owns its
+     storage.  The historical row-sharing representation leaked mutations
+     across all three boundaries. *)
+  let m = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  let chain = Chain.of_samples m in
+  m.(0).(0) <- 99.0;
+  Alcotest.(check (float 0.0)) "input mutation invisible" 1.0
+    (Chain.value chain 0 0);
+  let row = Chain.get chain 1 in
+  row.(0) <- -7.0;
+  Alcotest.(check (float 0.0)) "get row is a copy" 3.0 (Chain.value chain 1 0);
+  let thinned = Chain.thin chain 2 in
+  let trow = Chain.get thinned 0 in
+  trow.(1) <- -8.0;
+  Alcotest.(check (float 0.0)) "thin does not alias" 2.0
+    (Chain.value chain 0 1);
+  Alcotest.(check (float 0.0)) "thin row copy" 2.0 (Chain.value thinned 0 1)
+
+let test_chain_of_flat () =
+  let chain = Chain.of_flat ~dim:2 [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check int) "length" 2 (Chain.length chain);
+  Alcotest.(check (array (float 0.0))) "row 1" [| 3.0; 4.0 |]
+    (Chain.get chain 1);
+  List.iter
+    (fun (name, f) ->
+      match f () with
+      | (_ : Chain.t) -> Alcotest.failf "%s accepted" name
+      | exception Invalid_argument _ -> ())
+    [
+      ("empty", fun () -> Chain.of_flat ~dim:2 [||]);
+      ("ragged length", fun () -> Chain.of_flat ~dim:2 [| 1.0; 2.0; 3.0 |]);
+      ("dim 0", fun () -> Chain.of_flat ~dim:0 [| 1.0 |]);
+    ]
+
+let test_chain_builder () =
+  let b = Chain.Builder.create ~dim:2 ~capacity:3 in
+  Alcotest.(check int) "empty count" 0 (Chain.Builder.count b);
+  Alcotest.(check int) "dim" 2 (Chain.Builder.dim b);
+  Chain.Builder.push b [| 1.0; 2.0 |];
+  Chain.Builder.push b [| 3.0; 4.0 |];
+  Alcotest.(check (array (float 0.0))) "flat prefix" [| 1.0; 2.0; 3.0; 4.0 |]
+    (Chain.Builder.flat_prefix b);
+  (match Chain.Builder.push b [| 5.0 |] with
+  | () -> Alcotest.fail "dim mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  let chain = Chain.Builder.to_chain b in
+  Alcotest.(check int) "partial chain length" 2 (Chain.length chain);
+  (* Sealed: the builder is unusable after to_chain. *)
+  (match Chain.Builder.push b [| 5.0; 6.0 |] with
+  | () -> Alcotest.fail "push after to_chain accepted"
+  | exception Invalid_argument _ -> ());
+  (match Chain.Builder.to_chain b with
+  | (_ : Chain.t) -> Alcotest.fail "second to_chain accepted"
+  | exception Invalid_argument _ -> ());
+  (* load_flat replaces content and validates shape. *)
+  let b2 = Chain.Builder.create ~dim:2 ~capacity:2 in
+  Chain.Builder.push b2 [| 9.0; 9.0 |];
+  Chain.Builder.load_flat b2 [| 1.0; 2.0; 3.0; 4.0 |];
+  Alcotest.(check int) "loaded count" 2 (Chain.Builder.count b2);
+  (match Chain.Builder.load_flat b2 [| 1.0; 2.0; 3.0 |] with
+  | () -> Alcotest.fail "ragged load accepted"
+  | exception Invalid_argument _ -> ());
+  (match Chain.Builder.load_flat b2 (Array.make 6 0.0) with
+  | () -> Alcotest.fail "over-capacity load accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check bool) "full builder round-trips" true
+    (Chain.equal
+       (Chain.Builder.to_chain b2)
+       (Chain.of_samples [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]));
+  match Chain.Builder.create ~dim:0 ~capacity:1 with
+  | (_ : Chain.Builder.t) -> Alcotest.fail "dim=0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* The coordinate-wise diagnostics over flat chains must agree exactly with
+   the historical array-marginal path — Infer's convergence verdicts may
+   not shift with the storage change. *)
+let test_rhat_coord_matches_arrays () =
+  let rng = Rng.create 811 in
+  let sample_matrix () =
+    Array.init 200 (fun _ ->
+        Array.init 3 (fun _ -> Dist.normal rng ~mu:0.5 ~sigma:0.2))
+  in
+  let m1 = sample_matrix () and m2 = sample_matrix () in
+  let c1 = Chain.of_samples m1 and c2 = Chain.of_samples m2 in
+  for i = 0 to 2 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "r_hat coord %d" i)
+      (Diagnostics.r_hat
+         [| Chain.marginal c1 i; Chain.marginal c2 i |])
+      (Diagnostics.r_hat_coord [| c1; c2 |] i);
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "split r_hat coord %d" i)
+      (Diagnostics.split_r_hat (Chain.marginal c1 i))
+      (Diagnostics.split_r_hat_coord c1 i)
+  done
+
 (* The stateful cache protocol: a generic cache built by [Target.cache_at]
    must drive the single-site sampler to the exact same chain as the
    stateless path — the protocol changes bookkeeping, not arithmetic. *)
@@ -387,6 +535,14 @@ let suite =
       QCheck_alcotest.to_alcotest qcheck_append_vs_concat;
       Alcotest.test_case "thin rejects non-positive stride" `Quick
         test_thin_guard;
+      QCheck_alcotest.to_alcotest qcheck_flat_matches_reference;
+      QCheck_alcotest.to_alcotest qcheck_flat_thin_concat;
+      Alcotest.test_case "chain storage isolation" `Quick
+        test_chain_storage_isolation;
+      Alcotest.test_case "chain of_flat" `Quick test_chain_of_flat;
+      Alcotest.test_case "chain builder" `Quick test_chain_builder;
+      Alcotest.test_case "coordinate r-hat matches arrays" `Quick
+        test_rhat_coord_matches_arrays;
       Alcotest.test_case "cache protocol preserves the sampler" `Quick
         test_cache_protocol_preserves_sampler;
       Alcotest.test_case "cache_at tracks commits" `Quick

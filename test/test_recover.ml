@@ -9,9 +9,15 @@
 module Codec = Because_recover.Codec
 module Checkpoint = Because_recover.Checkpoint
 module Supervise = Because_recover.Supervise
+module Sampler_state = Because_recover.Sampler_state
 module Chain = Because_mcmc.Chain
+module Target = Because_mcmc.Target
+module Metropolis = Because_mcmc.Metropolis
+module Hmc = Because_mcmc.Hmc
+module Gibbs = Because_mcmc.Gibbs
 module Sc = Because_scenario
 module Rng = Because_stats.Rng
+module Dist = Because_stats.Dist
 
 (* ------------------------------------------------------------------ *)
 (* Codec primitives                                                     *)
@@ -86,6 +92,209 @@ let qcheck_codec_floats =
       Codec.float w f;
       let back = Codec.read_float (Codec.reader (Codec.contents w)) in
       Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float back))
+
+(* ------------------------------------------------------------------ *)
+(* Sampler snapshot format: legacy (row-array) generation               *)
+
+(* Snapshots written before the flat-chain change stored the kept draws as
+   an array of per-draw rows under tags 0/1/2.  These tests hand-encode
+   that generation byte-for-byte and check that (a) decode flattens it to
+   the layout the samplers now hold in memory and (b) resuming from such a
+   snapshot replays the identical trajectory. *)
+
+let rows_of_flat ~dim flat =
+  Array.init
+    (Array.length flat / dim)
+    (fun k -> Array.sub flat (k * dim) dim)
+
+(* A Beta(3,2) × Beta(2,5) target on the unit box, with a gradient so the
+   same fixture drives all three samplers. *)
+let unit_target =
+  let a = [| 3.0; 2.0 |] and b = [| 2.0; 5.0 |] in
+  Target.create ~dim:2 ~support:Target.Unit_interval
+    ~grad:(fun p ->
+      Array.init 2 (fun i ->
+          let x = Float.max 1e-9 (Float.min (1.0 -. 1e-9) p.(i)) in
+          ((a.(i) -. 1.0) /. x) -. ((b.(i) -. 1.0) /. (1.0 -. x))))
+    (fun p ->
+      let acc = ref 0.0 in
+      for i = 0 to 1 do
+        acc := !acc +. Dist.beta_log_pdf ~a:a.(i) ~b:b.(i) p.(i)
+      done;
+      !acc)
+
+let check_float_bits msg a b =
+  Alcotest.(check int64) msg (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_flat_array msg a b =
+  Alcotest.(check (array int64))
+    msg
+    (Array.map Int64.bits_of_float a)
+    (Array.map Int64.bits_of_float b)
+
+(* Capture the control-hook state at a given sweep of a fresh run. *)
+let capture_at capture_sweep run =
+  let captured = ref None in
+  let control ~sweep ~state =
+    if sweep = capture_sweep then captured := Some (state ())
+  in
+  let result = run ~control in
+  match !captured with
+  | Some s -> (s, result)
+  | None -> Alcotest.failf "control hook never reached sweep %d" capture_sweep
+
+let test_legacy_mh_snapshot () =
+  let n_samples = 40 and burn_in = 20 in
+  let run ~control =
+    Metropolis.run_single_site ~rng:(Rng.create 5) ~control ~n_samples
+      ~burn_in unit_target
+  in
+  (* Sweep 35 = burn-in done, 15 draws kept: a mid-stream snapshot. *)
+  let st, full = capture_at 35 run in
+  Alcotest.(check bool) "snapshot holds draws" true
+    (Array.length st.Metropolis.s_kept > 0);
+  let encode_legacy (s : Metropolis.state) =
+    let w = Codec.writer () in
+    Codec.u8 w 0;
+    Codec.int w s.s_sweep;
+    Codec.string w s.s_rng;
+    Codec.float_array w s.s_current;
+    Codec.float_array w s.s_steps;
+    Codec.float w s.s_log_post;
+    Codec.int_array w s.s_accept_window;
+    Codec.array w Codec.float_array (rows_of_flat ~dim:2 s.s_kept);
+    Codec.int w s.s_accepted_post;
+    Codec.int w s.s_proposed_post;
+    Codec.option w Codec.float_array s.s_cache;
+    Codec.contents w
+  in
+  let decoded =
+    match Sampler_state.decode (Codec.reader (encode_legacy st)) with
+    | Sampler_state.Mh s -> s
+    | _ -> Alcotest.fail "legacy tag 0 did not decode to Mh"
+  in
+  Alcotest.(check int) "sweep" st.Metropolis.s_sweep decoded.Metropolis.s_sweep;
+  Alcotest.(check string) "rng" st.Metropolis.s_rng decoded.Metropolis.s_rng;
+  check_flat_array "current" st.Metropolis.s_current
+    decoded.Metropolis.s_current;
+  check_flat_array "steps" st.Metropolis.s_steps decoded.Metropolis.s_steps;
+  check_float_bits "log_post" st.Metropolis.s_log_post
+    decoded.Metropolis.s_log_post;
+  check_flat_array "kept draws flattened row-major" st.Metropolis.s_kept
+    decoded.Metropolis.s_kept;
+  Alcotest.(check int) "draws_kept" 15
+    (Sampler_state.draws_kept (Sampler_state.Mh decoded));
+  (* Resume from the pre-flat snapshot: the finished chain must be
+     bit-for-bit the uninterrupted one. *)
+  let resumed =
+    Metropolis.run_single_site ~rng:(Rng.create 0) ~resume:decoded ~n_samples
+      ~burn_in unit_target
+  in
+  Alcotest.(check bool) "resumed chain bit-for-bit" true
+    (Chain.equal full.Metropolis.chain resumed.Metropolis.chain);
+  check_float_bits "resumed acceptance" full.Metropolis.acceptance
+    resumed.Metropolis.acceptance;
+  (* A burn-in-era legacy snapshot has zero rows: must flatten to [||]. *)
+  let early, _ = capture_at 5 run in
+  Alcotest.(check int) "no draws yet" 0 (Array.length early.Metropolis.s_kept);
+  match Sampler_state.decode (Codec.reader (encode_legacy early)) with
+  | Sampler_state.Mh s ->
+      Alcotest.(check int) "empty rows flatten to empty" 0
+        (Array.length s.Metropolis.s_kept)
+  | _ -> Alcotest.fail "legacy tag 0 did not decode to Mh"
+
+let test_legacy_hmc_snapshot () =
+  let n_samples = 20 and burn_in = 10 in
+  let run ~control =
+    Hmc.run ~rng:(Rng.create 7) ~control ~n_samples ~burn_in
+      ~leapfrog_steps:5 unit_target
+  in
+  let st, full = capture_at 18 run in
+  Alcotest.(check bool) "snapshot holds draws" true
+    (Array.length st.Hmc.s_kept > 0);
+  let w = Codec.writer () in
+  Codec.u8 w 1;
+  Codec.int w st.Hmc.s_iter;
+  Codec.string w st.Hmc.s_rng;
+  Codec.float_array w st.Hmc.s_position;
+  Codec.float w st.Hmc.s_step;
+  Codec.float w st.Hmc.s_log_post;
+  Codec.int w st.Hmc.s_accept_window;
+  Codec.array w Codec.float_array (rows_of_flat ~dim:2 st.Hmc.s_kept);
+  Codec.int w st.Hmc.s_accepted_post;
+  Codec.int w st.Hmc.s_proposed_post;
+  let decoded =
+    match Sampler_state.decode (Codec.reader (Codec.contents w)) with
+    | Sampler_state.Hmc s -> s
+    | _ -> Alcotest.fail "legacy tag 1 did not decode to Hmc"
+  in
+  check_flat_array "kept draws flattened row-major" st.Hmc.s_kept
+    decoded.Hmc.s_kept;
+  check_flat_array "position" st.Hmc.s_position decoded.Hmc.s_position;
+  check_float_bits "step" st.Hmc.s_step decoded.Hmc.s_step;
+  let resumed =
+    Hmc.run ~rng:(Rng.create 0) ~resume:decoded ~n_samples ~burn_in
+      ~leapfrog_steps:5 unit_target
+  in
+  Alcotest.(check bool) "resumed chain bit-for-bit" true
+    (Chain.equal full.Hmc.chain resumed.Hmc.chain)
+
+let test_legacy_gibbs_snapshot () =
+  let n_samples = 20 and burn_in = 5 in
+  let run ~control =
+    Gibbs.run ~rng:(Rng.create 11) ~control ~n_samples ~burn_in unit_target
+  in
+  let st, full = capture_at 15 run in
+  Alcotest.(check bool) "snapshot holds draws" true
+    (Array.length st.Gibbs.s_kept > 0);
+  let w = Codec.writer () in
+  Codec.u8 w 2;
+  Codec.int w st.Gibbs.s_sweep;
+  Codec.string w st.Gibbs.s_rng;
+  Codec.float_array w st.Gibbs.s_current;
+  Codec.array w Codec.float_array (rows_of_flat ~dim:2 st.Gibbs.s_kept);
+  Codec.int w st.Gibbs.s_moved_sweeps;
+  Codec.option w Codec.float_array st.Gibbs.s_cache;
+  let decoded =
+    match Sampler_state.decode (Codec.reader (Codec.contents w)) with
+    | Sampler_state.Gibbs s -> s
+    | _ -> Alcotest.fail "legacy tag 2 did not decode to Gibbs"
+  in
+  check_flat_array "kept draws flattened row-major" st.Gibbs.s_kept
+    decoded.Gibbs.s_kept;
+  let resumed =
+    Gibbs.run ~rng:(Rng.create 0) ~resume:decoded ~n_samples ~burn_in
+      unit_target
+  in
+  Alcotest.(check bool) "resumed chain bit-for-bit" true
+    (Chain.equal full.Gibbs.chain resumed.Gibbs.chain)
+
+let test_sampler_state_flat_roundtrip () =
+  (* The current generation: encode always writes flat tags, and the
+     round-trip is the identity on every field. *)
+  let run ~control =
+    Metropolis.run_single_site ~rng:(Rng.create 13) ~control ~n_samples:30
+      ~burn_in:10 unit_target
+  in
+  let st, _ = capture_at 25 run in
+  let w = Codec.writer () in
+  Sampler_state.encode w (Sampler_state.Mh st);
+  let body = Codec.contents w in
+  Alcotest.(check int) "written with flat tag" 3
+    (Char.code body.[0]);
+  let r = Codec.reader body in
+  (match Sampler_state.decode r with
+  | Sampler_state.Mh s ->
+      check_flat_array "kept" st.Metropolis.s_kept s.Metropolis.s_kept;
+      Alcotest.(check string) "rng" st.Metropolis.s_rng s.Metropolis.s_rng
+  | _ -> Alcotest.fail "flat tag 3 did not decode to Mh");
+  Codec.expect_end r;
+  (* Unknown future tags are rejected, not misparsed. *)
+  let w2 = Codec.writer () in
+  Codec.u8 w2 9;
+  match Sampler_state.decode (Codec.reader (Codec.contents w2)) with
+  | _ -> Alcotest.fail "unknown tag accepted"
+  | exception Codec.Malformed _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint store                                                     *)
@@ -498,6 +707,14 @@ let suite =
       Alcotest.test_case "codec truncation detected" `Quick
         test_codec_truncation;
       QCheck_alcotest.to_alcotest qcheck_codec_floats;
+      Alcotest.test_case "legacy MH snapshot decodes and resumes" `Quick
+        test_legacy_mh_snapshot;
+      Alcotest.test_case "legacy HMC snapshot decodes and resumes" `Quick
+        test_legacy_hmc_snapshot;
+      Alcotest.test_case "legacy Gibbs snapshot decodes and resumes" `Quick
+        test_legacy_gibbs_snapshot;
+      Alcotest.test_case "flat sampler snapshot round-trip" `Quick
+        test_sampler_state_flat_roundtrip;
       Alcotest.test_case "store round-trip" `Quick test_store_roundtrip;
       Alcotest.test_case "store corruption falls back" `Quick
         test_store_corruption_falls_back;

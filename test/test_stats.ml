@@ -1,4 +1,4 @@
-(* Summary, Histogram, Hdpi, Ecdf, Regression. *)
+(* Summary, Histogram, Hdpi, Ecdf, Regression, Parallel. *)
 module Summary = Because_stats.Summary
 module Histogram = Because_stats.Histogram
 module Hdpi = Because_stats.Hdpi
@@ -188,6 +188,109 @@ let test_regression_invalid () =
     (Invalid_argument "Regression.fit: constant x") (fun () ->
       ignore (Regression.fit [| 1.0; 1.0 |] [| 1.0; 2.0 |]))
 
+(* ---------------- Parallel ---------------- *)
+
+module Parallel = Because_stats.Parallel
+
+let squares n = Array.init n (fun i -> (fun () -> i * i))
+
+let test_parallel_order () =
+  (* Results land in task order regardless of scheduling width. *)
+  let expected = Array.init 9 (fun i -> i * i) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Parallel.run_tasks ~jobs (squares 9)))
+    [ 1; 2; 4 ]
+
+let test_parallel_reuse () =
+  (* The shared pool survives across batches: repeated fan-outs keep
+     producing correct results (the regression mode here is a worker
+     wedged on a stale batch, which would hang or corrupt slot writes). *)
+  for round = 1 to 20 do
+    let n = 1 + (round mod 7) in
+    let got = Parallel.run_tasks ~jobs:4 (squares n) in
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d" round)
+      (Array.init n (fun i -> i * i))
+      got
+  done
+
+let test_parallel_dedicated_pool () =
+  let pool = Parallel.create ~workers:2 in
+  for round = 1 to 5 do
+    let got = Parallel.run pool ~jobs:2 (squares 8) in
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d" round)
+      (Array.init 8 (fun i -> i * i))
+      got
+  done;
+  Alcotest.(check bool) "never exceeds workers" true
+    (Parallel.worker_count pool <= 2)
+
+exception Task_boom of int
+
+let test_parallel_exception () =
+  (* A task exception is re-raised on the submitter; first failure wins and
+     the remaining tasks are skipped, not left dangling. *)
+  List.iter
+    (fun jobs ->
+      match
+        Parallel.run_tasks ~jobs
+          (Array.init 6 (fun i ->
+               fun () -> if i = 3 then raise (Task_boom i) else i))
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Task_boom" jobs
+      | exception Task_boom 3 -> ()
+      | exception e ->
+          Alcotest.failf "jobs=%d: wrong exception %s" jobs
+            (Printexc.to_string e))
+    [ 1; 4 ];
+  (* Subsequent batches on the same pool still work after a failure. *)
+  Alcotest.(check (array int))
+    "pool usable after failure"
+    (Array.init 4 (fun i -> i * i))
+    (Parallel.run_tasks ~jobs:4 (squares 4))
+
+let test_parallel_nested () =
+  (* A task that itself fans out must not deadlock on the shared pool: the
+     inner call finds the pool busy and takes the spawn fallback. *)
+  let got =
+    Parallel.run_tasks ~jobs:2
+      (Array.init 3 (fun i ->
+           fun () ->
+             Array.fold_left ( + ) 0
+               (Parallel.run_tasks ~jobs:2
+                  (Array.init 4 (fun j -> fun () -> (10 * i) + j)))))
+  in
+  Alcotest.(check (array int))
+    "nested totals"
+    [| 6; 46; 86 |]
+    got
+
+let test_parallel_invalid () =
+  Alcotest.check_raises "workers=0"
+    (Invalid_argument "Parallel.create: workers must be positive") (fun () ->
+      ignore (Parallel.create ~workers:0));
+  Alcotest.check_raises "workers<0"
+    (Invalid_argument "Parallel.create: workers must be positive") (fun () ->
+      ignore (Parallel.create ~workers:(-3)));
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Parallel.run_tasks: jobs must be positive") (fun () ->
+      ignore (Parallel.run_tasks ~jobs:0 (squares 2)));
+  let pool = Parallel.create ~workers:2 in
+  Alcotest.check_raises "run jobs=0"
+    (Invalid_argument "Parallel.run: jobs must be positive") (fun () ->
+      ignore (Parallel.run pool ~jobs:0 (squares 2)))
+
+let test_parallel_empty_and_single () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Parallel.run_tasks ~jobs:4 [||]);
+  Alcotest.(check (array int)) "single task" [| 7 |]
+    (Parallel.run_tasks ~jobs:4 [| (fun () -> 7) |])
+
 let suite =
   ( "stats",
     [
@@ -214,4 +317,13 @@ let suite =
       Alcotest.test_case "regression flat" `Quick test_regression_flat;
       Alcotest.test_case "relative change" `Quick test_relative_change;
       Alcotest.test_case "regression invalid" `Quick test_regression_invalid;
+      Alcotest.test_case "parallel order" `Quick test_parallel_order;
+      Alcotest.test_case "parallel pool reuse" `Quick test_parallel_reuse;
+      Alcotest.test_case "parallel dedicated pool" `Quick
+        test_parallel_dedicated_pool;
+      Alcotest.test_case "parallel exception" `Quick test_parallel_exception;
+      Alcotest.test_case "parallel nested" `Quick test_parallel_nested;
+      Alcotest.test_case "parallel invalid args" `Quick test_parallel_invalid;
+      Alcotest.test_case "parallel empty/single" `Quick
+        test_parallel_empty_and_single;
     ] )
