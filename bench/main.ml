@@ -30,6 +30,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("faults", "fault-injection severity sweep", Faults.run);
     ("kernels", "Bechamel kernel micro-benchmarks", Kernels.run);
     ("sim", "simulator throughput and router hot path", Sim.run);
+    ("scale", "events/s and peak RSS vs AS count (child per size)", Scale.run);
     ("service", "always-on scheduler throughput and drain overhead",
      Service_bench.run);
   ]
@@ -37,6 +38,10 @@ let sections : (string * string * (unit -> unit)) list =
 let () =
   let args = Array.to_list Sys.argv in
   match args with
+  | _ :: "--scale-child" :: rest ->
+      (* Hidden mode: the scale section re-executes this binary once per
+         world size so each measurement gets a fresh address space. *)
+      Scale.child rest
   | _ :: "--list" :: _ ->
       List.iter
         (fun (id, description, _) -> Printf.printf "%-10s %s\n" id description)

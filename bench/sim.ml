@@ -68,8 +68,10 @@ let build_script world (p : Sc.Campaign.params) ~churn_prefixes =
   for k = 0 to churn_prefixes - 1 do
     let origin = Rng.choice rng candidates in
     let prefix =
+      (* Same formula as Campaign.schedule_background: /24s growing upward
+         from 172.16.0.0. *)
       Prefix.make
-        (Int32.logor 0xAC100000l (Int32.shift_left (Int32.of_int k) 8))
+        (Int32.add 0xAC100000l (Int32.shift_left (Int32.of_int k) 8))
         24
     in
     Script.announce script ~time:0.0 ~origin prefix;

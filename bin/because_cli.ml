@@ -40,6 +40,36 @@ let sim_jobs_arg =
            default) preserves the sequential event stream bit-for-bit; on \
            a fault-free campaign every value yields the identical outcome.")
 
+let sim_shards_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "sim-shards" ] ~docv:"N"
+        ~doc:
+          "Simulation shard count, decoupled from --sim-jobs (default: one \
+           shard per job).  More shards than jobs queue on the domain pool \
+           — at most --sim-jobs shard networks are live at once, so peak \
+           memory is bounded by the seat count while per-shard state \
+           shrinks.  Fault-free outcomes are shard-invariant.")
+
+let feed_spill_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "feed-spill-dir" ] ~docv:"DIR"
+        ~doc:
+          "Stream monitored vantage feeds through bounded buffers into \
+           per-vantage binary logs under DIR instead of holding them in \
+           memory — the memory knob for Internet-scale campaigns.  The \
+           outcome is bit-for-bit identical to in-memory feeds.")
+
+let feed_buffer_arg =
+  Arg.(
+    value
+    & opt int Because_sim.Feed_log.default_buffer
+    & info [ "feed-buffer" ] ~docv:"N"
+        ~doc:
+          "Updates buffered per vantage before a spill flush (with \
+           --feed-spill-dir).")
+
 let chains_arg =
   Arg.(
     value & opt int 1
@@ -181,9 +211,27 @@ let world_size_args =
   let vantage =
     Arg.(value & opt int 60 & info [ "vantage-hosts" ] ~doc:"Vantage hosts.")
   in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"FACTOR"
+          ~doc:
+            "Scale factor applied to the transit, stub and vantage-host \
+             counts (the Tier-1 clique stays fixed) — e.g. --scale 22 grows \
+             the default world to roughly 10k ASs.")
+  in
   Term.(
-    const (fun transit stub vantage -> (transit, stub, vantage))
-    $ transit $ stub $ vantage)
+    const (fun transit stub vantage scale ->
+        if Float.equal scale 1.0 then (transit, stub, vantage)
+        else begin
+          if (not (Float.is_finite scale)) || scale <= 0.0 then
+            failwith "--scale must be positive";
+          let s n =
+            max 1 (int_of_float (Float.round (float_of_int n *. scale)))
+          in
+          (s transit, s stub, s vantage)
+        end)
+    $ transit $ stub $ vantage $ scale)
 
 let world_of ~seed (transit, stub, vantage) =
   Sc.World.build
@@ -384,9 +432,9 @@ let install_drain_handlers () =
     [ Sys.sigterm; Sys.sigint ]
 
 let campaign_cmd =
-  let run seed sizes interval cycles severity jobs chains sim_jobs telemetry
-      metrics_out trace_out checkpoint_dir resume checkpoint_every
-      chain_deadline sweep_budget =
+  let run seed sizes interval cycles severity jobs chains sim_jobs sim_shards
+      feed_spill_dir feed_buffer telemetry metrics_out trace_out checkpoint_dir
+      resume checkpoint_every chain_deadline sweep_budget =
     if resume && checkpoint_dir = None then
       failwith "--resume requires --checkpoint-dir";
     install_drain_handlers ();
@@ -406,7 +454,10 @@ let campaign_cmd =
     in
     let base =
       { base with
-        Sc.Campaign.infer_config =
+        Sc.Campaign.sim_shards;
+        feed_spill_dir;
+        feed_buffer;
+        infer_config =
           { base.Sc.Campaign.infer_config with
             Because.Infer.supervise =
               { Supervise.deadline_s = chain_deadline;
@@ -466,6 +517,13 @@ let campaign_cmd =
           ("jobs", string_of_int jobs);
           ("chains", string_of_int chains);
           ("sim_jobs", string_of_int sim_jobs);
+          ( "sim_shards",
+            match sim_shards with
+            | None -> "auto"
+            | Some n -> string_of_int n );
+          ( "feed_spill",
+            match feed_spill_dir with None -> "off" | Some dir -> dir );
+          ("feed_buffer", string_of_int feed_buffer);
           ( "faults",
             match severity with
             | None -> "none"
@@ -481,7 +539,8 @@ let campaign_cmd =
        ~doc:"Run one measurement campaign end to end on a simulated world.")
     Term.(
       const run $ seed_arg $ world_size_args $ interval_arg $ cycles_arg
-      $ faults_arg $ jobs_arg $ chains_arg $ sim_jobs_arg $ telemetry_arg
+      $ faults_arg $ jobs_arg $ chains_arg $ sim_jobs_arg $ sim_shards_arg
+      $ feed_spill_dir_arg $ feed_buffer_arg $ telemetry_arg
       $ metrics_out_arg $ trace_out_arg $ checkpoint_dir_arg $ resume_arg
       $ checkpoint_every_arg $ chain_deadline_arg $ sweep_budget_arg)
 

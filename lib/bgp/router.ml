@@ -118,10 +118,15 @@ let create cfg =
             Policy.export_ok ~learned_from:(Some learned)
               ~towards:nb.relationship)
           [| Policy.Customer; Policy.Peer; Policy.Provider |];
-      rib_in = Ptbl.create 64;
-      rfd = Ptbl.create 16;
-      adj_out = Ptbl.create 64;
-      mrai = Ptbl.create 64;
+      (* Tables start tiny and grow with the prefixes actually heard on the
+         session: at Internet scale most of a router's sessions carry a
+         small slice of the prefix universe, and a 10k-AS world holds
+         ~4 tables x ~40k sessions — pre-sizing for the worst case would
+         cost hundreds of megabytes before the first update flows. *)
+      rib_in = Ptbl.create 8;
+      rfd = Ptbl.create 4;
+      adj_out = Ptbl.create 8;
+      mrai = Ptbl.create 8;
     }
   in
   let nstates =
@@ -134,8 +139,8 @@ let create cfg =
     nstates;
     index_of;
     originated = Ptbl.create 4;
-    loc_rib = Ptbl.create 16;
-    last_feed = Ptbl.create 16;
+    loc_rib = Ptbl.create 8;
+    last_feed = Ptbl.create 8;
     stats = { rfd_suppressions = 0; rfd_releases = 0 };
   }
 
@@ -266,17 +271,28 @@ let export_update t prefix = function
       Update.Announce
         { prefix; as_path = t.cfg.asn :: Apath.nodes as_path; aggregator }
 
+(* The exported update is identical towards every neighbor (the AS prepends
+   itself to the best path regardless of the receiver), so one
+   reconsideration shares a single lazily built announce and withdraw
+   instead of allocating per neighbor — at 10k ASs with high-degree transit
+   cores that is the dominant allocation of the delivery hot path. *)
+let shared_exports t prefix best =
+  ( (match best with
+    | Some b -> lazy (export_update t prefix b)
+    | None -> lazy (Update.Withdraw { prefix }) (* never forced *)),
+    lazy (Update.Withdraw { prefix }) )
+
 (* The desired adj-out state towards a neighbor for [prefix], or None when
    nothing should be advertised.  The valley-free decision is a precomputed
    per-(learned relationship, neighbor) bit. *)
-let desired_towards t prefix best ns =
+let desired_towards ~export best ns =
   match best with
   | None -> None
-  | Some (Origin _ as b) -> Some (export_update t prefix b)
-  | Some (Via v as b) ->
+  | Some (Origin _) -> Some (Lazy.force export)
+  | Some (Via v) ->
       if Asn.equal v.from_asn ns.nb.neighbor_asn then None (* split horizon *)
       else if ns.export_from.(rel_index v.relationship) then
-        Some (export_update t prefix b)
+        Some (Lazy.force export)
       else None
 
 let mrai_state_of ns prefix =
@@ -289,9 +305,9 @@ let mrai_state_of ns prefix =
 
 (* Push the desired state towards the neighbor, respecting MRAI for
    announcements.  Returns actions. *)
-let sync_neighbor t ~now prefix best ns =
+let sync_neighbor ~now prefix best ns ~export ~withdraw =
   let previously = Ptbl.find_opt ns.adj_out prefix in
-  let desired = desired_towards t prefix best ns in
+  let desired = desired_towards ~export best ns in
   let already_withdrawn =
     match previously with
     | None -> true
@@ -303,7 +319,7 @@ let sync_neighbor t ~now prefix best ns =
       if already_withdrawn then []
       else begin
         (* Withdrawals bypass MRAI (RFC 4271 §9.2.1.1). *)
-        let w = Update.Withdraw { prefix } in
+        let w = Lazy.force withdraw in
         Ptbl.replace ns.adj_out prefix w;
         [ Send { to_asn = ns.nb.neighbor_asn; update = w } ]
       end
@@ -327,11 +343,11 @@ let sync_neighbor t ~now prefix best ns =
         end
       end
 
-let feed_action t prefix best =
+let feed_action t prefix best ~export ~withdraw =
   let observation =
     match best with
-    | Some b -> export_update t prefix b
-    | None -> Update.Withdraw { prefix }
+    | Some _ -> Lazy.force export
+    | None -> Lazy.force withdraw
   in
   let same =
     match Ptbl.find_opt t.last_feed prefix with
@@ -360,11 +376,14 @@ let reconsider t ~now prefix =
     (match new_best with
     | Some b -> Ptbl.replace t.loc_rib prefix b
     | None -> Ptbl.remove t.loc_rib prefix);
+    let export, withdraw = shared_exports t prefix new_best in
     let exports = ref [] in
     for i = Array.length t.nstates - 1 downto 0 do
-      exports := sync_neighbor t ~now prefix new_best t.nstates.(i) @ !exports
+      exports :=
+        sync_neighbor ~now prefix new_best t.nstates.(i) ~export ~withdraw
+        @ !exports
     done;
-    !exports @ feed_action t prefix new_best
+    !exports @ feed_action t prefix new_best ~export ~withdraw
   end
 
 (* ------------------------------------------------------------------ *)
@@ -479,7 +498,8 @@ let handle_session_up t ~now ~neighbor =
       Ptbl.remove ns.adj_out prefix;
       Ptbl.remove ns.mrai prefix;
       let best = Ptbl.find_opt t.loc_rib prefix in
-      sync_neighbor t ~now prefix best ns)
+      let export, withdraw = shared_exports t prefix best in
+      sync_neighbor ~now prefix best ns ~export ~withdraw)
     prefixes
 
 let handle_mrai_expiry t ~now ~neighbor ~prefix =
@@ -488,4 +508,5 @@ let handle_mrai_expiry t ~now ~neighbor ~prefix =
   ms.pending <- false;
   ms.gate_until <- Float.min ms.gate_until now;
   let best = Ptbl.find_opt t.loc_rib prefix in
-  sync_neighbor t ~now prefix best ns
+  let export, withdraw = shared_exports t prefix best in
+  sync_neighbor ~now prefix best ns ~export ~withdraw

@@ -31,6 +31,9 @@ type params = {
   faults : Plan.t;
   min_path_support : int;
   sim_jobs : int;
+  sim_shards : int option;
+  feed_spill_dir : string option;
+  feed_buffer : int;
   telemetry : Tel.t;
 }
 
@@ -57,6 +60,9 @@ let default_params ~update_interval =
     faults = Plan.empty;
     min_path_support = 1;
     sim_jobs = 1;
+    sim_shards = None;
+    feed_spill_dir = None;
+    feed_buffer = Because_sim.Feed_log.default_buffer;
     telemetry = Tel.disabled;
   }
 
@@ -85,17 +91,20 @@ type outcome = {
   status : Supervise.status;
 }
 
-(* A /24 per churn prefix inside 172.16.0.0/12: 12 free network bits, so at
-   most 4096 distinct prefixes before the space would wrap onto itself (the
-   old [k land 0xFFFF] silently escaped the /12 past that point). *)
-let max_background_prefixes = 4096
+(* A /24 per churn prefix starting at 172.16.0.0 and growing upward through
+   172/8: the first 4096 land in the historical 172.16.0.0/12 home (the
+   addition below equals the old logor for k < 4096, so existing campaigns
+   reproduce bit-for-bit), and the space runs to the top of 172.255.255.0/24
+   — 61440 prefixes, still disjoint from the 10/8 Beacon ranges — before it
+   would wrap into 173/8. *)
+let max_background_prefixes = 61440
 
 let schedule_background rng world script ~count ~mean_gap ~campaign_end =
   if count > max_background_prefixes then
     invalid_arg
       (Printf.sprintf
-         "Campaign: background_prefixes %d exceeds the %d /24s of \
-          172.16.0.0/12"
+         "Campaign: background_prefixes %d exceeds the %d /24s between \
+          172.16.0.0 and the top of 172/8"
          count max_background_prefixes);
   if count > 0 then begin
     let graph = World.graph world in
@@ -113,9 +122,9 @@ let schedule_background rng world script ~count ~mean_gap ~campaign_end =
     for k = 0 to count - 1 do
       let origin = Rng.choice rng candidates in
       let prefix =
-        (* 172.16.0.0/12 space keeps churn clearly apart from Beacons. *)
+        (* 172.16+ space keeps churn clearly apart from Beacons. *)
         Prefix.make
-          (Int32.logor 0xAC100000l (Int32.shift_left (Int32.of_int k) 8))
+          (Int32.add 0xAC100000l (Int32.shift_left (Int32.of_int k) 8))
           24
       in
       Script.announce script ~time:0.0 ~origin prefix;
@@ -133,11 +142,12 @@ let schedule_background rng world script ~count ~mean_gap ~campaign_end =
 (* Fingerprint of everything that determines the campaign's results: world
    parameters, the fully-recorded stimulus script, the interval set, every
    result-affecting campaign scalar, the noise and fault plans, and the
-   inference settings.  Parallelism knobs ([sim_jobs], [infer_config.jobs]),
-   the supervision budget and wall-clock-only backoff are deliberately
-   excluded: outcomes are jobs-invariant, and resuming with more workers or
-   a larger budget is exactly the operational move the checkpoint store
-   exists to allow. *)
+   inference settings.  Parallelism and memory knobs ([sim_jobs],
+   [sim_shards], [feed_spill_dir], [feed_buffer], [infer_config.jobs]), the
+   supervision budget and wall-clock-only backoff are deliberately excluded:
+   outcomes are jobs-invariant and spill-invariant, and resuming with more
+   workers, a larger budget, or feeds on disk is exactly the operational
+   move the checkpoint store exists to allow. *)
 let fingerprint world params ~intervals ~script =
   let ic = params.infer_config in
   let infer_scalars =
@@ -279,6 +289,12 @@ let run_multi ?recovery world params ~intervals =
     Tel.Span.with_ params.telemetry ~name:"campaign.sim" (fun () ->
         Sharded.run ?fault_rng ~telemetry:params.telemetry
           ?checkpoint:(Option.map Recovery.sim_hooks recovery)
+          ?shards:params.sim_shards
+          ?feed_spill:
+            (Option.map
+               (fun dir ->
+                 { Because_sim.Feed_log.dir; buffer = params.feed_buffer })
+               params.feed_spill_dir)
           ~jobs:params.sim_jobs
           ~configs:(World.router_configs world)
           ~delay:(World.delay world)

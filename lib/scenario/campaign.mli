@@ -31,10 +31,26 @@ type params = {
           [outcome.insufficient].  Default 1 (no demotion). *)
   sim_jobs : int;
       (** Worker domains for the BGP simulation itself: the campaign's
-          prefixes are partitioned into [sim_jobs] shards run in parallel
+          prefixes are partitioned into shards run in parallel
           ({!Because_sim.Sharded}).  At 1 — the default — the historical
           sequential event stream is preserved bit-for-bit; on a fault-free
           campaign every value of [sim_jobs] yields the identical outcome. *)
+  sim_shards : int option;
+      (** Simulation shard count, decoupled from [sim_jobs] ([None] — the
+          default — means one shard per job, the historical behaviour).
+          More shards than jobs queue on the domain pool, bounding peak
+          live router state by the seat count while shrinking per-shard
+          state — the spill mode for Internet-scale prefix sets.  Fault-free
+          outcomes are shard-invariant (property-tested). *)
+  feed_spill_dir : string option;
+      (** When set, monitored vantage feeds stream through bounded buffers
+          into per-vantage binary logs under this directory
+          ({!Because_sim.Feed_log}) instead of accumulating in memory, and
+          are replayed lazily by collection — outcome bit-for-bit identical
+          (property-tested).  Default [None] (in-memory feeds). *)
+  feed_buffer : int;
+      (** Updates buffered per vantage before a spill flush (default
+          4096).  Only meaningful with [feed_spill_dir]. *)
   telemetry : Because_telemetry.Registry.t;
       (** Observability sink threaded through every phase: campaign phase
           spans, simulator traffic/RFD counters and table gauges, fault

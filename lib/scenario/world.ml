@@ -29,6 +29,26 @@ let default_params =
     link_delay_max = 5.0;
   }
 
+(* Grow a world towards Internet size along one axis.  The Tier-1 clique
+   stays fixed (the real Internet's is ~a dozen however large the edge) while
+   the transit layer, the stub edge and the vantage-point population scale
+   with the factor — the shape the `scale` bench and `--scale` CLI flag
+   sweep. *)
+let scale_params p ~factor =
+  if not (Float.is_finite factor) || factor <= 0.0 then
+    invalid_arg "World.scale_params: factor must be positive";
+  let scale n = max 1 (int_of_float (Float.round (float_of_int n *. factor))) in
+  {
+    p with
+    topology =
+      {
+        p.topology with
+        Generate.n_transit = scale p.topology.Generate.n_transit;
+        n_stub = scale p.topology.Generate.n_stub;
+      };
+    n_vantage_hosts = scale p.n_vantage_hosts;
+  }
+
 type t = {
   params : params;
   graph : Graph.t;

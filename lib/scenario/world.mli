@@ -19,6 +19,12 @@ type params = {
 
 val default_params : params
 
+val scale_params : params -> factor:float -> params
+(** Grow (or shrink) a world towards Internet size: transit count, stub
+    count and vantage-host count are multiplied by [factor] (minimum 1
+    each) while the Tier-1 clique and Beacon sites stay fixed.  Raises
+    [Invalid_argument] on a non-positive factor. *)
+
 type t
 
 val build : params -> t

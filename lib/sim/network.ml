@@ -56,36 +56,78 @@ type link_session = {
   mutable dup : float;        (* per-update duplication probability *)
 }
 
+(* ASN -> dense router id.  Routers live in an array indexed by interned id
+   so the delivery hot path is one hash lookup + one array read; everything
+   keyed per-router (feeds included) shares the same id space. *)
+module Itbl = Hashtbl.Make (struct
+  type t = Asn.t
+
+  let equal = Asn.equal
+  let hash a = Asn.to_int a * 0x9E3779B1 land max_int
+end)
+
+(* Where a monitored vantage's observations go: an in-memory log (the
+   default) or a bounded buffer spilling to a binary on-disk log. *)
+type feed_sink =
+  | Feed_mem of (float * Update.t) list ref  (* newest first *)
+  | Feed_disk of Feed_log.writer
+
 type t = {
   engine : event Engine.t;
-  routers : (Asn.t, Router.t) Hashtbl.t;
+  ids : int Itbl.t;
+  routers : Router.t array;  (* dense, config order *)
   delay : from_asn:Asn.t -> to_asn:Asn.t -> float;
   monitored_set : Asn.Set.t;
-  feeds : (Asn.t, (float * Update.t) list ref) Hashtbl.t;
+  feed_sinks : feed_sink option array;  (* by router id; Some iff monitored *)
   stats : stats;
   sessions : (Asn.t * Asn.t, link_session) Hashtbl.t;
   mutable fault_rng : Rng.t option;
   mutable fault_log : (float * fault_event) list;  (* newest first *)
 }
 
-let create ?fault_rng ~configs ~delay ~monitored () =
-  let routers = Hashtbl.create (List.length configs) in
-  List.iter
-    (fun (cfg : Router.config) ->
-      if Hashtbl.mem routers cfg.Router.asn then
-        invalid_arg "Network.create: duplicate router";
-      Hashtbl.replace routers cfg.Router.asn (Router.create cfg))
-    configs;
+let create ?fault_rng ?feed_spill ~configs ~delay ~monitored () =
+  let n = List.length configs in
+  let ids = Itbl.create (2 * max 1 n) in
+  let routers =
+    Array.of_list
+      (List.map
+         (fun (cfg : Router.config) ->
+           if Itbl.mem ids cfg.Router.asn then
+             invalid_arg "Network.create: duplicate router";
+           Itbl.replace ids cfg.Router.asn (Itbl.length ids);
+           Router.create cfg)
+         configs)
+  in
+  let feed_sinks =
+    Array.map
+      (fun r ->
+        let asn = (Router.config r).Router.asn in
+        if Asn.Set.mem asn monitored then
+          Some
+            (match feed_spill with
+            | None -> Feed_mem (ref [])
+            | Some { Feed_log.dir; buffer } ->
+                Feed_disk (Feed_log.writer ~dir ~asn ~buffer))
+        else None)
+      routers
+  in
+  let n_links =
+    List.fold_left
+      (fun acc (cfg : Router.config) -> acc + List.length cfg.Router.neighbors)
+      0 configs
+    / 2
+  in
   {
     engine = Engine.create ();
+    ids;
     routers;
     delay;
     monitored_set = monitored;
-    feeds = Hashtbl.create (Asn.Set.cardinal monitored);
+    feed_sinks;
     stats =
       { deliveries = 0; announcements = 0; withdrawals = 0; lost = 0;
         duplicated = 0; session_drops = 0; session_recoveries = 0 };
-    sessions = Hashtbl.create 16;
+    sessions = Hashtbl.create (max 16 n_links);
     fault_rng;
     fault_log = [];
   }
@@ -93,22 +135,18 @@ let create ?fault_rng ~configs ~delay ~monitored () =
 let set_fault_rng t rng = t.fault_rng <- Some rng
 
 let router t asn =
-  match Hashtbl.find_opt t.routers asn with
-  | Some r -> r
+  match Itbl.find_opt t.ids asn with
+  | Some id -> Array.unsafe_get t.routers id
   | None -> invalid_arg ("Network.router: unknown AS " ^ Asn.to_string asn)
 
 let record_feed t ~now asn update =
-  if Asn.Set.mem asn t.monitored_set then begin
-    let log =
-      match Hashtbl.find_opt t.feeds asn with
-      | Some l -> l
-      | None ->
-          let l = ref [] in
-          Hashtbl.replace t.feeds asn l;
-          l
-    in
-    log := (now, update) :: !log
-  end
+  match Itbl.find_opt t.ids asn with
+  | None -> ()
+  | Some id -> (
+      match Array.unsafe_get t.feed_sinks id with
+      | None -> ()
+      | Some (Feed_mem log) -> log := (now, update) :: !log
+      | Some (Feed_disk w) -> Feed_log.append w ~time:now update)
 
 let log_fault t ~now ev = t.fault_log <- (now, ev) :: t.fault_log
 
@@ -461,15 +499,15 @@ let events_processed t = Engine.processed t.engine
 let max_queue_depth t = Engine.max_pending t.engine
 
 let rfd_stats t =
-  Hashtbl.fold
-    (fun _ r (supp, rel) ->
+  Array.fold_left
+    (fun (supp, rel) r ->
       let s = Router.stats r in
       (supp + s.Router.rfd_suppressions, rel + s.Router.rfd_releases))
-    t.routers (0, 0)
+    (0, 0) t.routers
 
 let table_totals t =
-  Hashtbl.fold
-    (fun _ r (acc : Router.table_sizes) ->
+  Array.fold_left
+    (fun (acc : Router.table_sizes) r ->
       let ts = Router.table_sizes r in
       {
         Router.rib_in_entries =
@@ -481,7 +519,6 @@ let table_totals t =
         loc_rib_entries =
           acc.Router.loc_rib_entries + ts.Router.loc_rib_entries;
       })
-    t.routers
     {
       Router.rib_in_entries = 0;
       rfd_states = 0;
@@ -489,12 +526,24 @@ let table_totals t =
       mrai_states = 0;
       loc_rib_entries = 0;
     }
+    t.routers
 
 let fault_log t = List.rev t.fault_log
 
+let sink_of t asn =
+  match Itbl.find_opt t.ids asn with
+  | None -> None
+  | Some id -> t.feed_sinks.(id)
+
 let feed t asn =
-  match Hashtbl.find_opt t.feeds asn with
-  | Some l -> List.rev !l
+  match sink_of t asn with
   | None -> []
+  | Some (Feed_mem l) -> List.rev !l
+  | Some (Feed_disk w) -> Feed_log.entries (Feed_log.flush w)
+
+let feed_spilled t asn =
+  match sink_of t asn with
+  | Some (Feed_disk w) -> Some (Feed_log.flush w)
+  | Some (Feed_mem _) | None -> None
 
 let monitored t = t.monitored_set

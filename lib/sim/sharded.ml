@@ -3,17 +3,40 @@ module Rng = Because_stats.Rng
 module Parallel = Because_stats.Parallel
 module Tel = Because_telemetry.Registry
 
+(* A shard's collected vantage feeds: materialized, or left on disk as the
+   per-vantage spill logs the network wrote (paths only — replayed lazily by
+   {!feed}, so a campaign never holds every observation at once). *)
+type feed_store =
+  | Feeds_mem of (Asn.t * (float * Update.t) list) list
+  | Feeds_spilled of (Asn.t * string) list
+
+let store_entries = function
+  | Feeds_mem l -> l
+  | Feeds_spilled l ->
+      List.map (fun (asn, path) -> (asn, Feed_log.entries path)) l
+
+let store_feed store asn =
+  match store with
+  | Feeds_mem l -> (
+      match List.assoc_opt asn l with Some e -> e | None -> [])
+  | Feeds_spilled l -> (
+      match List.assoc_opt asn l with
+      | Some path -> Feed_log.entries path
+      | None -> [])
+
 type result = {
-  feeds : (Asn.t * (float * Update.t) list) list;
   stats : Network.stats;
   fault_log : (float * Network.fault_event) list;
   events : int;
   shards : int;
   shard_events : int array;
+  monitored : Asn.Set.t;
+  rank_of : Prefix.t -> int;
+  stores : feed_store array;  (* one per shard *)
 }
 
 type shard_result = {
-  shard_feeds : (Asn.t * (float * Update.t) list) list;
+  shard_feeds : feed_store;
   shard_stats : Network.stats;
   shard_fault_log : (float * Network.fault_event) list;
   shard_events_count : int;
@@ -29,12 +52,51 @@ type checkpoint_hooks = {
   save_shard : shard:int -> shards:int -> shard_result -> unit;
 }
 
-let feed result asn =
-  match List.assoc_opt asn result.feeds with Some l -> l | None -> []
+(* Merge one vantage's per-shard entries.  Entries of a given prefix all
+   live in one shard, in their sequential relative order; the cross-prefix
+   interleave is reconstructed by time with the prefix's first-touch rank
+   breaking ties — exactly the sequential heap's FIFO order for the
+   lineage-aligned cascades that produce cross-prefix time ties. *)
+let merge_entries rank_of entries =
+  List.stable_sort
+    (fun (ta, ua) (tb, ub) ->
+      match Float.compare ta tb with
+      | 0 ->
+          Int.compare (rank_of (Update.prefix ua)) (rank_of (Update.prefix ub))
+      | c -> c)
+    entries
 
-let collect net monitored =
-  Asn.Set.fold (fun asn acc -> (asn, Network.feed net asn) :: acc) monitored []
+let feed result asn =
+  match result.stores with
+  | [| store |] -> store_feed store asn  (* already sequential order *)
+  | stores ->
+      merge_entries result.rank_of
+        (List.concat_map
+           (fun store -> store_feed store asn)
+           (Array.to_list stores))
+
+let feeds result =
+  Asn.Set.fold
+    (fun asn acc -> (asn, feed result asn) :: acc)
+    result.monitored []
   |> List.rev
+
+let collect ~spilled net monitored =
+  if spilled then
+    Feeds_spilled
+      (Asn.Set.fold
+         (fun asn acc ->
+           match Network.feed_spilled net asn with
+           | Some path -> (asn, path) :: acc
+           | None -> acc)
+         monitored []
+      |> List.rev)
+  else
+    Feeds_mem
+      (Asn.Set.fold
+         (fun asn acc -> (asn, Network.feed net asn) :: acc)
+         monitored []
+      |> List.rev)
 
 let is_origin_fault = function
   | Network.Fault_update_lost _ | Network.Fault_update_duplicated _ -> true
@@ -72,24 +134,6 @@ let merge_stats (per_shard : Network.stats list) : Network.stats =
         session_drops = first.Network.session_drops;
         session_recoveries = first.Network.session_recoveries;
       }
-
-(* Merge per-shard feeds of one vantage.  Entries of a given prefix all live
-   in one shard, in their sequential relative order; the cross-prefix
-   interleave is reconstructed by time with the prefix's first-touch rank
-   breaking ties — exactly the sequential heap's FIFO order for the
-   lineage-aligned cascades that produce cross-prefix time ties. *)
-let merge_feeds rank_of shard_feeds asn =
-  let entries =
-    List.concat_map
-      (fun feeds -> match List.assoc_opt asn feeds with Some l -> l | None -> [])
-      shard_feeds
-  in
-  List.stable_sort
-    (fun (ta, ua) (tb, ub) ->
-      match Float.compare ta tb with
-      | 0 -> Int.compare (rank_of (Update.prefix ua)) (rank_of (Update.prefix ub))
-      | c -> c)
-    entries
 
 (* Flush one finished shard's simulation counters into the telemetry
    registry.  Runs inside the worker domain that owned the shard, so every
@@ -138,8 +182,8 @@ let count_restored telemetry =
    network construction and replay entirely; its pre-split fault stream is
    simply never drawn from (streams are split before any task runs, so
    skipping one shard cannot perturb another's randomness). *)
-let run_shard ?rng ~checkpoint ~telemetry ~configs ~delay ~monitored ~until
-    ~script ~keep ~shard ~shards () =
+let run_shard ?rng ~checkpoint ~telemetry ~spill ~configs ~delay ~monitored
+    ~until ~script ~keep ~shard ~shards () =
   let restored =
     match checkpoint with
     | Some h -> h.load_shard ~shard ~shards
@@ -150,7 +194,10 @@ let run_shard ?rng ~checkpoint ~telemetry ~configs ~delay ~monitored ~until
       count_restored telemetry;
       sr
   | None ->
-      let net = Network.create ?fault_rng:rng ~configs ~delay ~monitored () in
+      let net =
+        Network.create ?fault_rng:rng ?feed_spill:spill ~configs ~delay
+          ~monitored ()
+      in
       Script.install ?keep script net;
       Tel.Span.with_ telemetry
         ~name:(Printf.sprintf "sim.shard%d.replay" shard) (fun () ->
@@ -158,7 +205,7 @@ let run_shard ?rng ~checkpoint ~telemetry ~configs ~delay ~monitored ~until
       flush_shard_telemetry telemetry ~shard net;
       let sr =
         {
-          shard_feeds = collect net monitored;
+          shard_feeds = collect ~spilled:(spill <> None) net monitored;
           shard_stats = Network.stats net;
           shard_fault_log = Network.fault_log net;
           shard_events_count = Network.events_processed net;
@@ -169,25 +216,51 @@ let run_shard ?rng ~checkpoint ~telemetry ~configs ~delay ~monitored ~until
       | None -> ());
       sr
 
-let run ?fault_rng ?(telemetry = Tel.disabled) ?checkpoint ~jobs ~configs
-    ~delay ~monitored ~until script =
+let run ?fault_rng ?(telemetry = Tel.disabled) ?checkpoint ?shards ?feed_spill
+    ~jobs ~configs ~delay ~monitored ~until script =
   if jobs < 1 then invalid_arg "Sharded.run: jobs must be positive";
+  (match shards with
+  | Some s when s < 1 -> invalid_arg "Sharded.run: shards must be positive"
+  | _ -> ());
   let n_prefixes = Script.n_prefixes script in
-  let shards = max 1 (min jobs n_prefixes) in
+  (* Default one shard per pool seat; an explicit [shards] may exceed [jobs]
+     — the work-stealing pool then runs at most [jobs] shard networks at a
+     time and queues the rest, so peak live state is bounded by the seat
+     count, not the shard count. *)
+  let shards =
+    max 1 (min (Option.value shards ~default:jobs) n_prefixes)
+  in
+  (* Each shard spills under its own subdirectory: shards replaying
+     different prefix subsets must not append to the same vantage log. *)
+  let spill_for shard =
+    Option.map
+      (fun (s : Feed_log.spill) ->
+        { s with
+          Feed_log.dir =
+            Filename.concat s.Feed_log.dir
+              (Printf.sprintf "shard%dof%d" shard shards) })
+      feed_spill
+  in
+  let rank_of prefix =
+    match Script.rank script prefix with Some r -> r | None -> max_int
+  in
   if shards = 1 then begin
     (* Single-shard path: one network, full script in recording order — the
        event stream is bit-for-bit the historical sequential one. *)
     let sr =
-      run_shard ?rng:fault_rng ~checkpoint ~telemetry ~configs ~delay
-        ~monitored ~until ~script ~keep:None ~shard:0 ~shards:1 ()
+      run_shard ?rng:fault_rng ~checkpoint ~telemetry ~spill:(spill_for 0)
+        ~configs ~delay ~monitored ~until ~script ~keep:None ~shard:0
+        ~shards:1 ()
     in
     {
-      feeds = sr.shard_feeds;
       stats = sr.shard_stats;
       fault_log = sr.shard_fault_log;
       events = sr.shard_events_count;
       shards = 1;
       shard_events = [| sr.shard_events_count |];
+      monitored;
+      rank_of;
+      stores = [| sr.shard_feeds |];
     }
   end
   else begin
@@ -204,25 +277,15 @@ let run ?fault_rng ?(telemetry = Tel.disabled) ?checkpoint ~jobs ~configs
     let tasks =
       Array.init shards (fun shard ->
           fun () ->
-            run_shard ?rng:rngs.(shard) ~checkpoint ~telemetry ~configs
-              ~delay ~monitored ~until ~script
+            run_shard ?rng:rngs.(shard) ~checkpoint ~telemetry
+              ~spill:(spill_for shard) ~configs ~delay ~monitored ~until
+              ~script
               ~keep:(Some (fun p -> shard_of p = shard))
               ~shard ~shards ())
     in
     let results = Parallel.run_tasks ~jobs tasks in
     Tel.Span.with_ telemetry ~name:"sim.merge" (fun () ->
-        let shard_feeds =
-          Array.to_list (Array.map (fun sr -> sr.shard_feeds) results)
-        in
-        let rank_of prefix =
-          match Script.rank script prefix with Some r -> r | None -> max_int
-        in
         {
-          feeds =
-            Asn.Set.fold
-              (fun asn acc -> (asn, merge_feeds rank_of shard_feeds asn) :: acc)
-              monitored []
-            |> List.rev;
           stats =
             merge_stats
               (Array.to_list (Array.map (fun sr -> sr.shard_stats) results));
@@ -236,5 +299,8 @@ let run ?fault_rng ?(telemetry = Tel.disabled) ?checkpoint ~jobs ~configs
               0 results;
           shards;
           shard_events = Array.map (fun sr -> sr.shard_events_count) results;
+          monitored;
+          rank_of;
+          stores = Array.map (fun sr -> sr.shard_feeds) results;
         })
   end

@@ -10,17 +10,30 @@
     full fault plan into each shard, run the shards on the shared domain
     pool, and merge.
 
+    Shards may outnumber pool seats: the work-stealing pool runs at most
+    [jobs] shard networks at a time and queues the rest, so peak live router
+    state is bounded by the seat count while per-shard state shrinks with
+    the shard count — the spill mode for Internet-scale prefix sets.
+
     With no faults and no impairments the merged result is bit-for-bit
-    identical to the sequential run for any [jobs] (property-tested); with
-    faults, per-shard loss/duplication draws come from pre-split RNG streams
-    so the outcome is deterministic for a given [jobs]. *)
+    identical to the sequential run for any [jobs] and any [shards]
+    (property-tested); with faults, per-shard loss/duplication draws come
+    from pre-split RNG streams so the outcome is deterministic for a given
+    shard count. *)
 
 open Because_bgp
 
+(** One shard's collected vantage feeds: materialized in memory, or left as
+    the per-vantage on-disk spill logs the network wrote (paths only). *)
+type feed_store =
+  | Feeds_mem of (Asn.t * (float * Update.t) list) list
+  | Feeds_spilled of (Asn.t * string) list
+
+val store_entries : feed_store -> (Asn.t * (float * Update.t) list) list
+(** Materialize a store (reads spilled logs).  Used by the checkpoint layer,
+    which always persists feeds in materialized form. *)
+
 type result = {
-  feeds : (Asn.t * (float * Update.t) list) list;
-      (** Chronological per-vantage observations, every monitored AS
-          present. *)
   stats : Network.stats;
       (** Traffic counters summed over shards; session transition counters
           counted once (identical in every shard). *)
@@ -32,12 +45,27 @@ type result = {
   shard_events : int array;
       (** Events processed per shard (length [shards]) — the load-balance
           view the telemetry shard table and Chrome trace lanes expose. *)
+  monitored : Asn.Set.t;  (** Vantage ASs the feeds were collected for. *)
+  rank_of : Prefix.t -> int;
+      (** First-touch script rank — the cross-prefix tie-break key. *)
+  stores : feed_store array;
+      (** Per-shard feed stores (length [shards]); consume via {!feed} /
+          {!feeds}, which merge lazily. *)
 }
 
 val feed : result -> Asn.t -> (float * Update.t) list
+(** Chronological observations of one vantage, merged across shards on
+    demand (stable sort on time, cross-prefix ties by first-touch rank) —
+    identical to the sequential network's feed.  Spilled stores are replayed
+    from disk here, one vantage at a time, so the whole update volume is
+    never resident at once. *)
+
+val feeds : result -> (Asn.t * (float * Update.t) list) list
+(** Every monitored vantage's merged feed, ascending ASN.  Materializes
+    everything — prefer {!feed} one vantage at a time at scale. *)
 
 type shard_result = {
-  shard_feeds : (Asn.t * (float * Update.t) list) list;
+  shard_feeds : feed_store;
   shard_stats : Network.stats;
   shard_fault_log : (float * Network.fault_event) list;
   shard_events_count : int;
@@ -59,6 +87,8 @@ val run :
   ?fault_rng:Because_stats.Rng.t ->
   ?telemetry:Because_telemetry.Registry.t ->
   ?checkpoint:checkpoint_hooks ->
+  ?shards:int ->
+  ?feed_spill:Feed_log.spill ->
   jobs:int ->
   configs:Router.config list ->
   delay:(from_asn:Asn.t -> to_asn:Asn.t -> float) ->
@@ -66,11 +96,20 @@ val run :
   until:float ->
   Script.t ->
   result
-(** Replay [script] and run to [until] over [min jobs n_prefixes] shards.
-    [jobs = 1] replays into a single network in recording order, preserving
-    the historical sequential event stream exactly.  [fault_rng] is split
-    into one independent stream per shard.  Raises [Invalid_argument] if
-    [jobs < 1].
+(** Replay [script] and run to [until] over
+    [min (max 1 shards) n_prefixes] shards, where [shards] defaults to
+    [jobs].  [jobs = 1] with default sharding replays into a single network
+    in recording order, preserving the historical sequential event stream
+    exactly.  [shards > jobs] queues the excess on the pool — at most [jobs]
+    shard networks are live at once.  [fault_rng] is split into one
+    independent stream per shard (so with faults the outcome is a function
+    of the shard count, as it previously was of [jobs]).  Raises
+    [Invalid_argument] if [jobs < 1] or [shards < 1].
+
+    [feed_spill] routes every shard's monitored feeds through bounded
+    buffers into per-vantage binary logs under
+    [dir/shard<i>of<n>/feed-<asn>.log]; {!feed} replays them bit-for-bit
+    identical to the in-memory mode (property-tested).
 
     [checkpoint] short-circuits finished shards: a shard whose saved result
     loads is returned without building a network or replaying anything (its

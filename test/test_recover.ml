@@ -642,6 +642,7 @@ let test_shard_result_codec_roundtrip () =
   let sr =
     {
       Because_sim.Sharded.shard_feeds =
+        Because_sim.Sharded.Feeds_mem
         [
           ( Because_bgp.Asn.of_int 65001,
             [

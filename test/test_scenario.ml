@@ -340,18 +340,98 @@ let test_sim_jobs_equivalence () =
         true (seq = shd))
     [ 3; 8 ]
 
+(* S1 regression: the churn space is 61440 /24s (all of 172.16/12 upward
+   through 172/8), not the historical 4096 — counts past the old clamp must
+   round-trip through simulation and labeling, and [Invalid_argument] fires
+   only at the true wrap point. *)
 let test_background_prefix_space () =
+  let tiny =
+    {
+      Sc.World.default_params with
+      n_vantage_hosts = 4;
+      topology =
+        { Because_topology.Generate.default_params with
+          n_transit = 6; n_stub = 12 };
+    }
+  in
+  let w = Sc.World.build tiny in
+  let p = Sc.Campaign.default_params ~update_interval:60.0 in
+  let p =
+    { p with
+      Sc.Campaign.cycles = 1;
+      burst_duration = 120.0;
+      break_duration = 120.0;
+      lead_in = 30.0;
+      anchor_period = 120.0;
+      run_inference = false;
+      background_prefixes = 4200;
+      (* Effectively no re-flaps: each churn prefix contributes its initial
+         announcement only, so 4200 of them stay fast on a tiny world. *)
+      background_mean_gap = 1e9 }
+  in
+  let o = Sc.Campaign.run w p in
+  (* The 4097th prefix onward lives past the old /12 boundary
+     (172.16.0.0 + 4096 * /24 = 172.32.0.0). *)
+  let old_boundary = Int32.add 0xAC100000l (Int32.shift_left 4096l 8) in
+  let beyond =
+    List.filter
+      (fun (r : Because_collector.Dump.record) ->
+        let net =
+          Prefix.network (Update.prefix r.Because_collector.Dump.update)
+        in
+        Int32.unsigned_compare net old_boundary >= 0
+        && Int32.unsigned_compare net 0xAD000000l < 0)
+      o.Sc.Campaign.records
+  in
+  Alcotest.(check bool) "records beyond the old 4096-prefix clamp" true
+    (beyond <> []);
+  Alcotest.(check bool) "labeling still produces paths" true
+    (o.Sc.Campaign.labeled <> []);
+  Alcotest.(check bool) "count above the true wrap point rejected" true
+    (try
+       ignore (Sc.Campaign.run w { p with Sc.Campaign.background_prefixes = 61441 });
+       false
+     with Invalid_argument _ -> true)
+
+(* Spilled feeds must leave a campaign's outcome untouched: same records,
+   same labels, same delivery count — only where the feeds lived differs. *)
+let test_campaign_feed_spill_invariant () =
   let w = Lazy.force world in
   let p = Sc.Campaign.default_params ~update_interval:60.0 in
   let p =
     { p with
       Sc.Campaign.cycles = 2;
       run_inference = false;
-      background_prefixes = 4097 }
+      background_prefixes = 5 }
   in
-  Alcotest.(check bool) "overflowing churn count rejected" true
-    (try ignore (Sc.Campaign.run w p); false
-     with Invalid_argument _ -> true)
+  let fingerprint p =
+    let o = Sc.Campaign.run w p in
+    ( List.map
+        (fun (r : Because_collector.Dump.record) ->
+          ( r.Because_collector.Dump.received_at,
+            r.Because_collector.Dump.export_at,
+            r.Because_collector.Dump.vp.Because_collector.Vantage.vp_id,
+            Format.asprintf "%a" Update.pp r.Because_collector.Dump.update ))
+        o.Sc.Campaign.records,
+      List.map
+        (fun (lp : Because_labeling.Label.labeled_path) ->
+          (List.map Asn.to_int lp.path, lp.rfd))
+        o.Sc.Campaign.labeled,
+      o.Sc.Campaign.deliveries )
+  in
+  let mem = fingerprint p in
+  let dir = Filename.temp_file "because-test-campaign-spill" ".dir" in
+  Sys.remove dir;
+  let spilled =
+    fingerprint
+      { p with
+        Sc.Campaign.feed_spill_dir = Some dir;
+        feed_buffer = 7;
+        sim_shards = Some 4;
+        sim_jobs = 2 }
+  in
+  Alcotest.(check bool) "spilled campaign outcome identical" true
+    (mem = spilled)
 
 let test_site_of_prefix () =
   let o = Lazy.force fast_campaign in
@@ -388,5 +468,7 @@ let suite =
       Alcotest.test_case "sim_jobs equivalence" `Slow test_sim_jobs_equivalence;
       Alcotest.test_case "background prefix space" `Quick
         test_background_prefix_space;
+      Alcotest.test_case "feed spill invariant" `Slow
+        test_campaign_feed_spill_invariant;
       Alcotest.test_case "site of prefix" `Slow test_site_of_prefix;
     ] )
