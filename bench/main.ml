@@ -33,6 +33,8 @@ let sections : (string * string * (unit -> unit)) list =
     ("scale", "events/s and peak RSS vs AS count (child per size)", Scale.run);
     ("service", "always-on scheduler throughput and drain overhead",
      Service_bench.run);
+    ("http", "query-plane request rate and streaming warm-start saving",
+     Http_bench.run);
   ]
 
 let () =

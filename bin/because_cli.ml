@@ -843,20 +843,19 @@ let ingest_file svc path =
   In_channel.with_open_text path (fun ic ->
       In_channel.input_lines ic |> List.iter (ingest_line svc))
 
-(* Spool intake: every *.campaign file under DIR is one or more spec lines;
-   ingested files are renamed *.campaign.done so they are picked up exactly
-   once.  A plain directory is the whole submission API — no sockets, no
-   extra dependencies, trivially scriptable. *)
+(* Spool intake: every eligible *.campaign file under DIR is one or more
+   spec lines; ingested files are renamed *.campaign.done so they are
+   picked up exactly once.  A plain directory is the whole submission API —
+   no sockets, no extra dependencies, trivially scriptable.  Producers must
+   write-then-rename into place: Spool.eligible ignores dotfiles, so a
+   partial write staged as ".x.campaign" is invisible until renamed. *)
 let scan_spool svc dir =
-  if Sys.file_exists dir && Sys.is_directory dir then
-    Array.iter
-      (fun f ->
-        if Filename.check_suffix f ".campaign" then begin
-          let path = Filename.concat dir f in
-          ingest_file svc path;
-          Sys.rename path (path ^ ".done")
-        end)
-      (Sys.readdir dir)
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      ingest_file svc path;
+      Sys.rename path (path ^ ".done"))
+    (Because_service.Spool.scan dir)
 
 let serve_cmd =
   let state_dir_arg =
@@ -947,10 +946,35 @@ let serve_cmd =
              checkpoint write once N saves happened service-wide, exit 5; \
              a --resume rerun must complete identically.")
   in
+  let http_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "http-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve the query plane on 127.0.0.1:PORT ($(b,/status), \
+             $(b,/matrix), $(b,/metrics), $(b,/estimates), \
+             $(b,/campaigns/:id/report), $(b,POST /submit)).  PORT 0 \
+             picks a free port (printed on startup).  Without it no \
+             socket is opened and behaviour is unchanged.")
+  in
+  let http_threads_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "http-threads" ] ~docv:"N"
+          ~doc:"HTTP worker threads (connections served concurrently).")
+  in
   let run state_dir spool spec_files max_queue jobs campaign_jobs
       max_attempts resume oneshot poll_s checkpoint_every chain_deadline
-      sweep_budget telemetry metrics_out trace_out kill_after =
-    let reg = registry_of ~telemetry ~metrics_out ~trace_out in
+      sweep_budget telemetry metrics_out trace_out kill_after http_port
+      http_threads =
+    (* The query plane serves /metrics, so an HTTP port implies a live
+       registry (campaign results are bit-for-bit identical either way). *)
+    let reg =
+      registry_of
+        ~telemetry:(telemetry || http_port <> None)
+        ~metrics_out ~trace_out
+    in
     let cfg =
       { (Service.default_config ~state_dir) with
         Service.limit = max_queue;
@@ -967,6 +991,22 @@ let serve_cmd =
     let svc = if resume then Service.load cfg else Service.create cfg in
     List.iter (Printf.eprintf "serve: recovery: %s\n%!") (Service.warnings svc);
     install_drain_handlers ();
+    (* The query plane serves generation-stamped snapshots, so it can come
+       up before any campaign runs and stays up through the drain (final
+       states remain queryable until the process exits). *)
+    let http =
+      Option.map
+        (fun port ->
+          let srv =
+            Because_http.Server.start ~registry:reg ~threads:http_threads
+              ~port
+              (Because_service.Query.router svc)
+          in
+          Printf.printf "serve: http on 127.0.0.1:%d\n%!"
+            (Because_http.Server.port srv);
+          srv)
+        http_port
+    in
     List.iter (ingest_file svc) spec_files;
     Option.iter (scan_spool svc) spool;
     let verdict =
@@ -992,6 +1032,7 @@ let serve_cmd =
         Service.join svc
       end
     in
+    Option.iter Because_http.Server.stop http;
     let warned = Service.warnings svc in
     List.iteri
       (fun i w -> if i < 50 then Printf.eprintf "serve: recovery: %s\n%!" w)
@@ -1021,7 +1062,8 @@ let serve_cmd =
       $ service_jobs_arg $ campaign_jobs_arg $ max_attempts_arg
       $ serve_resume_arg $ oneshot_arg $ poll_arg $ checkpoint_every_arg
       $ chain_deadline_arg $ sweep_budget_arg $ telemetry_arg
-      $ metrics_out_arg $ trace_out_arg $ kill_after_arg)
+      $ metrics_out_arg $ trace_out_arg $ kill_after_arg $ http_port_arg
+      $ http_threads_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -26,6 +26,7 @@ type config = {
   telemetry : Tel.t;
   supervise : Supervise.budget;
   checkpoint : Chain_ckpt.hooks option;
+  init : float array option;
 }
 
 let default_config =
@@ -46,6 +47,7 @@ let default_config =
     telemetry = Tel.disabled;
     supervise = Supervise.unlimited;
     checkpoint = None;
+    init = None;
   }
 
 type sampler_run = {
@@ -206,6 +208,57 @@ let r_hat result =
       (name, !worst))
     groups
 
+(* Worst R-hat over every sampler group and coordinate when each chain is
+   truncated to its first [n] retained draws. *)
+let worst_r_hat_at runs n =
+  let groups =
+    List.fold_left
+      (fun acc run ->
+        let c = Chain.prefix run.chain n in
+        match List.assoc_opt run.name acc with
+        | Some chains -> (run.name, c :: chains) :: List.remove_assoc run.name acc
+        | None -> (run.name, [ c ]) :: acc)
+      [] runs
+  in
+  List.fold_left
+    (fun worst (_, chains) ->
+      let dim = Chain.dim (List.hd chains) in
+      let many = Array.of_list (List.rev chains) in
+      let w = ref worst in
+      for i = 0 to dim - 1 do
+        let v =
+          match Array.length many with
+          | 1 -> Diagnostics.split_r_hat_coord many.(0) i
+          | _ -> Diagnostics.r_hat_coord many i
+        in
+        if v > !w then w := v
+      done;
+      !w)
+    neg_infinity groups
+
+let gate_points = 16
+
+let gate_draws ?(threshold = 1.1) result =
+  match result.runs with
+  | [] -> None
+  | runs ->
+      let min_len =
+        List.fold_left (fun acc r -> min acc (Chain.length r.chain)) max_int
+          runs
+      in
+      if min_len < 8 then None
+      else begin
+        (* Scan a coarse grid of prefix lengths (smallest first) instead of
+           every length: the gate is a measurement, not a stopping rule, so
+           grid resolution only quantises the reported saving. *)
+        let grid =
+          List.init gate_points (fun k ->
+              max 8 (min_len * (k + 1) / gate_points))
+          |> List.sort_uniq compare
+        in
+        List.find_opt (fun n -> worst_r_hat_at runs n <= threshold) grid
+      end
+
 (* Runs inside the worker domain, so the counters land in that domain's
    telemetry shard without contention.  Work counters are exact replays of
    the sampler's loop structure — sweeps and per-sweep evaluation counts are
@@ -289,8 +342,8 @@ let run ~rng ?(config = default_config) data =
              in
              let r =
                Metropolis.run_single_site ~rng:sub ~thin:config.thin ?resume
-                 ?control ~n_samples:config.n_samples ~burn_in:config.burn_in
-                 target
+                 ?control ?init:config.init ~n_samples:config.n_samples
+                 ~burn_in:config.burn_in target
              in
              (r.Metropolis.chain, r.Metropolis.acceptance) ) ]
      else [])
@@ -311,8 +364,8 @@ let run ~rng ?(config = default_config) data =
             in
             let r =
               Hmc.run ~rng:sub ~leapfrog_steps:config.leapfrog_steps
-                ~thin:config.thin ?resume ?control ~n_samples:config.n_samples
-                ~burn_in:config.burn_in target
+                ~thin:config.thin ?resume ?control ?init:config.init
+                ~n_samples:config.n_samples ~burn_in:config.burn_in target
             in
             (r.Hmc.chain, r.Hmc.acceptance) ) ]
     else []

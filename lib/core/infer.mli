@@ -56,6 +56,11 @@ type config = {
           snapshot before starting (continuing mid-stream, bit-for-bit) and
           saves on the hooks' cadence plus once at its final sweep.  [None]
           (the default) is the historical zero-overhead path. *)
+  init : float array option;
+      (** Starting point handed to every chain (original-space, one value
+          per dataset node).  [None] (the default) keeps each sampler's own
+          initializer.  Streaming epochs warm-start here from the previous
+          epoch's posterior means. *)
 }
 
 val default_config : config
@@ -109,5 +114,13 @@ val r_hat : result -> (string * float) list
 (** Worst-coordinate potential scale reduction per sampler: across-chain
     R̂ when the sampler ran [n_chains ≥ 2], split-R̂ on the single chain
     otherwise.  Values ≲ 1.05 indicate convergence; we flag > 1.1. *)
+
+val gate_draws : ?threshold:float -> result -> int option
+(** Convergence gate: the smallest retained-draw prefix (scanned over a
+    coarse grid of ~16 lengths) at which the worst {!r_hat}-style
+    diagnostic across every sampler and coordinate is [<= threshold]
+    (default 1.1).  [None] when no runs survived, the chains are shorter
+    than 8 draws, or no prefix on the grid passes.  Warm-started epochs
+    report [burn_in + gate_draws·thin] as their sweeps-to-convergence. *)
 
 val dataset : result -> Tomography.t

@@ -1,0 +1,50 @@
+type t = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let make ?(headers = []) ?(body = "") status = { status; headers; body }
+
+let text ?(status = 200) body =
+  make status
+    ~headers:[ ("Content-Type", "text/plain; charset=utf-8") ]
+    ~body
+
+let json ?(status = 200) body =
+  make status ~headers:[ ("Content-Type", "application/json") ] ~body
+
+let reason = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let to_string ?(keep_alive = true) t =
+  let b = Buffer.create (256 + String.length t.body) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" t.status (reason t.status));
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string b name;
+      Buffer.add_string b ": ";
+      Buffer.add_string b value;
+      Buffer.add_string b "\r\n")
+    t.headers;
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length t.body));
+  Buffer.add_string b
+    (if keep_alive then "Connection: keep-alive\r\n"
+     else "Connection: close\r\n");
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b t.body;
+  Buffer.contents b

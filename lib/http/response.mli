@@ -1,0 +1,24 @@
+(** HTTP/1.1 response construction and serialization. *)
+
+type t = {
+  status : int;
+  headers : (string * string) list;  (** Extra headers; [Content-Length] and
+                                         [Connection] are added on write. *)
+  body : string;
+}
+
+val make : ?headers:(string * string) list -> ?body:string -> int -> t
+(** [make status] builds a response; [body] defaults to empty. *)
+
+val text : ?status:int -> string -> t
+(** Plain-text response ([Content-Type: text/plain; charset=utf-8]). *)
+
+val json : ?status:int -> string -> t
+(** JSON response ([Content-Type: application/json]). *)
+
+val reason : int -> string
+(** Canonical reason phrase ([200] -> ["OK"], unknown -> ["Unknown"]). *)
+
+val to_string : ?keep_alive:bool -> t -> string
+(** Serialize with status line, caller headers, [Content-Length] and
+    [Connection: keep-alive|close] (from [keep_alive], default true). *)

@@ -1,0 +1,65 @@
+type params = (string * string) list
+
+type handler = Request.t -> params -> Response.t
+
+type route = {
+  meth : string;
+  segments : string list;  (* ":name" segments capture *)
+  handler : handler;
+}
+
+type t = { mutable routes : route list }
+
+let create () = { routes = [] }
+
+let split_path p =
+  String.split_on_char '/' p |> List.filter (fun s -> s <> "")
+
+let add t ~meth ~pattern handler =
+  t.routes <-
+    t.routes @ [ { meth; segments = split_path pattern; handler } ]
+
+(* Match pattern segments against path segments; [None] on shape
+   mismatch, captured params otherwise. *)
+let rec match_segments pat path acc =
+  match (pat, path) with
+  | [], [] -> Some (List.rev acc)
+  | p :: pat', s :: path' ->
+      if String.length p > 0 && p.[0] = ':' then
+        match_segments pat' path'
+          ((String.sub p 1 (String.length p - 1), s) :: acc)
+      else if p = s then match_segments pat' path' acc
+      else None
+  | _ -> None
+
+let dispatch t req =
+  let path = split_path req.Request.path in
+  let matches =
+    List.filter_map
+      (fun r ->
+        match match_segments r.segments path [] with
+        | Some params -> Some (r, params)
+        | None -> None)
+      t.routes
+  in
+  match
+    List.find_opt (fun (r, _) -> r.meth = req.Request.meth) matches
+  with
+  | Some (r, params) -> (
+      try r.handler req params
+      with _ -> Response.text ~status:500 "internal error\n")
+  | None -> (
+      match matches with
+      | [] -> Response.text ~status:404 "not found\n"
+      | _ :: _ ->
+          let allow =
+            matches
+            |> List.map (fun (r, _) -> r.meth)
+            |> List.sort_uniq compare
+            |> String.concat ", "
+          in
+          Response.make 405
+            ~headers:
+              [ ("Allow", allow);
+                ("Content-Type", "text/plain; charset=utf-8") ]
+            ~body:"method not allowed\n")

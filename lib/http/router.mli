@@ -1,0 +1,22 @@
+(** Segment-matching request router.
+
+    Routes are registered as [(meth, pattern, handler)] where pattern
+    segments starting with [:] capture the corresponding path segment
+    (e.g. ["/campaigns/:id/report"]).  Dispatch yields 404 when no
+    pattern matches the path and 405 (with an [Allow] header) when a
+    pattern matches but under a different method.  A handler that raises
+    is converted to a 500 so a bad renderer cannot kill a worker. *)
+
+type params = (string * string) list
+(** Captured [:name] segments, decoded. *)
+
+type handler = Request.t -> params -> Response.t
+
+type t
+
+val create : unit -> t
+
+val add : t -> meth:string -> pattern:string -> handler -> unit
+
+val dispatch : t -> Request.t -> Response.t
+(** Total: never raises. *)

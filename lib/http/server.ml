@@ -1,0 +1,214 @@
+module Registry = Because_telemetry.Registry
+
+type metrics = {
+  requests : Registry.Counter.handle;
+  resp_2xx : Registry.Counter.handle;
+  resp_4xx : Registry.Counter.handle;
+  resp_5xx : Registry.Counter.handle;
+  rejected : Registry.Counter.handle;
+  latency : Registry.Histogram.handle;
+}
+
+let metrics_of registry =
+  {
+    requests = Registry.Counter.v registry "http.requests";
+    resp_2xx = Registry.Counter.v registry "http.responses.2xx";
+    resp_4xx = Registry.Counter.v registry "http.responses.4xx";
+    resp_5xx = Registry.Counter.v registry "http.responses.5xx";
+    rejected = Registry.Counter.v registry "http.rejected";
+    latency = Registry.Histogram.v registry "http.request_seconds";
+  }
+
+type t = {
+  bound_port : int;
+  stopping : bool Atomic.t;
+  stopped : bool Atomic.t;
+  accept_domain : unit Domain.t;
+}
+
+(* Bounded multi-producer/multi-consumer queue of connections.  [None] is
+   the worker shutdown sentinel and is never refused. *)
+type conn_queue = {
+  q : Unix.file_descr option Queue.t;
+  capacity : int;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let queue_create capacity =
+  { q = Queue.create (); capacity; mu = Mutex.create ();
+    nonempty = Condition.create () }
+
+let queue_push cq item =
+  Mutex.lock cq.mu;
+  let accepted =
+    match item with
+    | None -> Queue.push item cq.q; true
+    | Some _ when Queue.length cq.q < cq.capacity ->
+        Queue.push item cq.q; true
+    | Some _ -> false
+  in
+  if accepted then Condition.signal cq.nonempty;
+  Mutex.unlock cq.mu;
+  accepted
+
+let queue_pop cq =
+  Mutex.lock cq.mu;
+  while Queue.is_empty cq.q do Condition.wait cq.nonempty cq.mu done;
+  let item = Queue.pop cq.q in
+  Mutex.unlock cq.mu;
+  item
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write fd b !off (n - !off) in
+    if w <= 0 then raise Exit;
+    off := !off + w
+  done
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let count_status m status =
+  if status < 400 then Registry.Counter.incr m.resp_2xx
+  else if status < 500 then Registry.Counter.incr m.resp_4xx
+  else Registry.Counter.incr m.resp_5xx
+
+(* Serve one connection to completion: pipelined keep-alive requests
+   until EOF, error, deadline, or server shutdown. *)
+let serve_conn ~router ~limits ~read_timeout ~stopping m fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout
+   with Unix.Unix_error _ -> ());
+  let chunk = Bytes.create 8192 in
+  let buf = ref "" in
+  let pos = ref 0 in
+  let alive = ref true in
+  (try
+     while !alive do
+       match Request.parse ~limits !buf ~pos:!pos with
+       | `Ok (req, next) ->
+           pos := next;
+           if !pos = String.length !buf then begin buf := ""; pos := 0 end;
+           let t0 = Unix.gettimeofday () in
+           let resp = Router.dispatch router req in
+           Registry.Counter.incr m.requests;
+           count_status m resp.Response.status;
+           Registry.Histogram.observe m.latency (Unix.gettimeofday () -. t0);
+           let keep =
+             Request.keep_alive req && not (Atomic.get stopping)
+           in
+           write_all fd (Response.to_string ~keep_alive:keep resp);
+           if not keep then alive := false
+       | `Error e ->
+           let resp =
+             Response.text ~status:(Request.error_status e)
+               (Request.error_message e ^ "\n")
+           in
+           Registry.Counter.incr m.requests;
+           count_status m resp.Response.status;
+           write_all fd (Response.to_string ~keep_alive:false resp);
+           alive := false
+       | `More ->
+           (* Compact consumed bytes before growing the buffer. *)
+           if !pos > 0 then begin
+             buf := String.sub !buf !pos (String.length !buf - !pos);
+             pos := 0
+           end;
+           let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+           if n = 0 then alive := false
+           else buf := !buf ^ Bytes.sub_string chunk 0 n
+     done
+   with
+  | Exit -> ()
+  | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
+      (* Read deadline hit: drop the slow client. *)
+      ()
+  | Unix.Unix_error _ -> ());
+  close_quietly fd
+
+let worker ~router ~limits ~read_timeout ~stopping m cq =
+  let rec loop () =
+    match queue_pop cq with
+    | None -> ()
+    | Some fd ->
+        serve_conn ~router ~limits ~read_timeout ~stopping m fd;
+        loop ()
+  in
+  loop ()
+
+let busy_response =
+  lazy
+    (Response.to_string ~keep_alive:false
+       (Response.text ~status:503 "server busy\n"))
+
+let accept_loop ~router ~limits ~read_timeout ~stopping ~threads m cq
+    listen_fd =
+  let workers =
+    List.init threads (fun _ ->
+        Thread.create (worker ~router ~limits ~read_timeout ~stopping m) cq)
+  in
+  (* Poll with a short deadline so [stop] is noticed without relying on a
+     cross-domain close to interrupt a blocked [accept]. *)
+  Unix.set_nonblock listen_fd;
+  let running = ref true in
+  while !running && not (Atomic.get stopping) do
+    match Unix.select [ listen_fd ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true listen_fd with
+        | fd, _ ->
+            if not (queue_push cq (Some fd)) then begin
+              Registry.Counter.incr m.rejected;
+              (try write_all fd (Lazy.force busy_response) with Exit -> ());
+              close_quietly fd
+            end
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error _ -> running := false)
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> running := false
+  done;
+  close_quietly listen_fd;
+  List.iter (fun _ -> ignore (queue_push cq None)) workers;
+  List.iter Thread.join workers
+
+let start ?(registry = Registry.disabled) ?(addr = "127.0.0.1")
+    ?(threads = 4) ?(limits = Request.default_limits)
+    ?(read_timeout = 5.0) ~port router =
+  if threads < 1 then invalid_arg "Server.start: threads < 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let inet = Unix.inet_addr_of_string addr in
+  let listen_fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (ADDR_INET (inet, port));
+     Unix.listen listen_fd 128
+   with e -> close_quietly listen_fd; raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | ADDR_INET (_, p) -> p
+    | ADDR_UNIX _ -> port
+  in
+  let stopping = Atomic.make false in
+  let m = metrics_of registry in
+  let cq = queue_create ((threads * 4) + 16) in
+  let accept_domain =
+    Domain.spawn (fun () ->
+        accept_loop ~router ~limits ~read_timeout ~stopping ~threads m cq
+          listen_fd)
+  in
+  { bound_port; stopping; stopped = Atomic.make false; accept_domain }
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Atomic.set t.stopping true;
+    (* The accept loop polls [stopping]; it closes the listen socket,
+       drains and joins its workers, then the domain returns. *)
+    Domain.join t.accept_domain
+  end

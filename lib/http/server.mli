@@ -1,0 +1,37 @@
+(** Threaded HTTP/1.1 server on [Unix] sockets.
+
+    One dedicated domain runs the accept loop and hosts a bounded pool of
+    worker threads; blocking socket calls release the domain lock, so the
+    server never contends with the domains doing inference.  Each accepted
+    connection gets a read deadline ([SO_RCVTIMEO]) so a slow client is
+    dropped rather than pinning a worker, pipelined requests are served
+    back to back from one buffer, and when every worker is busy and the
+    connection queue is full new clients receive an immediate 503 instead
+    of queueing without bound.
+
+    Telemetry (when a live registry is supplied): [http.requests],
+    [http.responses.<class>xx], [http.rejected] counters and an
+    [http.request_seconds] latency histogram. *)
+
+type t
+
+val start :
+  ?registry:Because_telemetry.Registry.t ->
+  ?addr:string ->
+  ?threads:int ->
+  ?limits:Request.limits ->
+  ?read_timeout:float ->
+  port:int ->
+  Router.t ->
+  t
+(** Bind [addr] (default ["127.0.0.1"]) on [port] ([0] picks a free port)
+    and serve [router] on [threads] workers (default 4).  [read_timeout]
+    (default 5s) is the per-read deadline on client sockets.
+    Raises [Unix.Unix_error] if the bind fails. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port:0]). *)
+
+val stop : t -> unit
+(** Close the listen socket, drain in-flight connections, join every
+    worker and the accept domain.  Idempotent. *)

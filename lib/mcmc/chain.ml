@@ -85,6 +85,13 @@ let thin t k =
   done;
   { dim = t.dim; len = n; data }
 
+let prefix t n =
+  if n <= 0 || n > t.len then
+    invalid_arg
+      (Printf.sprintf "Chain.prefix: %d out of bounds (length %d)" n t.len);
+  if n = t.len then t
+  else { dim = t.dim; len = n; data = Array.sub t.data 0 (n * t.dim) }
+
 let equal a b =
   a.dim = b.dim && a.len = b.len
   && begin

@@ -50,6 +50,12 @@ val thin : t -> int -> t
     @raise Invalid_argument when [k <= 0] (a zero stride would divide by
     zero; a negative one would loop). *)
 
+val prefix : t -> int -> t
+(** [prefix t n] is the first [n] draws.  Shares nothing with [t] unless
+    [n = length t] (then it is [t] itself) — used by the convergence-gate
+    scan over retained-draw prefixes.
+    @raise Invalid_argument when [n <= 0] or [n > length t]. *)
+
 val equal : t -> t -> bool
 (** Bit-for-bit equality: every draw compared by IEEE bit pattern
     ([Int64.bits_of_float]), so [-0.] ≠ [0.] and NaNs compare equal to

@@ -1,0 +1,52 @@
+type t = {
+  epoch : int;
+  gate_sweeps : int option;
+  means : (int * float) array;
+}
+
+let key = "posterior.seed"
+
+let version = 1
+
+let encode t =
+  let w = Codec.writer () in
+  Codec.u8 w version;
+  Codec.int w t.epoch;
+  Codec.option w Codec.int t.gate_sweeps;
+  Codec.array w
+    (fun w (asn, mean) ->
+      Codec.int w asn;
+      Codec.float w mean)
+    t.means;
+  Codec.contents w
+
+let decode payload =
+  match
+    let r = Codec.reader payload in
+    let v = Codec.read_u8 r in
+    if v <> version then raise (Codec.Malformed "seed: unknown version");
+    let epoch = Codec.read_int r in
+    let gate_sweeps = Codec.read_option r Codec.read_int in
+    let means =
+      Codec.read_array r (fun r ->
+          let asn = Codec.read_int r in
+          let mean = Codec.read_float r in
+          (asn, mean))
+    in
+    Codec.expect_end r;
+    { epoch; gate_sweeps; means }
+  with
+  | seed -> Some seed
+  | exception Codec.Malformed _ -> None
+
+let lookup t asn =
+  let lo = ref 0 and hi = ref (Array.length t.means - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let a, m = t.means.(mid) in
+    if a = asn then found := Some m
+    else if a < asn then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found

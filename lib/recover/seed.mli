@@ -1,0 +1,34 @@
+(** Posterior seed snapshots for warm-started streaming epochs.
+
+    After a streaming campaign epoch completes, the service records the
+    per-AS posterior means (plus the epoch number and its measured
+    sweeps-to-convergence) in a {!Checkpoint} store that survives across
+    epochs.  The next epoch — same campaign, a grown observation spool —
+    loads the seed and starts its chains at those means instead of the
+    samplers' cold defaults, which is what buys the recorded convergence
+    saving.
+
+    The payload rides the same CRC-sealed envelope as every other
+    checkpoint; this module only defines the inner codec, so a corrupt or
+    foreign payload decodes to [None] and the epoch falls back to a cold
+    start rather than failing. *)
+
+type t = {
+  epoch : int;            (** Epoch that produced this posterior (1-based). *)
+  gate_sweeps : int option;
+      (** Sweeps (burn-in + gated retained draws) that epoch needed to pass
+          the convergence gate; [None] when the gate never passed. *)
+  means : (int * float) array;
+      (** Per-AS posterior means, [(asn, mean)] sorted by ASN. *)
+}
+
+val key : string
+(** Store key the seed is saved under (["posterior.seed"]). *)
+
+val encode : t -> string
+
+val decode : string -> t option
+(** [None] on any malformed or wrong-version payload — never raises. *)
+
+val lookup : t -> int -> float option
+(** [lookup t asn] is the seeded mean for [asn] (binary search). *)

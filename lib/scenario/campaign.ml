@@ -35,6 +35,7 @@ type params = {
   feed_spill_dir : string option;
   feed_buffer : int;
   telemetry : Tel.t;
+  init_posterior : (Asn.t * float) list option;
 }
 
 let default_params ~update_interval =
@@ -64,6 +65,7 @@ let default_params ~update_interval =
     feed_spill_dir = None;
     feed_buffer = Because_sim.Feed_log.default_buffer;
     telemetry = Tel.disabled;
+    init_posterior = None;
   }
 
 type outcome = {
@@ -175,17 +177,31 @@ let fingerprint world params ~intervals ~script =
       params.background_mean_gap,
       params.min_path_support )
   in
-  Digest.to_hex
-    (Digest.string
-       (Marshal.to_string
-          ( World.params world,
-            Script.ops script,
-            intervals,
-            campaign_scalars,
-            params.noise,
-            params.faults,
-            infer_scalars )
-          [ Marshal.No_sharing ]))
+  let base =
+    Marshal.to_string
+      ( World.params world,
+        Script.ops script,
+        intervals,
+        campaign_scalars,
+        params.noise,
+        params.faults,
+        infer_scalars )
+      [ Marshal.No_sharing ]
+  in
+  (* The warm-start seed determines the chains' trajectories, so it must be
+     covered — but only when present, so every historical (cold) campaign
+     keeps its exact historical fingerprint and its checkpoints stay
+     resumable. *)
+  let keyed =
+    match params.init_posterior with
+    | None -> base
+    | Some seed ->
+        base
+        ^ Marshal.to_string
+            (List.map (fun (a, m) -> (Asn.to_int a, m)) seed)
+            [ Marshal.No_sharing ]
+  in
+  Digest.to_hex (Digest.string keyed)
 
 (* Campaign health for one interval's outcome: inference that was asked for
    but starved of observations is [Insufficient]; budget-aborted or fully
@@ -362,11 +378,31 @@ let run_multi ?recovery world params ~intervals =
                      ~namespace:(Printf.sprintf "iv%d." k))
             | None -> params.infer_config.Because.Infer.checkpoint
           in
+          let init =
+            match params.init_posterior with
+            | None -> params.infer_config.Because.Infer.init
+            | Some seed ->
+                (* One starting value per dataset node, in node order; an AS
+                   the previous epoch never saw starts at the sampler
+                   default for the unit interval.  Clamped strictly inside
+                   (0, 1) so the HMC logit transform stays finite. *)
+                let clamp m = Float.max 1e-4 (Float.min (1.0 -. 1e-4) m) in
+                Some
+                  (Array.map
+                     (fun asn ->
+                       match
+                         List.find_opt (fun (a, _) -> Asn.equal a asn) seed
+                       with
+                       | Some (_, m) -> clamp m
+                       | None -> 0.5)
+                     (Because.Tomography.nodes data))
+          in
           let config =
             { params.infer_config with
               Because.Infer.node_priors = World.node_priors world;
               telemetry = params.telemetry;
-              checkpoint }
+              checkpoint;
+              init }
           in
           Tel.Span.with_ params.telemetry ~name:"campaign.infer" (fun () ->
               Some (Because.Infer.run ~rng:infer_rng ~config data))

@@ -1,0 +1,114 @@
+module H = Because_http
+
+let status_of_reason = function
+  | Admission.Invalid _ -> 400
+  | Admission.Duplicate _ -> 409
+  | Admission.Queue_full _ -> 429
+  | Admission.Draining -> 503
+
+(* One generation-stamped document.  [cache] holds immutable (gen, value)
+   pairs swapped atomically, so readers are lock-free; [mu] serializes
+   renders only, never a cache hit. *)
+type 'a doc = {
+  cache : (int * 'a) option Atomic.t;
+  mu : Mutex.t;
+  render : unit -> 'a;
+}
+
+let doc render = { cache = Atomic.make None; mu = Mutex.create (); render }
+
+(* Serve [d] at generation >= the counter's current value.  The stamp is
+   read before rendering: a mutation that lands mid-render leaves the
+   cached stamp behind the counter, so the next request re-renders. *)
+let snapshot service d =
+  let g = Service.generation service in
+  match Atomic.get d.cache with
+  | Some ((gen, _) as hit) when gen >= g -> hit
+  | _ ->
+      Mutex.lock d.mu;
+      let hit =
+        (* Re-check under the render lock: a concurrent render may have
+           refreshed the cache while this request waited. *)
+        match Atomic.get d.cache with
+        | Some ((gen, _) as hit) when gen >= g -> hit
+        | _ ->
+            let stamp = Service.generation service in
+            let v = d.render () in
+            let hit = (stamp, v) in
+            Atomic.set d.cache (Some hit);
+            hit
+      in
+      Mutex.unlock d.mu;
+      hit
+
+let with_generation gen (resp : H.Response.t) =
+  { resp with
+    H.Response.headers =
+      resp.H.Response.headers @ [ ("X-Generation", string_of_int gen) ] }
+
+let estimates_body rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"estimates\": [\n";
+  List.iteri
+    (fun i (_, row) ->
+      Buffer.add_string b "    ";
+      Buffer.add_string b row;
+      if i < List.length rows - 1 then Buffer.add_char b ',';
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let router service =
+  let status_doc = doc (fun () -> Service.status_json service) in
+  let matrix_doc = doc (fun () -> Service.matrix_text service) in
+  let metrics_doc = doc (fun () -> Service.metrics_prom service) in
+  let estimates_doc = doc (fun () -> Service.estimates_snapshot service) in
+  let rt = H.Router.create () in
+  H.Router.add rt ~meth:"GET" ~pattern:"/status" (fun _req _params ->
+      let gen, body = snapshot service status_doc in
+      with_generation gen (H.Response.json body));
+  H.Router.add rt ~meth:"GET" ~pattern:"/matrix" (fun _req _params ->
+      let gen, body = snapshot service matrix_doc in
+      with_generation gen (H.Response.text body));
+  H.Router.add rt ~meth:"GET" ~pattern:"/metrics" (fun _req _params ->
+      let gen, body = snapshot service metrics_doc in
+      with_generation gen
+        (H.Response.make 200
+           ~headers:
+             [ ("Content-Type", "text/plain; version=0.0.4; charset=utf-8") ]
+           ~body));
+  H.Router.add rt ~meth:"GET" ~pattern:"/estimates" (fun req _params ->
+      let gen, rows = snapshot service estimates_doc in
+      match H.Request.query_param req "asn" with
+      | None -> with_generation gen (H.Response.json (estimates_body rows))
+      | Some raw -> (
+          match int_of_string_opt raw with
+          | None -> H.Response.text ~status:400 "asn must be an integer\n"
+          | Some asn ->
+              let hits = List.filter (fun (a, _) -> a = asn) rows in
+              with_generation gen
+                (H.Response.json (estimates_body hits))));
+  H.Router.add rt ~meth:"GET" ~pattern:"/campaigns/:id/report"
+    (fun _req params ->
+      let id = Option.value ~default:"" (List.assoc_opt "id" params) in
+      match Service.report_for service ~id with
+      | `Unknown -> H.Response.text ~status:404 "unknown campaign\n"
+      | `Pending -> H.Response.text ~status:202 "pending\n"
+      | `Done report -> H.Response.text report);
+  H.Router.add rt ~meth:"POST" ~pattern:"/submit" (fun req _params ->
+      match Spec.of_line req.H.Request.body with
+      | Error e ->
+          H.Response.json ~status:400
+            (Printf.sprintf "{ \"error\": \"%s\" }\n" (Store.json_escape e))
+      | Ok spec -> (
+          match Service.submit service spec with
+          | Ok seq ->
+              H.Response.json ~status:202
+                (Printf.sprintf "{ \"seq\": %d }\n" seq)
+          | Error reason ->
+              H.Response.json ~status:(status_of_reason reason)
+                (Printf.sprintf "{ \"error\": \"%s\" }\n"
+                   (Store.json_escape
+                      (Admission.reason_to_string reason)))));
+  rt

@@ -57,6 +57,10 @@ type t = {
   kill_switch : (unit -> bool) option Atomic.t;
   mutable notes : string list;  (* newest first; reversed on read *)
   m : metrics;
+  generation : int Atomic.t;
+      (* Bumped on every observable store/queue mutation; the HTTP query
+         plane renders each document at most once per generation and
+         serves the cached bytes lock-free in between. *)
 }
 
 (* ---------------------------------------------------------------- paths *)
@@ -98,9 +102,19 @@ let atomic_write path content =
 let queue_fingerprint = "because-service-queue/1"
 let queue_key = "queue"
 
+(* Version 1 is the PR-6 layout; version 2 appends the streaming fields
+   (epoch, warm, gate, observation count) per entry.  A queue with no
+   streaming entries still writes version 1, byte-for-byte the historical
+   snapshot, so mixed-version service generations interoperate. *)
 let encode_queue t =
+  let entries = Store.entries t.store in
+  let has_stream =
+    List.exists (fun (e : Store.entry) -> e.Store.spec.Spec.obs <> None)
+      entries
+  in
+  let version = if has_stream then 2 else 1 in
   let w = Codec.writer () in
-  Codec.int w 1;
+  Codec.int w version;
   Codec.list w
     (fun w (e : Store.entry) ->
       Codec.string w (Spec.to_line e.Store.spec);
@@ -122,8 +136,14 @@ let encode_queue t =
           Codec.float w est.Store.hi;
           Codec.int w est.Store.category;
           Codec.bool w est.Store.damping)
-        (Array.to_list e.Store.estimates))
-    (Store.entries t.store);
+        (Array.to_list e.Store.estimates);
+      if version >= 2 then begin
+        Codec.int w e.Store.epoch;
+        Codec.bool w e.Store.warm;
+        Codec.option w Codec.int e.Store.gate_sweeps;
+        Codec.int w e.Store.obs_count
+      end)
+    entries;
   Codec.contents w
 
 type decoded = {
@@ -131,12 +151,16 @@ type decoded = {
   d_seq : int;
   d_done : Supervise.status option;  (* None = pending *)
   d_estimates : Store.estimate array;
+  d_epoch : int;
+  d_warm : bool;
+  d_gate_sweeps : int option;
+  d_obs_count : int;
 }
 
 let decode_queue payload =
   let r = Codec.reader payload in
   let version = Codec.read_int r in
-  if version <> 1 then
+  if version <> 1 && version <> 2 then
     raise (Codec.Malformed (Printf.sprintf "queue snapshot v%d" version));
   let entries =
     Codec.read_list r (fun r ->
@@ -155,6 +179,15 @@ let decode_queue payload =
               { Store.asn; mean; lo; hi; category; damping })
           |> Array.of_list
         in
+        let d_epoch, d_warm, d_gate_sweeps, d_obs_count =
+          if version >= 2 then
+            let epoch = Codec.read_int r in
+            let warm = Codec.read_bool r in
+            let gate = Codec.read_option r Codec.read_int in
+            let obs = Codec.read_int r in
+            (epoch, warm, gate, obs)
+          else (1, false, None, 0)
+        in
         let d_done =
           match tag with
           | 0 -> None
@@ -164,7 +197,9 @@ let decode_queue payload =
           | n -> raise (Codec.Malformed (Printf.sprintf "health tag %d" n))
         in
         match Spec.of_line line with
-        | Ok d_spec -> { d_spec; d_seq = seq; d_done; d_estimates = estimates }
+        | Ok d_spec ->
+            { d_spec; d_seq = seq; d_done; d_estimates = estimates;
+              d_epoch; d_warm; d_gate_sweeps; d_obs_count }
         | Error e -> raise (Codec.Malformed ("spec: " ^ e)))
   in
   Codec.expect_end r;
@@ -221,7 +256,8 @@ let make cfg =
       qstore; submit_ns = Hashtbl.create 16; workers = []; running_n = 0;
       stop_idle = false; drain_requested = false; killed = false;
       kill_count = Atomic.make 0; kill_tripped = Atomic.make false;
-      kill_switch = Atomic.make None; notes = []; m }
+      kill_switch = Atomic.make None; notes = []; m;
+      generation = Atomic.make 0 }
   in
   (match cfg.kill_after_saves with
   | None -> ()
@@ -260,6 +296,10 @@ let load cfg =
           List.iter
             (fun d ->
               let entry = Store.add t.store d.d_spec ~seq:d.d_seq in
+              entry.Store.epoch <- d.d_epoch;
+              entry.Store.warm <- d.d_warm;
+              entry.Store.gate_sweeps <- d.d_gate_sweeps;
+              entry.Store.obs_count <- d.d_obs_count;
               match d.d_done with
               | Some status ->
                   entry.Store.health <- Store.Done status;
@@ -278,6 +318,8 @@ let load cfg =
 
 let config t = t.cfg
 let store t = t.store
+let generation t = Atomic.get t.generation
+let bump t = Atomic.incr t.generation
 
 (* ------------------------------------------------------------- submit *)
 
@@ -289,17 +331,44 @@ let submit t spec =
       match Spec.validate spec with
       | Error e -> Error (Admission.Invalid e)
       | Ok spec -> (
-          match Admission.admit t.queue ~id:spec.Spec.id spec with
-          | Error _ as e -> e
-          | Ok seq ->
-              let entry = Store.add t.store spec ~seq in
+          let readmission =
+            (* Re-submitting a completed streaming spec is not a duplicate:
+               its spool has (presumably) grown, so it re-enters the queue
+               as the next epoch at its original sequence number. *)
+            match Store.find t.store ~id:spec.Spec.id with
+            | Some entry
+              when entry.Store.spec.Spec.obs <> None
+                   && Spec.equal entry.Store.spec spec
+                   && (match entry.Store.health with
+                      | Store.Done _ -> true
+                      | _ -> false) ->
+                Some entry
+            | _ -> None
+          in
+          match readmission with
+          | Some entry ->
               entry.Store.health <- Store.Queued;
-              Hashtbl.replace t.submit_ns spec.Spec.id (Monotonic_clock.now ());
+              entry.Store.epoch <- entry.Store.epoch + 1;
+              Admission.readmit t.queue ~seq:entry.Store.seq
+                ~id:spec.Spec.id spec;
+              Hashtbl.replace t.submit_ns spec.Spec.id
+                (Monotonic_clock.now ());
               persist_queue t;
-              Ok seq)
+              Ok entry.Store.seq
+          | None -> (
+              match Admission.admit t.queue ~id:spec.Spec.id spec with
+              | Error _ as e -> e
+              | Ok seq ->
+                  let entry = Store.add t.store spec ~seq in
+                  entry.Store.health <- Store.Queued;
+                  Hashtbl.replace t.submit_ns spec.Spec.id
+                    (Monotonic_clock.now ());
+                  persist_queue t;
+                  Ok seq))
   in
   (match result with
   | Ok _ ->
+      bump t;
       if Tel.is_enabled t.cfg.telemetry then Tel.Counter.incr t.m.m_submitted
   | Error _ ->
       if Tel.is_enabled t.cfg.telemetry then Tel.Counter.incr t.m.m_rejected);
@@ -337,6 +406,7 @@ let claim t =
           let entry = Option.get (Store.find t.store ~id) in
           entry.Store.health <- Store.Running;
           t.running_n <- t.running_n + 1;
+          bump t;
           (match Hashtbl.find_opt t.submit_ns id with
           | Some ns ->
               let wait =
@@ -367,6 +437,7 @@ let finish t (entry : Store.entry) ~status ~estimates recovery =
   t.running_n <- t.running_n - 1;
   write_report t entry;
   persist_queue t;
+  bump t;
   if Tel.is_enabled t.cfg.telemetry then Tel.Counter.incr t.m.m_completed;
   set_gauges t;
   Condition.broadcast t.cond;
@@ -383,12 +454,94 @@ let interrupted t (entry : Store.entry) ~persist ~kill recovery =
   (* A chaos kill leaves the queue file exactly as the last completed save
      did — a real SIGKILL would not have flushed anything either. *)
   if persist then persist_queue t;
+  bump t;
   if Tel.is_enabled t.cfg.telemetry then Tel.Counter.incr t.m.m_interrupted;
   set_gauges t;
   Condition.broadcast t.cond;
   Mutex.unlock t.mutex
 
-let run_entry t (entry : Store.entry) =
+(* --------------------------------------------------- streaming epochs *)
+
+(* The posterior seed lives in its own checkpoint store with a fingerprint
+   stable across epochs: the per-epoch chain stores are fingerprint-pinned
+   to one epoch's exact inputs and would quarantine anything older. *)
+let seed_store t ~id =
+  mkdir_p (campaign_dir t.cfg ~id);
+  Checkpoint.open_
+    ~dir:(Filename.concat (campaign_dir t.cfg ~id) "seed.d")
+    ~fingerprint:("because-stream-seed/1:" ^ id)
+
+let run_stream_entry t (entry : Store.entry) =
+  let id = entry.Store.spec.Spec.id in
+  let budget =
+    { Supervise.deadline_s = t.cfg.chain_deadline_s;
+      max_sweeps = t.cfg.sweep_budget }
+  in
+  let rec attempt n =
+    Mutex.lock t.mutex;
+    entry.Store.attempts <- n;
+    let epoch = entry.Store.epoch in
+    Mutex.unlock t.mutex;
+    let store = seed_store t ~id in
+    let seed =
+      (* Epoch 1 is always cold, even when a stale seed directory
+         survived a state wipe. *)
+      if epoch <= 1 then None
+      else
+        match Checkpoint.load store ~key:Because_recover.Seed.key with
+        | None -> None
+        | Some payload -> Because_recover.Seed.decode payload
+    in
+    match
+      Stream.run ~spec:entry.Store.spec ~seed ~telemetry:t.cfg.telemetry
+        ~supervise:budget ~jobs:t.cfg.campaign_jobs ()
+    with
+    | Ok outcome ->
+        Option.iter
+          (fun s ->
+            Checkpoint.save store ~key:Because_recover.Seed.key
+              (Because_recover.Seed.encode s))
+          outcome.Stream.seed;
+        Mutex.lock t.mutex;
+        entry.Store.warm <- seed <> None;
+        entry.Store.gate_sweeps <- outcome.Stream.gate_sweeps;
+        entry.Store.obs_count <- outcome.Stream.obs_count;
+        Mutex.unlock t.mutex;
+        finish t entry ~status:outcome.Stream.status
+          ~estimates:outcome.Stream.estimates None
+    | Error msg ->
+        (* A missing or malformed spool is a property of the epoch, not a
+           transient fault: retrying would re-read the same bytes. *)
+        finish t entry ~status:(Supervise.Insufficient [ msg ])
+          ~estimates:[||] None
+    | exception Supervise.Drained ->
+        interrupted t entry ~persist:true ~kill:false None
+    | exception e ->
+        let msg = Printexc.to_string e in
+        Mutex.lock t.mutex;
+        note t (Printf.sprintf "%s: attempt %d/%d failed: %s" id n
+                  t.cfg.max_attempts msg);
+        Mutex.unlock t.mutex;
+        if n >= t.cfg.max_attempts then
+          finish t entry
+            ~status:
+              (Supervise.Insufficient
+                 [ Printf.sprintf
+                     "retry budget exhausted after %d attempts (last: %s)"
+                     t.cfg.max_attempts msg ])
+            ~estimates:[||] None
+        else if t.drain_requested then
+          interrupted t entry ~persist:true ~kill:false None
+        else begin
+          if Tel.is_enabled t.cfg.telemetry then
+            Tel.Counter.incr t.m.m_retries;
+          Supervise.wait_backoff ~attempt:n ~base_s:t.cfg.retry_backoff_s;
+          attempt (n + 1)
+        end
+  in
+  attempt 1
+
+let run_campaign_entry t (entry : Store.entry) =
   let id = entry.Store.spec.Spec.id in
   let dir = campaign_dir t.cfg ~id in
   let rec attempt n =
@@ -454,6 +607,10 @@ let run_entry t (entry : Store.entry) =
   in
   attempt 1
 
+let run_entry t (entry : Store.entry) =
+  if entry.Store.spec.Spec.obs <> None then run_stream_entry t entry
+  else run_campaign_entry t entry
+
 let rec worker_loop t =
   match claim t with
   | None -> ()
@@ -492,6 +649,7 @@ let drain t =
   Mutex.lock t.mutex;
   t.drain_requested <- true;
   Admission.set_draining t.queue true;
+  bump t;
   Condition.broadcast t.cond;
   Mutex.unlock t.mutex;
   Supervise.request_drain ()
@@ -519,6 +677,68 @@ let write_status t =
   Mutex.unlock t.mutex;
   atomic_write (status_path t) json;
   Option.iter (atomic_write (metrics_path t)) prom
+
+(* ------------------------------------------------- query-plane snapshots *)
+
+(* Renderers for the HTTP query plane.  Each takes the mutex for the
+   duration of one render; the query layer calls them at most once per
+   generation and serves cached bytes in between, so the service mutex
+   never sits on the request hot path. *)
+
+let status_json t =
+  Mutex.lock t.mutex;
+  let json =
+    Store.to_json t.store ~draining:t.drain_requested
+      ~limit:(Admission.limit t.queue) ~depth:(Admission.depth t.queue)
+  in
+  Mutex.unlock t.mutex;
+  json
+
+let matrix_text t =
+  Mutex.lock t.mutex;
+  let m = Store.matrix t.store in
+  Mutex.unlock t.mutex;
+  m
+
+let metrics_prom t =
+  Mutex.lock t.mutex;
+  set_gauges t;
+  Mutex.unlock t.mutex;
+  Because_telemetry.Export.to_prometheus (Tel.snapshot t.cfg.telemetry)
+
+let report_for t ~id =
+  Mutex.lock t.mutex;
+  let r =
+    match Store.find t.store ~id with
+    | None -> `Unknown
+    | Some entry -> (
+        match entry.Store.health with
+        | Store.Done _ -> `Done (Store.report entry)
+        | Store.Queued | Store.Running | Store.Interrupted -> `Pending)
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let estimates_snapshot t =
+  Mutex.lock t.mutex;
+  let rows =
+    List.concat_map
+      (fun (e : Store.entry) ->
+        Array.to_list e.Store.estimates
+        |> List.map (fun (est : Store.estimate) ->
+               ( Asn.to_int est.Store.asn,
+                 Printf.sprintf
+                   "{ \"campaign\": \"%s\", \"asn\": \"%s\", \"mean\": \
+                    %.17g, \"lo\": %.17g, \"hi\": %.17g, \"category\": %d, \
+                    \"damping\": %b }"
+                   (Store.json_escape e.Store.spec.Spec.id)
+                   (Asn.to_string est.Store.asn)
+                   est.Store.mean est.Store.lo est.Store.hi
+                   est.Store.category est.Store.damping )))
+      (Store.entries t.store)
+  in
+  Mutex.unlock t.mutex;
+  rows
 
 let join t =
   let workers =
@@ -549,6 +769,7 @@ let reset_drain t =
   end;
   t.drain_requested <- false;
   Admission.set_draining t.queue false;
+  bump t;
   Mutex.unlock t.mutex;
   Supervise.clear_drain ()
 

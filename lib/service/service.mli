@@ -74,7 +74,37 @@ val config : t -> config
 val store : t -> Store.t
 
 val submit : t -> Spec.t -> (int, Admission.reason) result
-(** Validate, admit, record and persist one campaign submission. *)
+(** Validate, admit, record and persist one campaign submission.
+    Re-submitting a {e completed streaming} spec (same id, same line,
+    [obs] set) is not a duplicate: the entry re-enters the queue as its
+    next epoch at its original sequence number, to be warm-started from
+    the posterior seed the previous epoch saved. *)
+
+val generation : t -> int
+(** Monotonic store generation: bumped on every observable mutation
+    (submission, claim, completion, interruption, drain).  The query
+    plane renders each document at most once per generation and serves
+    cached bytes — stamped with the generation read {e before} the
+    render — lock-free in between. *)
+
+val status_json : t -> string
+(** Render the {!Store.to_json} status document (takes the mutex). *)
+
+val matrix_text : t -> string
+(** Render the live suspect matrix ({!Store.matrix}; takes the mutex). *)
+
+val metrics_prom : t -> string
+(** Render the Prometheus exposition of the telemetry registry (empty on
+    a disabled registry). *)
+
+val report_for : t -> id:string -> [ `Unknown | `Pending | `Done of string ]
+(** The campaign's report: [`Unknown] for an id never admitted,
+    [`Pending] while queued/running/interrupted, [`Done report]
+    afterwards. *)
+
+val estimates_snapshot : t -> (int * string) list
+(** One [(asn, json-object)] row per estimate across every campaign, in
+    admission order — the query plane's per-AS lookup table. *)
 
 val pending : t -> int
 val running : t -> int

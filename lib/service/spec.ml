@@ -14,12 +14,18 @@ type t = {
   samples : int;
   burn_in : int;
   min_path_support : int;
+  obs : string option;
 }
 
 let default ~id =
   { id; seed = 42; transit = 12; stub = 30; vantage_hosts = 8;
     interval_min = 1.0; cycles = 1; faults = "none"; chains = 1;
-    samples = 400; burn_in = 200; min_path_support = 1 }
+    samples = 400; burn_in = 200; min_path_support = 1; obs = None }
+
+let obs_ok path =
+  String.length path > 0
+  && String.length path <= 512
+  && String.for_all (fun c -> Char.code c > 0x20 && Char.code c < 0x7f) path
 
 let id_ok id =
   String.length id > 0
@@ -42,6 +48,10 @@ let validate t =
   else if t.samples < 1 || t.burn_in < 0 then
     err "samples must be >= 1 and burn-in >= 0"
   else if t.min_path_support < 1 then err "min-path-support must be >= 1"
+  else if
+    match t.obs with Some path -> not (obs_ok path) | None -> false
+  then
+    err "obs path must be 1-512 printable non-space characters"
   else if t.faults <> "none" then
     match Plan.severity_of_string t.faults with
     | Ok _ -> Ok t
@@ -55,12 +65,16 @@ let severity t =
     | Ok s -> Some s
     | Error e -> invalid_arg ("Spec.severity: " ^ e)
 
+(* [obs] is appended only when present: every non-streaming spec keeps its
+   exact historical line, so reports and queue snapshots stay byte-for-byte
+   compatible. *)
 let to_line t =
   Printf.sprintf
     "id=%s seed=%d transit=%d stub=%d vantage=%d interval=%.17g cycles=%d \
-     faults=%s chains=%d samples=%d burn=%d support=%d"
+     faults=%s chains=%d samples=%d burn=%d support=%d%s"
     t.id t.seed t.transit t.stub t.vantage_hosts t.interval_min t.cycles
     t.faults t.chains t.samples t.burn_in t.min_path_support
+    (match t.obs with None -> "" | Some p -> " obs=" ^ p)
 
 let of_line line =
   let ( let* ) = Result.bind in
@@ -112,6 +126,7 @@ let of_line line =
         | "samples" -> let* n = int_of k v in Ok { t with samples = n }
         | "burn" -> let* n = int_of k v in Ok { t with burn_in = n }
         | "support" -> let* n = int_of k v in Ok { t with min_path_support = n }
+        | "obs" -> Ok { t with obs = Some v }
         | _ -> Error (Printf.sprintf "unknown field %S" k))
       (Ok (default ~id)) pairs
   in

@@ -22,6 +22,14 @@ type t = {
   samples : int;         (** Retained draws per chain. *)
   burn_in : int;         (** Discarded adaptation draws per chain. *)
   min_path_support : int;
+  obs : string option;
+      (** Streaming campaigns: path to a labeled-observation spool file
+          (one [rfd|clean ASN ASN ...] path per line) that may grow between
+          runs.  When set, the service skips the simulator and infers
+          directly from the file; re-submitting the same spec after it
+          completes starts a new epoch that warm-starts from the previous
+          epoch's posterior.  [None] — the default — is the classic
+          simulate-then-infer campaign, line format unchanged. *)
 }
 
 val default : id:string -> t

@@ -1,0 +1,10 @@
+let eligible name =
+  String.length name > 0
+  && name.[0] <> '.'
+  && Filename.check_suffix name ".campaign"
+
+let scan dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names |> List.filter eligible |> List.sort compare

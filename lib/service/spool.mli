@@ -1,0 +1,18 @@
+(** Spool-directory intake with the rename-into-place convention.
+
+    Producers must write a spec to a hidden or differently-suffixed temp
+    name (e.g. [.mycampaign.campaign.tmp]) and [rename(2)] it to
+    [<name>.campaign] once complete — rename is atomic within a
+    filesystem, so the service can never observe a truncated spec.  {!scan}
+    enforces the convention from the consumer side: only plain
+    [*.campaign] files whose name does not start with a dot are picked up,
+    so partial writes parked under dotfile names stay invisible no matter
+    how slowly they grow. *)
+
+val eligible : string -> bool
+(** Whether a directory-entry name is a completed spool file:
+    ends in [.campaign] and does not start with ['.']. *)
+
+val scan : string -> string list
+(** Eligible file names (not paths) in the directory, sorted for
+    deterministic intake order; [\[\]] when the directory is missing. *)

@@ -30,6 +30,10 @@ type entry = {
   mutable attempts : int;
   mutable estimates : estimate array;
   mutable queue_wait_s : float;
+  mutable epoch : int;
+  mutable warm : bool;
+  mutable gate_sweeps : int option;
+  mutable obs_count : int;
 }
 
 type t = { by_id : (string, entry) Hashtbl.t }
@@ -41,7 +45,8 @@ let add t (spec : Spec.t) ~seq =
     invalid_arg ("Store.add: duplicate id " ^ spec.Spec.id);
   let entry =
     { spec; seq; health = Queued; attempts = 0; estimates = [||];
-      queue_wait_s = 0.0 }
+      queue_wait_s = 0.0; epoch = 1; warm = false; gate_sweeps = None;
+      obs_count = 0 }
   in
   Hashtbl.replace t.by_id spec.Spec.id entry;
   entry
@@ -84,30 +89,31 @@ let rollup t =
   else if degraded <> [] then Supervise.Degraded degraded
   else Supervise.Healthy
 
+let estimates_of_result (result : Because.Infer.result) ~categories =
+  if result.Because.Infer.runs = [] then [||]
+  else
+    let marginals = Because.Posterior.combined result in
+    Array.map
+      (fun (m : Because.Posterior.marginal) ->
+        let cat =
+          match List.assoc_opt m.Because.Posterior.asn categories with
+          | Some c -> c
+          | None -> Because.Categorize.C3
+        in
+        { asn = m.Because.Posterior.asn;
+          mean = m.Because.Posterior.mean;
+          lo = m.Because.Posterior.hdpi.lo;
+          hi = m.Because.Posterior.hdpi.hi;
+          category = Because.Categorize.to_int cat;
+          damping = Because.Categorize.damping cat })
+      marginals
+
 let estimates_of_outcome (outcome : Sc.Campaign.outcome) =
   match outcome.Sc.Campaign.result with
   | None -> [||]
   | Some result ->
-      if result.Because.Infer.runs = [] then [||]
-      else
-        let marginals = Because.Posterior.combined result in
-        Array.map
-          (fun (m : Because.Posterior.marginal) ->
-            let cat =
-              match
-                List.assoc_opt m.Because.Posterior.asn
-                  outcome.Sc.Campaign.categories
-              with
-              | Some c -> c
-              | None -> Because.Categorize.C3
-            in
-            { asn = m.Because.Posterior.asn;
-              mean = m.Because.Posterior.mean;
-              lo = m.Because.Posterior.hdpi.lo;
-              hi = m.Because.Posterior.hdpi.hi;
-              category = Because.Categorize.to_int cat;
-              damping = Because.Categorize.damping cat })
-          marginals
+      estimates_of_result result
+        ~categories:outcome.Sc.Campaign.categories
 
 (* Reports must be bit-for-bit reproducible across drain/kill/resume, so
    every float is printed at full precision and nothing run-dependent
@@ -126,6 +132,19 @@ let report entry =
   List.iter
     (fun r -> Buffer.add_string b ("reason: " ^ r ^ "\n"))
     (Supervise.status_reasons status);
+  (* Stream-only lines: a non-streaming report keeps its exact historical
+     bytes.  All three values are deterministic functions of the spec, the
+     epoch and the observation file, so resumed reports still reproduce. *)
+  if entry.spec.Spec.obs <> None then begin
+    Buffer.add_string b
+      (Printf.sprintf "epoch: %d %s\n" entry.epoch
+         (if entry.warm then "warm" else "cold"));
+    Buffer.add_string b
+      (Printf.sprintf "observations: %d\n" entry.obs_count);
+    match entry.gate_sweeps with
+    | Some n -> Buffer.add_string b (Printf.sprintf "gate_sweeps: %d\n" n)
+    | None -> ()
+  end;
   Buffer.add_string b
     (Printf.sprintf "ases: %d\n" (Array.length entry.estimates));
   let flagged =
@@ -193,15 +212,27 @@ let to_json t ~draining ~limit ~depth =
               (Supervise.status_reasons s)
         | _ -> []
       in
+      (* Stream campaigns carry extra fields; classic entries keep the
+         historical object shape byte-for-byte. *)
+      let stream =
+        if e.spec.Spec.obs = None then ""
+        else
+          Printf.sprintf ", \"epoch\": %d, \"warm\": %b, \
+                          \"observations\": %d%s"
+            e.epoch e.warm e.obs_count
+            (match e.gate_sweeps with
+            | Some n -> Printf.sprintf ", \"gate_sweeps\": %d" n
+            | None -> "")
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    { \"id\": \"%s\", \"seq\": %d, \"health\": \"%s\", \
             \"attempts\": %d, \"ases\": %d, \"flagged\": [%s], \
-            \"reasons\": [%s] }%s\n"
+            \"reasons\": [%s]%s }%s\n"
            (json_escape e.spec.Spec.id) e.seq (health_label e.health)
            e.attempts (Array.length e.estimates)
            (String.concat ", " flagged)
-           (String.concat ", " reasons)
+           (String.concat ", " reasons) stream
            (if i < List.length es - 1 then "," else "")))
     es;
   Buffer.add_string b "  ]\n}\n";

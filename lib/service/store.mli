@@ -36,6 +36,16 @@ type entry = {
   mutable attempts : int;
   mutable estimates : estimate array;
   mutable queue_wait_s : float;  (** Submit-to-claim latency, seconds. *)
+  mutable epoch : int;
+      (** Streaming campaigns: how many times this id has been (re-)run;
+          always 1 for classic campaigns. *)
+  mutable warm : bool;
+      (** Whether the current epoch warm-started from a posterior seed. *)
+  mutable gate_sweeps : int option;
+      (** Sweeps (burn-in + gated draws) the last epoch needed to pass the
+          R̂ convergence gate; [None] when unknown or never passed. *)
+  mutable obs_count : int;
+      (** Observations read from the spool file by the last epoch. *)
 }
 
 type t
@@ -55,6 +65,14 @@ val rollup : t -> Because_recover.Supervise.status
     finished insufficient, else [Degraded] if any finished degraded, else
     [Healthy]; reasons are prefixed with the campaign id. *)
 
+val estimates_of_result :
+  Because.Infer.result ->
+  categories:(Asn.t * Because.Categorize.t) list ->
+  estimate array
+(** Per-AS marginals of a pooled posterior joined with final categories;
+    [\[||\]] when no sampler run survived.  Shared by the campaign path
+    ({!estimates_of_outcome}) and the streaming path. *)
+
 val estimates_of_outcome :
   Because_scenario.Campaign.outcome -> estimate array
 (** Per-AS marginals of the campaign's pooled posterior
@@ -66,6 +84,10 @@ val report : entry -> string
     estimate table.  Deterministic — no timestamps, attempt counts or
     host state — so an interrupted-and-resumed service reproduces the
     uninterrupted report byte-for-byte. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping: quotes, backslashes and every control byte
+    (as [\uXXXX]); the output is always a valid JSON string body. *)
 
 val to_json : t -> draining:bool -> limit:int -> depth:int -> string
 (** Service status document: rollup, queue stats, per-campaign health and

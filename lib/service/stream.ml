@@ -1,0 +1,178 @@
+open Because_bgp
+module Supervise = Because_recover.Supervise
+module Seed = Because_recover.Seed
+module Rng = Because_stats.Rng
+module Tel = Because_telemetry.Registry
+
+type outcome = {
+  status : Supervise.status;
+  estimates : Store.estimate array;
+  obs_count : int;
+  gate_sweeps : int option;
+  seed : Seed.t option;
+}
+
+let parse_line lineno line =
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Ok None
+  | label :: ases -> (
+      let damped =
+        match label with
+        | "rfd" -> Some true
+        | "clean" -> Some false
+        | _ -> None
+      in
+      match damped with
+      | None ->
+          Error
+            (Printf.sprintf "line %d: want 'rfd' or 'clean', got %S" lineno
+               label)
+      | Some damped -> (
+          if ases = [] then
+            Error (Printf.sprintf "line %d: empty AS path" lineno)
+          else
+            match
+              List.map
+                (fun s ->
+                  match int_of_string_opt s with
+                  | Some n when n >= 0 -> Asn.of_int n
+                  | _ -> raise Exit)
+                ases
+            with
+            | path -> Ok (Some (path, damped))
+            | exception Exit ->
+                Error (Printf.sprintf "line %d: malformed ASN" lineno)))
+
+let parse_observations path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go lineno acc =
+            match input_line ic with
+            | exception End_of_file -> Ok (List.rev acc)
+            | line ->
+                if String.length (String.trim line) = 0 then
+                  go (lineno + 1) acc
+                else if String.length line > 0 && line.[0] = '#' then
+                  go (lineno + 1) acc
+                else (
+                  match parse_line lineno line with
+                  | Ok None -> go (lineno + 1) acc
+                  | Ok (Some ob) -> go (lineno + 1) (ob :: acc)
+                  | Error _ as e -> e)
+          in
+          go 1 [])
+
+(* Mirror of the campaign's categorize step so warm and cold epochs feed
+   the identical category pipeline. *)
+let categorize ~min_support result =
+  let step1 = Because.Categorize.assign ~min_support result in
+  let insufficient = Because.Categorize.insufficient result ~min_support in
+  let promos =
+    List.filter
+      (fun (p : Because.Pinpoint.promotion) ->
+        not (List.exists (Asn.equal p.Because.Pinpoint.asn) insufficient))
+      (Because.Pinpoint.promotions result ~categories:step1)
+  in
+  Because.Pinpoint.apply step1 promos
+
+let seed_of_result ~epoch ~gate_sweeps result =
+  if result.Because.Infer.runs = [] then None
+  else
+    let means =
+      Because.Posterior.combined result
+      |> Array.map (fun (m : Because.Posterior.marginal) ->
+             (Asn.to_int m.Because.Posterior.asn, m.Because.Posterior.mean))
+    in
+    Array.sort (fun (a, _) (b, _) -> Int.compare a b) means;
+    Some { Seed.epoch; gate_sweeps; means }
+
+let status_of result =
+  if result.Because.Infer.aborted <> [] then
+    Supervise.Degraded result.Because.Infer.aborted
+  else if result.Because.Infer.runs = [] then
+    Supervise.Degraded
+      (match result.Because.Infer.warnings with
+      | [] -> [ "every sampler chain was dropped" ]
+      | ws -> ws)
+  else Supervise.Healthy
+
+let run ~spec ~seed ~telemetry ~supervise ~jobs () =
+  match spec.Spec.obs with
+  | None -> Error "Stream.run: spec has no obs path"
+  | Some path -> (
+      match parse_observations path with
+      | Error e -> Error (Printf.sprintf "observation spool %s: %s" path e)
+      | Ok [] ->
+          Ok
+            { status =
+                Supervise.Insufficient
+                  [ Printf.sprintf "observation spool %s is empty" path ];
+              estimates = [||]; obs_count = 0; gate_sweeps = None;
+              seed = None }
+      | Ok observations ->
+          let data = Because.Tomography.of_observations observations in
+          let epoch =
+            match seed with
+            | Some s -> s.Seed.epoch + 1
+            | None -> 1
+          in
+          let warm = seed <> None in
+          (* A warm epoch starts where the last posterior ended, so most of
+             the burn-in budget is adaptation it no longer needs. *)
+          let burn_in =
+            if warm then max 1 (spec.Spec.burn_in / 4)
+            else spec.Spec.burn_in
+          in
+          let init =
+            Option.map
+              (fun s ->
+                let clamp m =
+                  Float.max 1e-4 (Float.min (1.0 -. 1e-4) m)
+                in
+                Array.map
+                  (fun asn ->
+                    match Seed.lookup s (Asn.to_int asn) with
+                    | Some m -> clamp m
+                    | None -> 0.5)
+                  (Because.Tomography.nodes data))
+              seed
+          in
+          let config =
+            { Because.Infer.default_config with
+              Because.Infer.n_samples = spec.Spec.samples;
+              burn_in;
+              n_chains = spec.Spec.chains;
+              jobs;
+              telemetry;
+              supervise;
+              init }
+          in
+          (* The epoch feeds the RNG derivation so a cold rerun of epoch k
+             is reproducible, while distinct epochs draw distinct streams. *)
+          let rng = Rng.create ((spec.Spec.seed * 1009) + epoch) in
+          let result =
+            Tel.Span.with_ telemetry ~name:"stream.infer" (fun () ->
+                Because.Infer.run ~rng ~config data)
+          in
+          let categories =
+            categorize ~min_support:spec.Spec.min_path_support result
+          in
+          let estimates = Store.estimates_of_result result ~categories in
+          let gate_sweeps =
+            Option.map
+              (fun draws -> burn_in + draws)
+              (Because.Infer.gate_draws result)
+          in
+          Ok
+            { status = status_of result;
+              estimates;
+              obs_count = List.length observations;
+              gate_sweeps;
+              seed = seed_of_result ~epoch ~gate_sweeps result })

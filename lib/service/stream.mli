@@ -1,0 +1,45 @@
+(** Streaming observation intake: one inference epoch over a spool file.
+
+    A streaming campaign skips the simulator entirely — its labeled-path
+    observations arrive in an external spool file (one
+    [rfd|clean ASN ASN ...] line per path) that grows between runs.  Each
+    run of the spec is an {e epoch}: the file is re-read in full, the
+    posterior re-inferred, and — from epoch 2 on — the chains start at the
+    previous epoch's posterior means instead of the samplers' cold
+    defaults.  The convergence gate ({!Because.Infer.gate_draws}) measures
+    what that warm start buys: the sweeps-to-convergence recorded per
+    epoch is what the bench compares warm vs cold. *)
+
+type outcome = {
+  status : Because_recover.Supervise.status;
+  estimates : Store.estimate array;
+  obs_count : int;
+  gate_sweeps : int option;
+      (** Burn-in + gated retained draws, when the R̂ gate passed. *)
+  seed : Because_recover.Seed.t option;
+      (** Posterior seed for the next epoch; [None] when inference
+          produced no usable posterior. *)
+}
+
+val parse_observations :
+  string -> ((Because_bgp.Asn.t list * bool) list, string) result
+(** Parse a spool file.  Each non-empty, non-[#] line is
+    [rfd ASN ASN ...] (damping observed on the path) or
+    [clean ASN ASN ...]; [Error] names the first offending line.  A
+    missing file is an error (the admission layer validates the spec, not
+    the file — it may legitimately appear later). *)
+
+val run :
+  spec:Spec.t ->
+  seed:Because_recover.Seed.t option ->
+  telemetry:Because_telemetry.Registry.t ->
+  supervise:Because_recover.Supervise.budget ->
+  jobs:int ->
+  unit ->
+  (outcome, string) result
+(** Run one epoch of [spec] (which must have [obs = Some path]).
+    Deterministic in (spec, file contents, [seed]): the RNG derives from
+    the spec seed, so re-running the same epoch reproduces it bit-for-bit.
+    [seed = Some _] warm-starts the chains at the seeded means and cuts
+    burn-in to a quarter.  May raise {!Because_recover.Supervise.Drained}
+    when a service drain lands mid-epoch. *)
