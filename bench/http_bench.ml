@@ -205,6 +205,187 @@ let stream_gate_rows () =
             { name = "stream_warm_saving"; value = saving; unit_ = "%" } ]
       | _ -> failwith "bench stream: a convergence gate did not pass")
 
+(* Overload behaviour: goodput at 3x worker capacity through one-shot
+   connections, tail latency of the successes against the request
+   deadline, and a deterministic shed burst that checks every 503
+   carries Retry-After. *)
+
+let overload_deadline_s = 1.0
+
+(* One request over a fresh connection; returns (status, latency, head). *)
+let one_shot ~port ~path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      write_all fd
+        (Bytes.of_string
+           (Printf.sprintf
+              "GET %s HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+              path));
+      let b = Buffer.create 1024 in
+      let scratch = Bytes.create 65536 in
+      (try
+         let rec drain () =
+           let n = Unix.read fd scratch 0 (Bytes.length scratch) in
+           if n > 0 then begin
+             Buffer.add_subbytes b scratch 0 n;
+             drain ()
+           end
+         in
+         drain ()
+       with Unix.Unix_error _ -> ());
+      let raw = Buffer.contents b in
+      let latency = Unix.gettimeofday () -. t0 in
+      let status =
+        if String.length raw >= 12 && String.sub raw 0 5 = "HTTP/" then
+          try int_of_string (String.sub raw 9 3) with Failure _ -> 0
+        else 0
+      in
+      let head =
+        match find_sub raw "\r\n\r\n" 0 with
+        | -1 -> raw
+        | i -> String.lowercase_ascii (String.sub raw 0 i)
+      in
+      (status, latency, head))
+
+let overload_rows () =
+  Ctx.section "http overload";
+  let dir = fresh_dir () in
+  let svc = Svc.create (Svc.default_config ~state_dir:dir) in
+  populate svc;
+  let threads = 2 in
+  (* The server's default watermark formula: above the 3x-capacity client
+     count, so the goodput phase is never shed, while the stall burst
+     below deliberately crosses it. *)
+  let watermark = (2 * threads) + 8 in
+  let server =
+    Server.start ~threads ~port:0 ~request_deadline:overload_deadline_s
+      ~shed_watermark:watermark (Query.router svc)
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let port = Server.port server in
+      let bad_shed = Atomic.make 0 in
+      (* One load phase: [clients] threads hammering one-shot connections
+         for [duration] seconds.  Returns goodput, p99 of the successes,
+         and the shed count.  Both phases use the same threaded client
+         harness so the comparison isolates the effect of overload. *)
+      let load_phase ~clients ~duration =
+        let ok = Atomic.make 0 and shed = Atomic.make 0 in
+        let other = Atomic.make 0 in
+        let lat_mu = Mutex.create () in
+        let lats = ref [] in
+        let stop_at = Unix.gettimeofday () +. duration in
+        let client () =
+          while Unix.gettimeofday () < stop_at do
+            match one_shot ~port ~path:"/status" with
+            | 200, l, _ ->
+                Atomic.incr ok;
+                Mutex.protect lat_mu (fun () -> lats := l :: !lats)
+            | 503, _, head ->
+                Atomic.incr shed;
+                if find_sub head "retry-after:" 0 = -1
+                   || find_sub head "x-queue-depth:" 0 = -1
+                then Atomic.incr bad_shed
+            | _ -> Atomic.incr other
+            | exception _ -> Atomic.incr other
+          done
+        in
+        let t1 = Unix.gettimeofday () in
+        let ts = List.init clients (fun _ -> Thread.create client ()) in
+        List.iter Thread.join ts;
+        let elapsed = Unix.gettimeofday () -. t1 in
+        let lat = Array.of_list !lats in
+        Array.sort compare lat;
+        ( float_of_int (Atomic.get ok) /. elapsed,
+          percentile lat 0.99,
+          Atomic.get shed,
+          Atomic.get other )
+      in
+      let duration = if Ctx.quick then 0.5 else 2.0 in
+      (* Offered load at capacity: one client per worker thread. *)
+      let base_rps, _, _, _ = load_phase ~clients:threads ~duration in
+      (* 3x capacity. *)
+      let clients = threads * 3 in
+      let goodput, p99, shed_n, other_n =
+        load_phase ~clients ~duration
+      in
+      (* Deterministic shed burst: stall every worker with a half-sent
+         request, then open enough further connections to cross the
+         watermark; the excess must be shed with Retry-After. *)
+      let stalls =
+        List.init threads (fun _ ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            write_all fd (Bytes.of_string "GET /status HTTP/1.1\r\n");
+            fd)
+      in
+      Thread.delay 0.1;
+      (* Open the whole burst before reading a single response, so the
+         accept queue actually crosses the watermark. *)
+      let burst = watermark + 3 in
+      let burst_fds =
+        List.init burst (fun _ ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+            write_all fd
+              (Bytes.of_string
+                 "GET /status HTTP/1.1\r\nHost: bench\r\nConnection: \
+                  close\r\n\r\n");
+            fd)
+      in
+      Thread.delay 0.1;
+      let burst_shed = ref 0 in
+      List.iter
+        (fun fd ->
+          let b = Buffer.create 1024 in
+          let scratch = Bytes.create 65536 in
+          (try
+             let rec drain () =
+               let n = Unix.read fd scratch 0 (Bytes.length scratch) in
+               if n > 0 then begin
+                 Buffer.add_subbytes b scratch 0 n;
+                 drain ()
+               end
+             in
+             drain ()
+           with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          let raw = Buffer.contents b in
+          if String.length raw >= 12 && String.sub raw 9 3 = "503" then begin
+            incr burst_shed;
+            let head = String.lowercase_ascii raw in
+            if find_sub head "retry-after:" 0 = -1 then Atomic.incr bad_shed
+          end)
+        burst_fds;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) stalls;
+      if Atomic.get bad_shed > 0 then
+        failwith "overload bench: a 503 lacked Retry-After/X-Queue-Depth";
+      if !burst_shed = 0 then
+        failwith "overload bench: shed burst produced no 503s";
+      let pct = goodput /. base_rps *. 100.0 in
+      Printf.printf "%-36s %10.0f req/s\n" "one-shot at capacity" base_rps;
+      Printf.printf "%-36s %10.0f req/s (%.0f%% of capacity, p99 %.1f ms)\n"
+        (Printf.sprintf "goodput at %dx capacity" (clients / threads))
+        goodput pct (p99 *. 1e3);
+      Printf.printf "%-36s %10d shed (+%d in burst), %d other\n" "overload sheds"
+        shed_n !burst_shed other_n;
+      [ { name = "overload_uncontended_rps"; value = base_rps; unit_ = "1/s" };
+        { name = "overload_goodput_rps"; value = goodput; unit_ = "1/s" };
+        { name = "overload_goodput_pct"; value = pct; unit_ = "%" };
+        { name = "overload_p99"; value = p99 *. 1e6; unit_ = "us" };
+        { name = "overload_deadline"; value = overload_deadline_s *. 1e6;
+          unit_ = "us" };
+        { name = "overload_shed"; value = float_of_int (shed_n + !burst_shed);
+          unit_ = "1" } ])
+
 let write_json path rows =
   let oc = open_out path in
   Fun.protect
@@ -246,6 +427,6 @@ let run () =
               { name = label ^ "_p99"; value = p99 *. 1e6; unit_ = "us" } ])
           [ ("status", "/status"); ("matrix", "/matrix") ])
   in
-  let rows = rows @ stream_gate_rows () in
+  let rows = rows @ overload_rows () @ stream_gate_rows () in
   write_json "BENCH_http.json" rows;
   Printf.printf "wrote BENCH_http.json (%d rows)\n" (List.length rows)

@@ -848,13 +848,29 @@ let ingest_file svc path =
    picked up exactly once.  A plain directory is the whole submission API —
    no sockets, no extra dependencies, trivially scriptable.  Producers must
    write-then-rename into place: Spool.eligible ignores dotfiles, so a
-   partial write staged as ".x.campaign" is invisible until renamed. *)
+   partial write staged as ".x.campaign" is invisible until renamed.
+
+   Reads race producers and NFS-style hiccups, so each file goes through
+   the unified retry policy: transient Sys_errors are retried briefly,
+   then the file is skipped (it stays eligible for the next poll). *)
+let spool_retry =
+  Because_resilience.Policy.make ~base_s:0.005 ~cap_s:0.05 ~max_attempts:3 ()
+
 let scan_spool svc dir =
   List.iter
     (fun f ->
       let path = Filename.concat dir f in
-      ingest_file svc path;
-      Sys.rename path (path ^ ".done"))
+      match
+        Because_resilience.Retry.run ~policy:spool_retry
+          ~retryable:(function Sys_error _ -> true | _ -> false)
+          ~label:("spool:" ^ f)
+          (fun () ->
+            ingest_file svc path;
+            Sys.rename path (path ^ ".done"))
+      with
+      | () -> ()
+      | exception Sys_error e ->
+          Printf.eprintf "serve: spool: skipping %s: %s\n%!" f e)
     (Because_service.Spool.scan dir)
 
 let serve_cmd =
@@ -964,10 +980,38 @@ let serve_cmd =
       & info [ "http-threads" ] ~docv:"N"
           ~doc:"HTTP worker threads (connections served concurrently).")
   in
+  let http_deadline_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "http-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request budget from first byte to response; requests \
+             still incomplete at the deadline are answered 408 and \
+             handlers shed waits that would cross it (503 + Retry-After).")
+  in
+  let http_shed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "http-shed-watermark" ] ~docv:"N"
+          ~doc:
+            "Connection-queue depth at which new clients are shed with \
+             503 + Retry-After instead of queueing (default 2*threads+8).")
+  in
+  let compact_every_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "compact-every" ] ~docv:"N"
+          ~doc:
+            "Streaming epoch-chain compaction cadence: prune the \
+             per-campaign epoch chain down to its newest N entries every \
+             N epochs (the CRC-sealed compacted seed keeps cold resume \
+             O(1) regardless).  0 disables pruning.")
+  in
   let run state_dir spool spec_files max_queue jobs campaign_jobs
       max_attempts resume oneshot poll_s checkpoint_every chain_deadline
       sweep_budget telemetry metrics_out trace_out kill_after http_port
-      http_threads =
+      http_threads http_deadline http_shed compact_every =
     (* The query plane serves /metrics, so an HTTP port implies a live
        registry (campaign results are bit-for-bit identical either way). *)
     let reg =
@@ -986,7 +1030,8 @@ let serve_cmd =
         chain_deadline_s = chain_deadline;
         sweep_budget;
         telemetry = reg;
-        kill_after_saves = kill_after }
+        kill_after_saves = kill_after;
+        compact_every }
     in
     let svc = if resume then Service.load cfg else Service.create cfg in
     List.iter (Printf.eprintf "serve: recovery: %s\n%!") (Service.warnings svc);
@@ -999,8 +1044,9 @@ let serve_cmd =
         (fun port ->
           let srv =
             Because_http.Server.start ~registry:reg ~threads:http_threads
+              ~request_deadline:http_deadline ?shed_watermark:http_shed
               ~port
-              (Because_service.Query.router svc)
+              (Because_service.Query.router ~registry:reg svc)
           in
           Printf.printf "serve: http on 127.0.0.1:%d\n%!"
             (Because_http.Server.port srv);
@@ -1063,7 +1109,8 @@ let serve_cmd =
       $ serve_resume_arg $ oneshot_arg $ poll_arg $ checkpoint_every_arg
       $ chain_deadline_arg $ sweep_budget_arg $ telemetry_arg
       $ metrics_out_arg $ trace_out_arg $ kill_after_arg $ http_port_arg
-      $ http_threads_arg)
+      $ http_threads_arg $ http_deadline_arg $ http_shed_arg
+      $ compact_every_arg)
 
 (* ------------------------------------------------------------------ *)
 

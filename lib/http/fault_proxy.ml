@@ -1,0 +1,274 @@
+type fault =
+  | Passthrough
+  | Slowloris of { byte_delay_s : float }
+  | Stall_response of { after_bytes : int; stall_s : float }
+  | Reset_response of { after_bytes : int }
+
+type stats = {
+  conns : int;
+  resets : int;
+  stalls : int;
+  trickled : int;
+}
+
+type stats_mut = {
+  mu : Mutex.t;
+  mutable s_conns : int;
+  mutable s_resets : int;
+  mutable s_stalls : int;
+  mutable s_trickled : int;
+}
+
+(* One proxied connection: both sides, closed exactly once (fd numbers
+   are reused by the kernel, so a double close from racing pump threads
+   could hit a stranger's descriptor). *)
+type conn = {
+  client : Unix.file_descr;
+  upstream : Unix.file_descr;
+  cmu : Mutex.t;
+  mutable closed : bool;
+}
+
+type t = {
+  bound_port : int;
+  stopping : bool Atomic.t;
+  stopped : bool Atomic.t;
+  accept_domain : unit Domain.t;
+  st : stats_mut;
+}
+
+let default_faults =
+  [| Passthrough;
+     Slowloris { byte_delay_s = 0.002 };
+     Passthrough;
+     Stall_response { after_bytes = 40; stall_s = 0.05 };
+     Reset_response { after_bytes = 30 };
+     Passthrough |]
+
+(* splitmix64 finalizer: fault choice is a pure function of (seed, conn
+   index) so a chaos schedule replays exactly. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let pick_fault ~seed ~index faults =
+  let z =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int seed) 0x9e3779b97f4a7c15L)
+         (Int64.of_int index))
+  in
+  faults.(Int64.to_int (Int64.rem (Int64.logand z Int64.max_int)
+                          (Int64.of_int (Array.length faults))))
+
+let close_conn ?(reset = false) conn =
+  Mutex.lock conn.cmu;
+  let first = not conn.closed in
+  conn.closed <- true;
+  Mutex.unlock conn.cmu;
+  if first then begin
+    if reset then
+      (* Linger 0: close sends RST, the mid-response abort a flaky peer
+         or middlebox would produce. *)
+      (try Unix.setsockopt_optint conn.client Unix.SO_LINGER (Some 0)
+       with Unix.Unix_error _ -> ());
+    (try Unix.close conn.client with Unix.Unix_error _ -> ());
+    try Unix.close conn.upstream with Unix.Unix_error _ -> ()
+  end
+
+let is_closed conn = Mutex.protect conn.cmu (fun () -> conn.closed)
+
+(* Copy [src] to [dst] until EOF or error, calling [forward] for each
+   chunk (which may delay, stall, or abort by raising [Exit]).  Reads
+   poll on a short timeout so [stop] is never blocked behind a silent
+   peer. *)
+let pump ~stopping conn src dst forward =
+  let chunk = Bytes.create 4096 in
+  (try Unix.setsockopt_float src Unix.SO_RCVTIMEO 0.25
+   with Unix.Unix_error _ -> ());
+  let rec loop () =
+    if Atomic.get stopping || is_closed conn then ()
+    else
+      match Unix.read src chunk 0 (Bytes.length chunk) with
+      | 0 -> close_conn conn
+      | n ->
+          forward dst chunk n;
+          loop ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _)
+        ->
+          loop ()
+      | exception Unix.Unix_error _ -> close_conn conn
+      | exception Exit -> ()
+  in
+  loop ()
+
+let write_all fd b off len =
+  let sent = ref off in
+  while !sent < off + len do
+    let w = Unix.write fd b !sent (off + len - !sent) in
+    if w <= 0 then raise Exit;
+    sent := !sent + w
+  done
+
+let serve_conn ~stopping st fault conn =
+  let up_forward =
+    match fault with
+    | Slowloris { byte_delay_s } ->
+        Mutex.protect st.mu (fun () -> st.s_trickled <- st.s_trickled + 1);
+        fun dst b n ->
+          for i = 0 to n - 1 do
+            Thread.delay byte_delay_s;
+            if Atomic.get stopping || is_closed conn then raise Exit;
+            write_all dst b i 1
+          done
+    | _ -> fun dst b n -> write_all dst b 0 n
+  in
+  let down_forward =
+    match fault with
+    | Stall_response { after_bytes; stall_s } ->
+        let sent = ref 0 and stalled = ref false in
+        fun dst b n ->
+          if (not !stalled) && !sent + n > after_bytes then begin
+            stalled := true;
+            Mutex.protect st.mu (fun () -> st.s_stalls <- st.s_stalls + 1);
+            Thread.delay stall_s
+          end;
+          sent := !sent + n;
+          write_all dst b 0 n
+    | Reset_response { after_bytes } ->
+        let sent = ref 0 in
+        fun dst b n ->
+          let room = after_bytes - !sent in
+          if room > 0 then write_all dst b 0 (min n room);
+          sent := !sent + n;
+          if !sent >= after_bytes then begin
+            Mutex.protect st.mu (fun () -> st.s_resets <- st.s_resets + 1);
+            close_conn ~reset:true conn;
+            raise Exit
+          end
+    | _ -> fun dst b n -> write_all dst b 0 n
+  in
+  let up =
+    Thread.create
+      (fun () ->
+        (try pump ~stopping conn conn.client conn.upstream up_forward
+         with _ -> ());
+        close_conn conn)
+      ()
+  in
+  (try pump ~stopping conn conn.upstream conn.client down_forward
+   with _ -> ());
+  close_conn conn;
+  Thread.join up
+
+let accept_loop ~seed ~faults ~upstream_port ~stopping st listen_fd =
+  let live = ref [] in
+  let index = ref 0 in
+  Unix.set_nonblock listen_fd;
+  let running = ref true in
+  while !running && not (Atomic.get stopping) do
+    match Unix.select [ listen_fd ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true listen_fd with
+        | client, _ -> (
+            let n = !index in
+            incr index;
+            Mutex.protect st.mu (fun () -> st.s_conns <- st.s_conns + 1);
+            match
+              let upstream =
+                Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0
+              in
+              (try
+                 Unix.connect upstream
+                   (ADDR_INET (Unix.inet_addr_loopback, upstream_port))
+               with e -> (try Unix.close upstream with _ -> ()); raise e);
+              upstream
+            with
+            | upstream ->
+                let conn =
+                  { client; upstream; cmu = Mutex.create (); closed = false }
+                in
+                let fault = pick_fault ~seed ~index:n faults in
+                let th =
+                  Thread.create (fun () ->
+                      serve_conn ~stopping st fault conn) ()
+                in
+                live := (th, conn) :: !live
+            | exception _ ->
+                (try Unix.close client with Unix.Unix_error _ -> ()))
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            ()
+        | exception Unix.Unix_error _ -> running := false)
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> running := false
+  done;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  List.iter (fun (_, conn) -> close_conn conn) !live;
+  List.iter (fun (th, _) -> Thread.join th) !live
+
+let start ?(seed = 0) ?(faults = default_faults) ~upstream_port ~port () =
+  if Array.length faults = 0 then invalid_arg "Fault_proxy.start: no faults";
+  let listen_fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen listen_fd 128
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | ADDR_INET (_, p) -> p
+    | ADDR_UNIX _ -> port
+  in
+  let stopping = Atomic.make false in
+  let st =
+    { mu = Mutex.create (); s_conns = 0; s_resets = 0; s_stalls = 0;
+      s_trickled = 0 }
+  in
+  let accept_domain =
+    Domain.spawn (fun () ->
+        accept_loop ~seed ~faults ~upstream_port ~stopping st listen_fd)
+  in
+  { bound_port; stopping; stopped = Atomic.make false; accept_domain; st }
+
+let port t = t.bound_port
+
+let stats t =
+  Mutex.protect t.st.mu (fun () ->
+      { conns = t.st.s_conns; resets = t.st.s_resets;
+        stalls = t.st.s_stalls; trickled = t.st.s_trickled })
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Atomic.set t.stopping true;
+    Domain.join t.accept_domain
+  end
+
+let flood ?(conns = 64) ?(hold_s = 0.2) ~port () =
+  let fds =
+    List.filter_map
+      (fun _ ->
+        let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+        match
+          Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port))
+        with
+        | () -> Some fd
+        | exception Unix.Unix_error _ ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            None)
+      (List.init conns Fun.id)
+  in
+  Thread.delay hold_s;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
+  List.length fds

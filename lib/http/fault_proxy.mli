@@ -1,0 +1,64 @@
+(** Socket-level fault proxy for chaos testing the real server.
+
+    The proxy listens on its own port and forwards every connection to
+    an upstream HTTP server, injecting the transport layer's real
+    failure modes on the way: slowloris request trickling, stalled
+    response forwarding, and mid-response TCP resets ([SO_LINGER 0], so
+    the client sees an RST, not a FIN).  Which fault a connection gets
+    is a deterministic function of the proxy seed and the connection's
+    accept index, so a chaos schedule replays exactly.
+
+    The proxy is test/ops tooling: correctness of the system under test
+    is asserted by the callers (zero torn responses, deterministic
+    shedding), the proxy only creates the weather and counts what it
+    did. *)
+
+type fault =
+  | Passthrough
+  | Slowloris of { byte_delay_s : float }
+      (** Trickle client→upstream bytes one at a time, [byte_delay_s]
+          apart: the upstream sees the request arrive at every split
+          boundary, ending in a read-deadline if the trickle is slower
+          than its budget. *)
+  | Stall_response of { after_bytes : int; stall_s : float }
+      (** Forward the upstream's response normally for [after_bytes]
+          bytes, then stop forwarding for [stall_s] before resuming —
+          a client that reads, then wedges, then recovers. *)
+  | Reset_response of { after_bytes : int }
+      (** Forward [after_bytes] response bytes, then reset the client
+          connection (RST) and drop the upstream. *)
+
+type stats = {
+  conns : int;       (** Connections accepted. *)
+  resets : int;      (** Client connections reset mid-response. *)
+  stalls : int;      (** Responses stalled. *)
+  trickled : int;    (** Connections slowloris'd. *)
+}
+
+type t
+
+val start :
+  ?seed:int ->
+  ?faults:fault array ->
+  upstream_port:int ->
+  port:int ->
+  unit ->
+  t
+(** Start the proxy on [port] ([0] picks a free port), forwarding to
+    [127.0.0.1:upstream_port].  Connection [n] gets
+    [faults.(hash (seed, n) mod length)] (default mix: passthrough,
+    slowloris, stall, reset). *)
+
+val port : t -> int
+
+val stats : t -> stats
+
+val stop : t -> unit
+(** Stop accepting, close the listener, and join the accept domain.
+    In-flight pump threads are joined too.  Idempotent. *)
+
+val flood : ?conns:int -> ?hold_s:float -> port:int -> unit -> int
+(** Open [conns] (default 64) connections to [127.0.0.1:port], send
+    nothing, hold them [hold_s] (default 0.2s), then close — a
+    connection flood for exercising accept-queue watermarks.  Returns
+    how many connections were actually established. *)

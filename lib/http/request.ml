@@ -6,6 +6,7 @@ type t = {
   version : string;
   headers : (string * string) list;
   body : string;
+  deadline : float option;
 }
 
 type error =
@@ -186,11 +187,18 @@ let parse ?(limits = default_limits) buf ~pos =
                   version;
                   headers;
                   body;
+                  deadline = None;
                 }
               in
               `Ok (req, body_start + clen)
             end)
   with Fail e -> `Error e
+
+let remaining_s t =
+  Option.map (fun d -> d -. Unix.gettimeofday ()) t.deadline
+
+let expired t =
+  match remaining_s t with Some r -> r <= 0.0 | None -> false
 
 let keep_alive t =
   let conn =

@@ -21,6 +21,13 @@ type t = {
   version : string;                   (** [HTTP/1.0] or [HTTP/1.1]. *)
   headers : (string * string) list;   (** Names lowercased, values trimmed. *)
   body : string;
+  deadline : float option;
+      (** Absolute wall-clock deadline (epoch seconds) by which the
+          response should be written.  The parser always leaves it
+          [None]; the server stamps it — armed when the request's first
+          byte arrives — before dispatch, so handlers can bound their
+          own waits ({!remaining_s}) and the deadline propagates from
+          accept to response. *)
 }
 
 type error =
@@ -58,6 +65,13 @@ val keep_alive : t -> bool
     [Connection: keep-alive]. *)
 
 val query_param : t -> string -> string option
+
+val remaining_s : t -> float option
+(** Seconds left until the request's deadline ([None] when unstamped);
+    negative once the deadline has passed. *)
+
+val expired : t -> bool
+(** Whether a stamped deadline has passed.  [false] when unstamped. *)
 
 val percent_decode : string -> string
 (** Decode [%XX] escapes and [+]-as-space; invalid escapes pass through

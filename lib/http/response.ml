@@ -22,12 +22,22 @@ let reason = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 409 -> "Conflict"
   | 413 -> "Content Too Large"
   | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Unknown"
+
+let with_header name value t = { t with headers = t.headers @ [ (name, value) ] }
+
+(* Overload contract: every shed/backpressure response tells the client
+   when to come back and how deep the queue was when it was refused. *)
+let overloaded ?(status = 503) ?(retry_after_s = 1) ~depth body =
+  text ~status body
+  |> with_header "Retry-After" (string_of_int retry_after_s)
+  |> with_header "X-Queue-Depth" (string_of_int depth)
 
 let to_string ?(keep_alive = true) t =
   let b = Buffer.create (256 + String.length t.body) in

@@ -19,6 +19,14 @@ val json : ?status:int -> string -> t
 val reason : int -> string
 (** Canonical reason phrase ([200] -> ["OK"], unknown -> ["Unknown"]). *)
 
+val with_header : string -> string -> t -> t
+(** [with_header name value t] appends one header. *)
+
+val overloaded : ?status:int -> ?retry_after_s:int -> depth:int -> string -> t
+(** Backpressure response (default status 503): plain-text [body] with
+    [Retry-After] (default 1s) and [X-Queue-Depth: depth] headers — the
+    contract every 429/503 this server sheds must honour. *)
+
 val to_string : ?keep_alive:bool -> t -> string
 (** Serialize with status line, caller headers, [Content-Length] and
     [Connection: keep-alive|close] (from [keep_alive], default true). *)

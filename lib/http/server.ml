@@ -6,6 +6,8 @@ type metrics = {
   resp_4xx : Registry.Counter.handle;
   resp_5xx : Registry.Counter.handle;
   rejected : Registry.Counter.handle;
+  shed : Registry.Counter.handle;
+  timeouts : Registry.Counter.handle;
   latency : Registry.Histogram.handle;
 }
 
@@ -16,6 +18,8 @@ let metrics_of registry =
     resp_4xx = Registry.Counter.v registry "http.responses.4xx";
     resp_5xx = Registry.Counter.v registry "http.responses.5xx";
     rejected = Registry.Counter.v registry "http.rejected";
+    shed = Registry.Counter.v registry "http.shed";
+    timeouts = Registry.Counter.v registry "http.timeouts";
     latency = Registry.Histogram.v registry "http.request_seconds";
   }
 
@@ -59,6 +63,12 @@ let queue_pop cq =
   Mutex.unlock cq.mu;
   item
 
+let queue_depth cq =
+  Mutex.lock cq.mu;
+  let d = Queue.length cq.q in
+  Mutex.unlock cq.mu;
+  d
+
 let write_all fd s =
   let n = String.length s in
   let b = Bytes.unsafe_of_string s in
@@ -77,20 +87,46 @@ let count_status m status =
   else Registry.Counter.incr m.resp_5xx
 
 (* Serve one connection to completion: pipelined keep-alive requests
-   until EOF, error, deadline, or server shutdown. *)
-let serve_conn ~router ~limits ~read_timeout ~stopping m fd =
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout
+   until EOF, error, deadline, or server shutdown.
+
+   Deadline discipline: every request carries an absolute deadline from
+   its first byte (the first request's from accept) to its response.
+   While a request is incomplete, reads are capped at the smaller of the
+   per-read timeout and the time remaining; a request that is still
+   partial at its deadline is answered 408 and the connection closed —
+   never silently hung on a worker.  Between pipelined requests the
+   deadline is disarmed and only the idle [read_timeout] applies. *)
+let serve_conn ~router ~limits ~read_timeout ~request_deadline ~stopping m fd =
+  (* A peer that stops reading must not pin a worker in [write(2)]
+     forever either: bound sends by the same per-op timeout. *)
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO read_timeout
    with Unix.Unix_error _ -> ());
   let chunk = Bytes.create 8192 in
   let buf = ref "" in
   let pos = ref 0 in
   let alive = ref true in
+  (* Absolute deadline of the request currently being read or served;
+     [infinity] = idle between requests.  The first request's clock
+     starts at accept. *)
+  let deadline = ref (Unix.gettimeofday () +. request_deadline) in
+  let respond_408 () =
+    Registry.Counter.incr m.timeouts;
+    Registry.Counter.incr m.requests;
+    count_status m 408;
+    (try
+       write_all fd
+         (Response.to_string ~keep_alive:false
+            (Response.text ~status:408 "request timeout\n"))
+     with Exit | Unix.Unix_error _ -> ());
+    alive := false
+  in
   (try
      while !alive do
        match Request.parse ~limits !buf ~pos:!pos with
        | `Ok (req, next) ->
            pos := next;
            if !pos = String.length !buf then begin buf := ""; pos := 0 end;
+           let req = { req with Request.deadline = Some !deadline } in
            let t0 = Unix.gettimeofday () in
            let resp = Router.dispatch router req in
            Registry.Counter.incr m.requests;
@@ -101,6 +137,13 @@ let serve_conn ~router ~limits ~read_timeout ~stopping m fd =
            in
            write_all fd (Response.to_string ~keep_alive:keep resp);
            if not keep then alive := false
+           else
+             (* A pipelined successor is already on the clock; otherwise
+                disarm until its first byte arrives. *)
+             deadline :=
+               if !pos < String.length !buf then
+                 Unix.gettimeofday () +. request_deadline
+               else infinity
        | `Error e ->
            let resp =
              Response.text ~status:(Request.error_status e)
@@ -116,38 +159,69 @@ let serve_conn ~router ~limits ~read_timeout ~stopping m fd =
              buf := String.sub !buf !pos (String.length !buf - !pos);
              pos := 0
            end;
-           let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-           if n = 0 then alive := false
-           else buf := !buf ^ Bytes.sub_string chunk 0 n
+           let partial = String.length !buf > 0 in
+           let now = Unix.gettimeofday () in
+           if now >= !deadline then
+             (* Out of budget: a half-received request gets told, a
+                silent fresh connection just gets dropped. *)
+             if partial then respond_408 () else alive := false
+           else begin
+             let slice =
+               Float.max 0.01 (Float.min read_timeout (!deadline -. now))
+             in
+             (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO slice
+              with Unix.Unix_error _ -> ());
+             match Unix.read fd chunk 0 (Bytes.length chunk) with
+             | 0 -> alive := false
+             | n ->
+                 buf := !buf ^ Bytes.sub_string chunk 0 n;
+                 if !deadline = infinity then
+                   deadline := Unix.gettimeofday () +. request_deadline
+             | exception
+                 Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _)
+               ->
+                 (* Read deadline hit: 408 a half-sent request (the
+                    adversarial-pacing contract), silently drop an idle
+                    keep-alive client. *)
+                 if partial then respond_408 () else alive := false
+           end
      done
    with
   | Exit -> ()
-  | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
-      (* Read deadline hit: drop the slow client. *)
-      ()
   | Unix.Unix_error _ -> ());
   close_quietly fd
 
-let worker ~router ~limits ~read_timeout ~stopping m cq =
+let worker ~router ~limits ~read_timeout ~request_deadline ~stopping m cq =
   let rec loop () =
     match queue_pop cq with
     | None -> ()
     | Some fd ->
-        serve_conn ~router ~limits ~read_timeout ~stopping m fd;
+        serve_conn ~router ~limits ~read_timeout ~request_deadline ~stopping
+          m fd;
         loop ()
   in
   loop ()
 
-let busy_response =
-  lazy
-    (Response.to_string ~keep_alive:false
-       (Response.text ~status:503 "server busy\n"))
+(* Shed responses are built per refusal (they carry the live queue
+   depth); rare by construction, so the allocation is irrelevant. *)
+let shed_response ~depth =
+  Response.to_string ~keep_alive:false
+    (Response.overloaded ~depth "server busy\n")
 
-let accept_loop ~router ~limits ~read_timeout ~stopping ~threads m cq
-    listen_fd =
+let accept_loop ~router ~limits ~read_timeout ~request_deadline
+    ~shed_watermark ~stopping ~threads m cq listen_fd =
   let workers =
     List.init threads (fun _ ->
-        Thread.create (worker ~router ~limits ~read_timeout ~stopping m) cq)
+        Thread.create
+          (worker ~router ~limits ~read_timeout ~request_deadline ~stopping m)
+          cq)
+  in
+  let shed fd depth =
+    Registry.Counter.incr m.rejected;
+    Registry.Counter.incr m.shed;
+    (try write_all fd (shed_response ~depth) with
+    | Exit | Unix.Unix_error _ -> ());
+    close_quietly fd
   in
   (* Poll with a short deadline so [stop] is noticed without relying on a
      cross-domain close to interrupt a blocked [accept]. *)
@@ -159,11 +233,13 @@ let accept_loop ~router ~limits ~read_timeout ~stopping ~threads m cq
     | _ :: _, _, _ -> (
         match Unix.accept ~cloexec:true listen_fd with
         | fd, _ ->
-            if not (queue_push cq (Some fd)) then begin
-              Registry.Counter.incr m.rejected;
-              (try write_all fd (Lazy.force busy_response) with Exit -> ());
-              close_quietly fd
-            end
+            (* Adaptive load shedding: refuse at the watermark, before
+               the queue is full — a client told "come back in a second"
+               immediately beats one parked behind a hopeless backlog.
+               The queue-full race below is the backstop. *)
+            let depth = queue_depth cq in
+            if depth >= shed_watermark then shed fd depth
+            else if not (queue_push cq (Some fd)) then shed fd depth
         | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
           ->
             ()
@@ -177,8 +253,18 @@ let accept_loop ~router ~limits ~read_timeout ~stopping ~threads m cq
 
 let start ?(registry = Registry.disabled) ?(addr = "127.0.0.1")
     ?(threads = 4) ?(limits = Request.default_limits)
-    ?(read_timeout = 5.0) ~port router =
+    ?(read_timeout = 5.0) ?(request_deadline = 2.0) ?shed_watermark ~port
+    router =
   if threads < 1 then invalid_arg "Server.start: threads < 1";
+  if request_deadline <= 0.0 then
+    invalid_arg "Server.start: request_deadline <= 0";
+  let capacity = (threads * 4) + 16 in
+  let shed_watermark =
+    match shed_watermark with
+    | None -> (threads * 2) + 8
+    | Some w when w >= 1 -> min w capacity
+    | Some _ -> invalid_arg "Server.start: shed_watermark < 1"
+  in
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let inet = Unix.inet_addr_of_string addr in
@@ -195,11 +281,11 @@ let start ?(registry = Registry.disabled) ?(addr = "127.0.0.1")
   in
   let stopping = Atomic.make false in
   let m = metrics_of registry in
-  let cq = queue_create ((threads * 4) + 16) in
+  let cq = queue_create capacity in
   let accept_domain =
     Domain.spawn (fun () ->
-        accept_loop ~router ~limits ~read_timeout ~stopping ~threads m cq
-          listen_fd)
+        accept_loop ~router ~limits ~read_timeout ~request_deadline
+          ~shed_watermark ~stopping ~threads m cq listen_fd)
   in
   { bound_port; stopping; stopped = Atomic.make false; accept_domain }
 

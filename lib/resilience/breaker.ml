@@ -1,0 +1,54 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  threshold : int;
+  cooldown_s : float;
+  mu : Mutex.t;
+  mutable st : state;
+  mutable failures : int;
+  mutable opened_at : int64;
+  mutable trips : int;
+}
+
+let create ?(threshold = 8) ?(cooldown_s = 0.25) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+  if cooldown_s < 0.0 then invalid_arg "Breaker.create: cooldown_s < 0";
+  { threshold; cooldown_s; mu = Mutex.create (); st = Closed; failures = 0;
+    opened_at = 0L; trips = 0 }
+
+let trip t =
+  t.st <- Open;
+  t.opened_at <- Monotonic_clock.now ();
+  t.trips <- t.trips + 1
+
+let allow t =
+  Mutex.protect t.mu (fun () ->
+      match t.st with
+      | Closed | Half_open -> true
+      | Open ->
+          let elapsed_s =
+            Int64.to_float (Int64.sub (Monotonic_clock.now ()) t.opened_at)
+            *. 1e-9
+          in
+          if elapsed_s >= t.cooldown_s then begin
+            t.st <- Half_open;
+            true
+          end
+          else false)
+
+let success t =
+  Mutex.protect t.mu (fun () ->
+      t.st <- Closed;
+      t.failures <- 0)
+
+let failure t =
+  Mutex.protect t.mu (fun () ->
+      match t.st with
+      | Half_open -> trip t
+      | Open -> ()
+      | Closed ->
+          t.failures <- t.failures + 1;
+          if t.failures >= t.threshold then trip t)
+
+let state t = Mutex.protect t.mu (fun () -> t.st)
+let trips t = Mutex.protect t.mu (fun () -> t.trips)

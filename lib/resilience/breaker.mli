@@ -1,0 +1,36 @@
+(** Circuit breaker over the monotonic clock.
+
+    Tracks consecutive failures of a guarded operation.  After
+    [threshold] failures in a row the circuit {e opens}: {!allow}
+    refuses immediately (the caller fails fast instead of hammering a
+    broken disk or peer) until [cooldown_s] has elapsed, at which point
+    exactly one probe is let through ({e half-open}).  A successful
+    probe closes the circuit; a failed one re-opens it for another
+    cooldown.
+
+    All transitions are mutex-guarded and safe from any domain. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : ?threshold:int -> ?cooldown_s:float -> unit -> t
+(** Defaults: [threshold 8] consecutive failures, [cooldown_s 0.25].
+    Raises [Invalid_argument] if [threshold < 1] or [cooldown_s < 0]. *)
+
+val allow : t -> bool
+(** Whether the guarded operation may run now.  [Open] returns [false]
+    until the cooldown elapses, then transitions to [Half_open] and
+    admits one probe. *)
+
+val success : t -> unit
+(** Record a success: closes the circuit and clears the failure run. *)
+
+val failure : t -> unit
+(** Record a failure: trips the circuit at [threshold] consecutive
+    failures, and re-opens immediately from [Half_open]. *)
+
+val state : t -> state
+
+val trips : t -> int
+(** How many times the circuit has opened so far. *)

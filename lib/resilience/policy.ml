@@ -1,0 +1,63 @@
+type t = {
+  base_s : float;
+  cap_s : float;
+  max_attempts : int;
+  jitter : float;
+  seed : int;
+}
+
+let make ?(base_s = 0.01) ?(cap_s = 1.0) ?(max_attempts = 3) ?(jitter = 0.5)
+    ?(seed = 0) () =
+  if base_s < 0.0 || cap_s < 0.0 then
+    invalid_arg "Policy.make: negative delay";
+  if max_attempts < 1 then invalid_arg "Policy.make: max_attempts < 1";
+  if jitter < 0.0 || jitter > 1.0 then
+    invalid_arg "Policy.make: jitter outside [0,1]";
+  { base_s; cap_s; max_attempts; jitter; seed }
+
+let default = make ()
+
+(* splitmix64 finalizer: a few multiplies turn (seed, attempt) into a
+   well-mixed word, which is all the jitter needs. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0,1) from the top 53 bits of the mixed word. *)
+let unit_float t ~attempt =
+  let z =
+    mix64 (Int64.add (Int64.mul (Int64.of_int t.seed) 0x9e3779b97f4a7c15L)
+             (Int64.of_int attempt))
+  in
+  Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53
+
+let delay_s t ~attempt =
+  if attempt <= 0 then 0.0
+  else
+    let raw =
+      Float.min t.cap_s (t.base_s *. Float.of_int (1 lsl min (attempt - 1) 20))
+    in
+    (* Jitter only ever shrinks the delay (decorrelates retry herds
+       without breaching the cap). *)
+    raw *. (1.0 -. (t.jitter *. unit_float t ~attempt))
+
+let retries_left t ~attempt = attempt < t.max_attempts
+
+let wait t ~attempt =
+  let d = delay_s t ~attempt in
+  if d > 0.0 then begin
+    let t0 = Monotonic_clock.now () in
+    let target = Int64.add t0 (Int64.of_float (d *. 1e9)) in
+    while Int64.compare (Monotonic_clock.now ()) target < 0 do
+      Domain.cpu_relax ()
+    done
+  end

@@ -1,0 +1,45 @@
+(** Unified retry policy: capped exponential backoff with deterministic
+    seeded jitter and an explicit attempt budget.
+
+    One policy value describes how a whole class of operations retries —
+    campaign supervision, spool intake, checkpoint writes — so backoff
+    behaviour is tuned in one place instead of per call site.  Delays are
+    a pure function of [(policy, attempt)]: the jitter comes from a
+    splitmix-style hash of the policy seed and the attempt number, never
+    from a global RNG, so a replayed schedule waits exactly as long as
+    the original and chaos runs stay reproducible. *)
+
+type t = private {
+  base_s : float;      (** Delay before the first retry, seconds. *)
+  cap_s : float;       (** Ceiling on any single delay, seconds. *)
+  max_attempts : int;  (** Total attempts including the first (>= 1). *)
+  jitter : float;      (** Fraction of each delay randomized, in [0,1]. *)
+  seed : int;          (** Seed of the deterministic jitter stream. *)
+}
+
+val make :
+  ?base_s:float ->
+  ?cap_s:float ->
+  ?max_attempts:int ->
+  ?jitter:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: [base_s 0.01], [cap_s 1.0], [max_attempts 3], [jitter 0.5],
+    [seed 0].  Raises [Invalid_argument] on a negative delay,
+    [max_attempts < 1] or [jitter] outside [0,1]. *)
+
+val default : t
+
+val delay_s : t -> attempt:int -> float
+(** Delay after failed attempt [attempt] (1-based): exponential
+    [base_s * 2^(attempt-1)] capped at [cap_s], then shrunk by up to
+    [jitter] of itself according to the hash of [(seed, attempt)].
+    [attempt <= 0] is [0].  Deterministic. *)
+
+val retries_left : t -> attempt:int -> bool
+(** Whether the budget allows another attempt after attempt [attempt]. *)
+
+val wait : t -> attempt:int -> unit
+(** Busy-wait {!delay_s} on the monotonic clock ([Domain.cpu_relax] in
+    the loop; no Unix dependency, usable from any worker domain). *)

@@ -1,0 +1,30 @@
+exception Open_circuit of string
+
+let run ~policy ?breaker ?(retryable = fun _ -> true) ?on_retry ~label f =
+  let allow () =
+    match breaker with None -> true | Some b -> Breaker.allow b
+  in
+  let record ok =
+    match breaker with
+    | None -> ()
+    | Some b -> if ok then Breaker.success b else Breaker.failure b
+  in
+  let rec attempt n =
+    if not (allow ()) then raise (Open_circuit label);
+    match f () with
+    | v ->
+        record true;
+        v
+    | exception e ->
+        record false;
+        if (not (retryable e)) || not (Policy.retries_left policy ~attempt:n)
+        then raise e
+        else begin
+          (match on_retry with
+          | Some g -> g ~attempt:n e
+          | None -> ());
+          Policy.wait policy ~attempt:n;
+          attempt (n + 1)
+        end
+  in
+  attempt 1

@@ -1,0 +1,24 @@
+(** Retry driver: run an operation under a {!Policy.t}, optionally
+    guarded by a {!Breaker.t}.
+
+    The driver loops attempts, sleeping the policy's deterministic
+    backoff between them.  An exception the [retryable] predicate
+    rejects, or the last attempt's exception, propagates to the caller
+    unchanged; an open breaker raises {!Open_circuit} without running
+    the operation at all. *)
+
+exception Open_circuit of string
+(** Raised (with the operation label) when the breaker refuses. *)
+
+val run :
+  policy:Policy.t ->
+  ?breaker:Breaker.t ->
+  ?retryable:(exn -> bool) ->
+  ?on_retry:(attempt:int -> exn -> unit) ->
+  label:string ->
+  (unit -> 'a) ->
+  'a
+(** [run ~policy ~label f] calls [f] up to [policy.max_attempts] times.
+    [retryable] defaults to retrying every exception; [on_retry] is
+    called before each backoff wait (telemetry, logging).  [Drained]-
+    style control exceptions should be excluded via [retryable]. *)

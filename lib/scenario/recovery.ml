@@ -82,7 +82,7 @@ let wipe_snapshots dir =
 
 let attach t ~fingerprint =
   if not t.resume then wipe_snapshots t.dir;
-  t.store <- Some (Checkpoint.open_ ~dir:t.dir ~fingerprint)
+  t.store <- Some (Checkpoint.open_ ~dir:t.dir ~fingerprint ())
 
 let maybe_kill t =
   (match t.kill_after_saves with

@@ -1,0 +1,71 @@
+module Checkpoint = Because_recover.Checkpoint
+module Seed = Because_recover.Seed
+
+type t = {
+  store : Checkpoint.t;
+  mutable chain_loads : int;
+}
+
+let fingerprint id = "because-stream-epochs/1:" ^ id
+
+let open_ ~dir ~id =
+  { store = Checkpoint.open_ ~dir ~fingerprint:(fingerprint id) ();
+    chain_loads = 0 }
+
+let compacted_key = "compacted"
+let epoch_prefix = "epoch-"
+let epoch_key n = Printf.sprintf "%s%06d" epoch_prefix n
+
+let chain t =
+  let plen = String.length epoch_prefix in
+  Checkpoint.keys t.store
+  |> List.filter_map (fun k ->
+         if
+           String.length k > plen
+           && String.equal (String.sub k 0 plen) epoch_prefix
+         then int_of_string_opt (String.sub k plen (String.length k - plen))
+         else None)
+  |> List.sort Int.compare
+
+let append t (seed : Seed.t) =
+  let payload = Seed.encode seed in
+  Checkpoint.save t.store ~key:(epoch_key seed.Seed.epoch) payload;
+  (* The fold: the compacted snapshot is always the newest epoch, so a
+     cold start never has to replay the chain. *)
+  Checkpoint.save t.store ~key:compacted_key payload
+
+let load_chain t =
+  let rec go = function
+    | [] -> None
+    | epoch :: older -> (
+        t.chain_loads <- t.chain_loads + 1;
+        match Checkpoint.load t.store ~key:(epoch_key epoch) with
+        | None -> go older
+        | Some payload -> (
+            match Seed.decode payload with
+            | Some seed -> Some seed
+            | None -> go older))
+  in
+  go (List.rev (chain t))
+
+let load t =
+  match Checkpoint.load t.store ~key:compacted_key with
+  | Some payload -> (
+      match Seed.decode payload with
+      | Some seed -> Some seed
+      | None -> load_chain t)
+  | None -> load_chain t
+
+let compact t ~keep =
+  if keep < 1 then invalid_arg "Epochs.compact: keep < 1";
+  match List.rev (chain t) with
+  | [] -> ()
+  | newest :: _ ->
+      List.iter
+        (fun epoch ->
+          if epoch <= newest - keep then
+            Checkpoint.remove t.store ~key:(epoch_key epoch))
+        (chain t)
+
+let chain_loads t = t.chain_loads
+let warnings t = Checkpoint.warnings t.store

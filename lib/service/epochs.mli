@@ -1,0 +1,53 @@
+(** Per-campaign epoch chain with compaction.
+
+    A streaming campaign completes an epoch, produces a posterior
+    {!Because_recover.Seed.t}, and {!append}s it here.  Two classes of
+    snapshot live in one CRC-sealed checkpoint store
+    ([campaigns/<id>/epochs.d]):
+
+    {ul
+    {- [epoch-NNNNNN] — the chain: one sealed seed per completed epoch,
+       kept as fallback depth and post-mortem history;}
+    {- [compacted] — the fold of the chain: always the newest epoch's
+       seed, rewritten on every append (a seed is tiny, so the fold is
+       one small atomic write).}}
+
+    A cold service start calls {!load}: the compacted seed answers in
+    O(1) — zero chain reads, however many epochs the spool has
+    accumulated.  Only when the compacted seed is corrupt (quarantined
+    by the checkpoint layer) or missing does {!load} walk the chain,
+    newest first, and {!chain_loads} counts exactly how many chain
+    snapshots were consulted so tests can prove the O(1) path.
+
+    {!compact} prunes chain entries older than the newest [keep],
+    bounding the directory's growth; the compacted seed is never
+    pruned. *)
+
+type t
+
+val open_ : dir:string -> id:string -> t
+(** Open (creating if needed) the epoch store at [dir] for campaign
+    [id].  The store fingerprint is derived from [id], so a directory
+    recycled across campaigns quarantines the stranger's snapshots. *)
+
+val append : t -> Because_recover.Seed.t -> unit
+(** Seal the seed into the chain under its epoch number and fold it
+    into the compacted snapshot. *)
+
+val load : t -> Because_recover.Seed.t option
+(** The newest available seed: the compacted snapshot when valid,
+    otherwise the newest decodable chain entry, otherwise [None]. *)
+
+val compact : t -> keep:int -> unit
+(** Prune chain entries older than the newest [keep] epochs.
+    Raises [Invalid_argument] if [keep < 1]. *)
+
+val chain : t -> int list
+(** Epoch numbers currently present in the chain, ascending. *)
+
+val chain_loads : t -> int
+(** How many chain snapshots {!load} has consulted on this handle —
+    [0] proves the compacted O(1) path was taken. *)
+
+val warnings : t -> string list
+(** Underlying checkpoint-store warnings (corruption, quarantine). *)

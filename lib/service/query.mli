@@ -12,6 +12,19 @@
     in-flight render, never serve bytes older than the generation they
     advertise.
 
+    Renders are {e single-flight}: when the cache is stale, exactly one
+    request renders and every concurrent request for the same document
+    coalesces onto that render's result — an overload burst cannot
+    stampede the service mutex.  A coalescing request waits at most
+    until its propagated deadline ({!Because_http.Request.t.deadline}),
+    then sheds with [503 + Retry-After + X-Queue-Depth] instead of
+    queueing invisibly.
+
+    Every 429/503 the plane produces (admission backpressure on
+    [POST /submit], shed renders) carries [Retry-After] and
+    [X-Queue-Depth] headers — the depth is the admission queue's at
+    refusal time.
+
     Responses carry the stamp in an [X-Generation] header.
 
     Endpoints:
@@ -30,6 +43,10 @@
 val status_of_reason : Admission.reason -> int
 (** [Invalid] 400, [Duplicate] 409, [Queue_full] 429, [Draining] 503. *)
 
-val router : Service.t -> Because_http.Router.t
+val router :
+  ?registry:Because_telemetry.Registry.t -> Service.t -> Because_http.Router.t
 (** Build the query-plane router for a service.  The router holds the
-    snapshot caches; build it once per service. *)
+    snapshot caches; build it once per service.  [registry] (default
+    disabled) receives [http.coalesced] (requests served by another
+    request's render) and [http.shed_renders] (requests whose deadline
+    expired waiting for a render) counters. *)

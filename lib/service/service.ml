@@ -3,6 +3,9 @@ module Sc = Because_scenario
 module Supervise = Because_recover.Supervise
 module Checkpoint = Because_recover.Checkpoint
 module Codec = Because_recover.Codec
+module Io = Because_recover.Io
+module Policy = Because_resilience.Policy
+module Retry = Because_resilience.Retry
 module Tel = Because_telemetry.Registry
 
 type config = {
@@ -12,6 +15,7 @@ type config = {
   campaign_jobs : int;
   max_attempts : int;
   retry_backoff_s : float;
+  compact_every : int;
   every_sweeps : int option;
   chain_deadline_s : float option;
   sweep_budget : int option;
@@ -22,9 +26,17 @@ type config = {
 
 let default_config ~state_dir =
   { state_dir; limit = 16; jobs = 1; campaign_jobs = 1; max_attempts = 3;
-    retry_backoff_s = 0.01; every_sweeps = Some 25; chain_deadline_s = None;
-    sweep_budget = None; telemetry = Tel.disabled; kill_after_saves = None;
-    chaos = None }
+    retry_backoff_s = 0.01; compact_every = 8; every_sweeps = Some 25;
+    chain_deadline_s = None; sweep_budget = None; telemetry = Tel.disabled;
+    kill_after_saves = None; chaos = None }
+
+(* One policy value drives every retry loop in the service — campaign
+   supervision below, checkpoint writes inside the stores, report/status
+   writes in [atomic_write].  The jitter seed is derived per label so
+   concurrent campaigns don't retry in lockstep, deterministically. *)
+let retry_policy cfg ~label =
+  Policy.make ~base_s:cfg.retry_backoff_s ~cap_s:1.0
+    ~max_attempts:cfg.max_attempts ~jitter:0.25 ~seed:(Hashtbl.hash label) ()
 
 type verdict = Completed | Drained | Killed
 
@@ -90,12 +102,17 @@ let rec rm_rf path =
     end
     else Sys.remove path
 
+(* Reports and status documents ride the same injectable I/O shim and
+   retry policy as checkpoints: a transient disk fault costs a backoff,
+   not a missing report. *)
+let write_retry = Policy.make ~base_s:0.002 ~cap_s:0.05 ~max_attempts:3 ()
+
 let atomic_write path content =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc content;
-  close_out oc;
-  Sys.rename tmp path
+  Retry.run ~policy:write_retry
+    ~retryable:(function Sys_error _ -> true | _ -> false)
+    ~label:("service:" ^ Filename.basename path)
+    (fun () ->
+      Io.write_file_atomic ~dir:(Filename.dirname path) ~file:path content)
 
 (* ------------------------------------------------------- queue snapshot *)
 
@@ -237,7 +254,7 @@ let make cfg =
   mkdir_p (campaigns_dir cfg);
   mkdir_p (reports_dir cfg);
   let qstore =
-    Checkpoint.open_ ~dir:(queue_dir cfg) ~fingerprint:queue_fingerprint
+    Checkpoint.open_ ~dir:(queue_dir cfg) ~fingerprint:queue_fingerprint ()
   in
   let reg = cfg.telemetry in
   let m =
@@ -462,17 +479,22 @@ let interrupted t (entry : Store.entry) ~persist ~kill recovery =
 
 (* --------------------------------------------------- streaming epochs *)
 
-(* The posterior seed lives in its own checkpoint store with a fingerprint
-   stable across epochs: the per-epoch chain stores are fingerprint-pinned
-   to one epoch's exact inputs and would quarantine anything older. *)
-let seed_store t ~id =
+(* Posterior seeds live in the per-campaign epoch store ([epochs.d]) with
+   a fingerprint stable across epochs: the per-epoch chain stores are
+   fingerprint-pinned to one epoch's exact inputs and would quarantine
+   anything older.  Every completed epoch is appended to the chain and
+   folded into the compacted snapshot, so a cold start warm-starts in
+   O(1) no matter how many epochs the spool accumulated; every
+   [compact_every] epochs the chain itself is pruned. *)
+let epoch_store t ~id =
   mkdir_p (campaign_dir t.cfg ~id);
-  Checkpoint.open_
-    ~dir:(Filename.concat (campaign_dir t.cfg ~id) "seed.d")
-    ~fingerprint:("because-stream-seed/1:" ^ id)
+  Epochs.open_
+    ~dir:(Filename.concat (campaign_dir t.cfg ~id) "epochs.d")
+    ~id
 
 let run_stream_entry t (entry : Store.entry) =
   let id = entry.Store.spec.Spec.id in
+  let policy = retry_policy t.cfg ~label:id in
   let budget =
     { Supervise.deadline_s = t.cfg.chain_deadline_s;
       max_sweeps = t.cfg.sweep_budget }
@@ -482,15 +504,11 @@ let run_stream_entry t (entry : Store.entry) =
     entry.Store.attempts <- n;
     let epoch = entry.Store.epoch in
     Mutex.unlock t.mutex;
-    let store = seed_store t ~id in
+    let store = epoch_store t ~id in
     let seed =
-      (* Epoch 1 is always cold, even when a stale seed directory
+      (* Epoch 1 is always cold, even when a stale epoch directory
          survived a state wipe. *)
-      if epoch <= 1 then None
-      else
-        match Checkpoint.load store ~key:Because_recover.Seed.key with
-        | None -> None
-        | Some payload -> Because_recover.Seed.decode payload
+      if epoch <= 1 then None else Epochs.load store
     in
     match
       Stream.run ~spec:entry.Store.spec ~seed ~telemetry:t.cfg.telemetry
@@ -499,8 +517,11 @@ let run_stream_entry t (entry : Store.entry) =
     | Ok outcome ->
         Option.iter
           (fun s ->
-            Checkpoint.save store ~key:Because_recover.Seed.key
-              (Because_recover.Seed.encode s))
+            Epochs.append store s;
+            if
+              t.cfg.compact_every > 0
+              && s.Because_recover.Seed.epoch mod t.cfg.compact_every = 0
+            then Epochs.compact store ~keep:t.cfg.compact_every)
           outcome.Stream.seed;
         Mutex.lock t.mutex;
         entry.Store.warm <- seed <> None;
@@ -522,7 +543,7 @@ let run_stream_entry t (entry : Store.entry) =
         note t (Printf.sprintf "%s: attempt %d/%d failed: %s" id n
                   t.cfg.max_attempts msg);
         Mutex.unlock t.mutex;
-        if n >= t.cfg.max_attempts then
+        if not (Policy.retries_left policy ~attempt:n) then
           finish t entry
             ~status:
               (Supervise.Insufficient
@@ -535,7 +556,7 @@ let run_stream_entry t (entry : Store.entry) =
         else begin
           if Tel.is_enabled t.cfg.telemetry then
             Tel.Counter.incr t.m.m_retries;
-          Supervise.wait_backoff ~attempt:n ~base_s:t.cfg.retry_backoff_s;
+          Policy.wait policy ~attempt:n;
           attempt (n + 1)
         end
   in
@@ -543,6 +564,7 @@ let run_stream_entry t (entry : Store.entry) =
 
 let run_campaign_entry t (entry : Store.entry) =
   let id = entry.Store.spec.Spec.id in
+  let policy = retry_policy t.cfg ~label:id in
   let dir = campaign_dir t.cfg ~id in
   let rec attempt n =
     Mutex.lock t.mutex;
@@ -588,7 +610,7 @@ let run_campaign_entry t (entry : Store.entry) =
                   t.cfg.max_attempts msg);
         note_recovery t ~id recovery;
         Mutex.unlock t.mutex;
-        if n >= t.cfg.max_attempts then
+        if not (Policy.retries_left policy ~attempt:n) then
           finish t entry
             ~status:
               (Supervise.Insufficient
@@ -601,7 +623,7 @@ let run_campaign_entry t (entry : Store.entry) =
         else begin
           if Tel.is_enabled t.cfg.telemetry then
             Tel.Counter.incr t.m.m_retries;
-          Supervise.wait_backoff ~attempt:n ~base_s:t.cfg.retry_backoff_s;
+          Policy.wait policy ~attempt:n;
           attempt (n + 1)
         end
   in

@@ -34,7 +34,15 @@ type config = {
           jobs-invariant, so 1 (run on the worker domain) is the safe
           default when [jobs > 1]. *)
   max_attempts : int;  (** Runs per campaign before giving up. *)
-  retry_backoff_s : float;  (** Base of the capped exponential backoff. *)
+  retry_backoff_s : float;
+      (** Base of the unified {!Because_resilience.Policy} backoff
+          (capped exponential, deterministic seeded jitter) used by
+          campaign supervision and durable writes alike. *)
+  compact_every : int;
+      (** Epoch-chain compaction cadence for streaming campaigns: every
+          this many epochs the chain is pruned to its newest
+          [compact_every] entries (the compacted seed itself is folded
+          on every epoch).  [0] disables pruning.  Default 8. *)
   every_sweeps : int option;  (** Chain checkpoint cadence. *)
   chain_deadline_s : float option;  (** Per-chain wall-clock budget. *)
   sweep_budget : int option;        (** Per-chain sweep budget. *)

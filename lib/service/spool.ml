@@ -3,8 +3,20 @@ let eligible name =
   && name.[0] <> '.'
   && Filename.check_suffix name ".campaign"
 
+(* Name eligibility is necessary but not sufficient: a zero-byte file is
+   a producer that created-then-crashed before writing (rename-into-place
+   was skipped), and a symlink can alias a file still being written
+   elsewhere — or dangle.  Both are refused by inode, not name. *)
+let plausible dir name =
+  match Unix.lstat (Filename.concat dir name) with
+  | { Unix.st_kind = Unix.S_REG; st_size; _ } -> st_size > 0
+  | _ -> false
+  | exception Unix.Unix_error _ -> false
+
 let scan dir =
   match Sys.readdir dir with
   | exception Sys_error _ -> []
   | names ->
-      Array.to_list names |> List.filter eligible |> List.sort compare
+      Array.to_list names
+      |> List.filter (fun n -> eligible n && plausible dir n)
+      |> List.sort compare

@@ -11,8 +11,15 @@
 
 val eligible : string -> bool
 (** Whether a directory-entry name is a completed spool file:
-    ends in [.campaign] and does not start with ['.']. *)
+    ends in [.campaign] and does not start with ['.'].  Name-level only;
+    {!scan} additionally filters by inode. *)
 
 val scan : string -> string list
 (** Eligible file names (not paths) in the directory, sorted for
-    deterministic intake order; [\[\]] when the directory is missing. *)
+    deterministic intake order; [\[\]] when the directory is missing.
+    Zero-byte entries (created but never written) and anything that is
+    not a regular file — symlinks in particular, which can alias a file
+    still being written elsewhere — are skipped.  A name renamed into
+    place a second time with new content is simply seen again: intake
+    dedup is the service's job (streaming re-admission), not the
+    scanner's. *)

@@ -349,6 +349,130 @@ let test_server_limits_and_deadline () =
       | [ (200, _, "pong") ] -> ()
       | _ -> Alcotest.fail "server dead after slow client")
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial pacing: the server's deadline discipline over real
+   sockets.  A client may dribble bytes arbitrarily slowly or split the
+   head anywhere — a complete request is always answered, an incomplete
+   one is answered 408 at its deadline, and neither pins a worker. *)
+
+let test_server_byte_at_a_time () =
+  let srv = Server.start ~threads:2 ~port:0 (test_router ()) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let port = Server.port srv in
+  (* Two pipelined requests, delivered one byte at a time: both must be
+     answered, in order, from the same connection. *)
+  let raw =
+    "POST /echo HTTP/1.1\r\nContent-Length: 1\r\n\r\na"
+    ^ "GET /ping HTTP/1.1\r\nHost: h\r\n\r\n"
+  in
+  with_conn port (fun fd ->
+      String.iter
+        (fun c ->
+          send_all fd (String.make 1 c);
+          Thread.delay 0.001)
+        raw;
+      match read_responses fd 2 with
+      | [ (200, _, "a"); (200, _, "pong") ] -> ()
+      | _ -> Alcotest.fail "byte-at-a-time pipelined pair")
+
+let test_server_split_every_boundary () =
+  let srv = Server.start ~threads:2 ~port:0 (test_router ()) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let port = Server.port srv in
+  let raw = "GET /ping HTTP/1.1\r\nHost: h\r\n\r\n" in
+  (* Splitting the head at every byte boundary must never confuse the
+     incremental parser: each half-then-rest connection gets its 200. *)
+  for cut = 1 to String.length raw - 1 do
+    with_conn port (fun fd ->
+        send_all fd (String.sub raw 0 cut);
+        Thread.delay 0.005;
+        send_all fd (String.sub raw cut (String.length raw - cut));
+        match read_responses fd 1 with
+        | [ (200, _, "pong") ] -> ()
+        | _ -> Alcotest.failf "split at byte %d" cut)
+  done
+
+let test_server_body_after_deadline_408 () =
+  let srv =
+    Server.start ~threads:1 ~read_timeout:5.0 ~request_deadline:0.3 ~port:0
+      (test_router ())
+  in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let port = Server.port srv in
+  (* Headers complete, body promised but withheld: the request is still
+     incomplete at its deadline and must be answered 408 — not dropped
+     silently, not waited on forever. *)
+  with_conn port (fun fd ->
+      send_all fd "POST /echo HTTP/1.1\r\nContent-Length: 5\r\n\r\nxy";
+      match read_responses fd 1 with
+      | [ (408, head, _) ] ->
+          Alcotest.(check bool) "408 closes" true
+            (contains ~sub:"Connection: close" head)
+      | _ -> Alcotest.fail "withheld body not 408");
+  (* An idle keep-alive connection past the deadline is NOT 408'd: the
+     deadline disarms between requests. *)
+  with_conn port (fun fd ->
+      send_all fd "GET /ping HTTP/1.1\r\nHost: h\r\n\r\n";
+      (match read_responses fd 1 with
+      | [ (200, _, "pong") ] -> ()
+      | _ -> Alcotest.fail "first request");
+      Thread.delay 0.5;
+      send_all fd "GET /ping HTTP/1.1\r\nHost: h\r\n\r\n";
+      match read_responses fd 1 with
+      | [ (200, _, "pong") ] -> ()
+      | _ -> Alcotest.fail "idle keep-alive survived the deadline")
+
+let test_server_deadline_propagated () =
+  (* Handlers see the request's absolute deadline and can bound their
+     own waits by it. *)
+  let rt = Router.create () in
+  Router.add rt ~meth:"GET" ~pattern:"/deadline" (fun req _ ->
+      match Req.remaining_s req with
+      | Some s when s > 0.0 && s <= 1.0 -> Resp.text "bounded"
+      | Some _ -> Resp.text ~status:500 "deadline out of range"
+      | None -> Resp.text ~status:500 "deadline missing");
+  let srv = Server.start ~threads:1 ~request_deadline:1.0 ~port:0 rt in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  with_conn (Server.port srv) (fun fd ->
+      send_all fd "GET /deadline HTTP/1.1\r\n\r\n";
+      match read_responses fd 1 with
+      | [ (200, _, "bounded") ] -> ()
+      | [ (_, _, body) ] -> Alcotest.failf "handler saw: %s" body
+      | _ -> Alcotest.fail "deadline probe")
+
+let test_server_shed_watermark () =
+  let rt = Router.create () in
+  Router.add rt ~meth:"GET" ~pattern:"/slow" (fun _ _ ->
+      Thread.delay 0.5;
+      Resp.text "done");
+  let srv = Server.start ~threads:1 ~shed_watermark:1 ~port:0 rt in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let port = Server.port srv in
+  (* A occupies the single worker; B queues (depth 1 = the watermark);
+     C must be shed at accept with the full backpressure contract. *)
+  with_conn port (fun fd_a ->
+      send_all fd_a "GET /slow HTTP/1.1\r\nHost: h\r\n\r\n";
+      Thread.delay 0.15;
+      with_conn port (fun fd_b ->
+          send_all fd_b "GET /slow HTTP/1.1\r\nHost: h\r\n\r\n";
+          Thread.delay 0.1;
+          with_conn port (fun fd_c ->
+              match read_responses fd_c 1 with
+              | [ (503, head, _) ] ->
+                  Alcotest.(check bool) "Retry-After present" true
+                    (contains ~sub:"Retry-After:" head);
+                  Alcotest.(check bool) "X-Queue-Depth present" true
+                    (contains ~sub:"X-Queue-Depth:" head)
+              | _ -> Alcotest.fail "watermark connection not shed");
+          (* The clients that were admitted still complete: shedding
+             preserved goodput rather than degrading everyone. *)
+          (match read_responses fd_b 1 with
+          | [ (200, _, "done") ] -> ()
+          | _ -> Alcotest.fail "queued client B");
+          match read_responses fd_a 1 with
+          | [ (200, _, "done") ] -> ()
+          | _ -> Alcotest.fail "running client A"))
+
 let test_server_stop_idempotent () =
   let srv = Server.start ~threads:1 ~port:0 (test_router ()) in
   let port = Server.port srv in
@@ -470,6 +594,16 @@ let suite =
         test_server_basics;
       Alcotest.test_case "server limits + slow-client deadline" `Quick
         test_server_limits_and_deadline;
+      Alcotest.test_case "server byte-at-a-time pipelining" `Quick
+        test_server_byte_at_a_time;
+      Alcotest.test_case "server head split at every boundary" `Quick
+        test_server_split_every_boundary;
+      Alcotest.test_case "server 408 on withheld body" `Quick
+        test_server_body_after_deadline_408;
+      Alcotest.test_case "server propagates deadline to handlers" `Quick
+        test_server_deadline_propagated;
+      Alcotest.test_case "server sheds at the watermark" `Quick
+        test_server_shed_watermark;
       Alcotest.test_case "server stop idempotent" `Quick
         test_server_stop_idempotent;
       QCheck_alcotest.to_alcotest qcheck_server_garbage;

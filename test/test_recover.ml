@@ -313,7 +313,7 @@ let contains ~sub s =
 
 let test_store_roundtrip () =
   let dir = fresh_dir () in
-  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-1" in
+  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-1" () in
   Checkpoint.save store ~key:"alpha/beta" "payload-1";
   Checkpoint.save store ~key:"alpha/beta" "payload-2";
   Alcotest.(check (option string)) "latest wins" (Some "payload-2")
@@ -321,7 +321,7 @@ let test_store_roundtrip () =
   Alcotest.(check (option string)) "missing key" None
     (Checkpoint.load store ~key:"gamma");
   (* Re-open with the same fingerprint: snapshots survive. *)
-  let store2 = Checkpoint.open_ ~dir ~fingerprint:"fp-1" in
+  let store2 = Checkpoint.open_ ~dir ~fingerprint:"fp-1" () in
   Alcotest.(check (option string)) "reopen" (Some "payload-2")
     (Checkpoint.load store2 ~key:"alpha/beta")
 
@@ -335,14 +335,14 @@ let corrupt_file path =
 
 let test_store_corruption_falls_back () =
   let dir = fresh_dir () in
-  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-c" in
+  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-c" () in
   Checkpoint.save store ~key:"k" "old";
   Checkpoint.save store ~key:"k" "new";
   (* Corrupt the latest snapshot on disk; load must detect it via CRC,
      quarantine it and fall back to the previous one — with a warning,
      never a crash or a silent wrong answer. *)
   corrupt_file (Filename.concat dir "k.ck");
-  let store2 = Checkpoint.open_ ~dir ~fingerprint:"fp-c" in
+  let store2 = Checkpoint.open_ ~dir ~fingerprint:"fp-c" () in
   Alcotest.(check (option string)) "previous snapshot recovered" (Some "old")
     (Checkpoint.load store2 ~key:"k");
   Alcotest.(check bool) "fallback counted" true
@@ -356,9 +356,9 @@ let test_store_corruption_falls_back () =
 
 let test_store_fingerprint_mismatch () =
   let dir = fresh_dir () in
-  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-old" in
+  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-old" () in
   Checkpoint.save store ~key:"k" "stale";
-  let store2 = Checkpoint.open_ ~dir ~fingerprint:"fp-new" in
+  let store2 = Checkpoint.open_ ~dir ~fingerprint:"fp-new" () in
   Alcotest.(check (option string)) "stale snapshot not loadable" None
     (Checkpoint.load store2 ~key:"k");
   Alcotest.(check bool) "mismatch warned" true
@@ -366,7 +366,7 @@ let test_store_fingerprint_mismatch () =
 
 let test_store_wrong_key_rejected () =
   let dir = fresh_dir () in
-  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-k" in
+  let store = Checkpoint.open_ ~dir ~fingerprint:"fp-k" () in
   Checkpoint.save store ~key:"a" "va";
   (* Copy a's snapshot over b's slot: the envelope carries the key, so the
      load must reject the transplant. *)

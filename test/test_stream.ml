@@ -120,6 +120,57 @@ let test_spool_rename_into_place () =
   Alcotest.(check (list string)) "sorted, filtered"
     [ "b.campaign"; "slow.campaign" ] (Spool.scan dir)
 
+(* The scanner is inode-hardened: names alone don't qualify a file.
+   Zero-byte placeholders (a touch(1) or an interrupted copy) and
+   symlinks (which can alias out of the spool or dangle) are filtered
+   by [lstat], not surfaced to the service. *)
+let test_spool_inode_hardening () =
+  let dir = fresh_dir () in
+  write_lines (Filename.concat dir "real.campaign") [ "x" ];
+  (* Zero-byte file: eligible by name, filtered by size. *)
+  Out_channel.with_open_bin (Filename.concat dir "empty.campaign")
+    (fun _ -> ());
+  (* Symlink, even to a perfectly good spec: filtered by inode type. *)
+  Unix.symlink
+    (Filename.concat dir "real.campaign")
+    (Filename.concat dir "alias.campaign");
+  (* Dangling symlink: must not crash the scan either. *)
+  Unix.symlink
+    (Filename.concat dir "never-existed")
+    (Filename.concat dir "dangling.campaign");
+  Alcotest.(check (list string)) "only the real regular file"
+    [ "real.campaign" ] (Spool.scan dir)
+
+(* The same name renamed into place twice (new content each time) is a
+   legitimate producer pattern — re-submitting a streaming campaign's
+   next epoch under its stable file name.  The scanner must surface it
+   both times; exactly-once ingestion is the consumer's rename-to-.done,
+   which overwrites the previous marker. *)
+let test_spool_renamed_twice () =
+  let dir = fresh_dir () in
+  let name = "epochal.campaign" in
+  let live = Filename.concat dir name in
+  let ingest () =
+    match Spool.scan dir with
+    | [ n ] when n = name ->
+        let content = read_file live in
+        Sys.rename live (live ^ ".done");
+        content
+    | l -> Alcotest.failf "scan saw %d entries" (List.length l)
+  in
+  write_lines (Filename.concat dir (".stage-" ^ name)) [ "epoch-one" ];
+  Sys.rename (Filename.concat dir (".stage-" ^ name)) live;
+  Alcotest.(check string) "first rename picked up" "epoch-one\n" (ingest ());
+  Alcotest.(check (list string)) "quiescent between epochs" []
+    (Spool.scan dir);
+  (* Second rename into the same live name, fresh content. *)
+  write_lines (Filename.concat dir (".stage-" ^ name)) [ "epoch-two" ];
+  Sys.rename (Filename.concat dir (".stage-" ^ name)) live;
+  Alcotest.(check string) "second rename picked up too" "epoch-two\n"
+    (ingest ());
+  Alcotest.(check string) "done marker holds the newest epoch" "epoch-two\n"
+    (read_file (live ^ ".done"))
+
 (* ------------------------------------------------------------------ *)
 (* Posterior seed codec                                                 *)
 
@@ -502,6 +553,10 @@ let suite =
         test_parse_observations;
       Alcotest.test_case "spool rename-into-place convention" `Quick
         test_spool_rename_into_place;
+      Alcotest.test_case "spool filters zero-byte files and symlinks" `Quick
+        test_spool_inode_hardening;
+      Alcotest.test_case "spool surfaces the same name renamed twice" `Quick
+        test_spool_renamed_twice;
       Alcotest.test_case "posterior seed codec" `Quick test_seed_codec;
       Alcotest.test_case "two epochs: warm equals cold, converges sooner"
         `Quick test_two_epoch_warm_start;
